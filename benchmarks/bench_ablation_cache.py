@@ -1,0 +1,72 @@
+"""Ablation — pairwise-probability caching in the MCMC proposal.
+
+The paper (§VI-D, "Caching") memoizes the 2-D pairwise integrals shared
+across MCMC states. This bench runs the same simulation with the cache
+on and off and reports the step-throughput difference plus the cache's
+hit rate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mcmc import TopKSimulation
+from repro.core.pruning import shrink_database
+from repro.datasets.synthetic import synthetic_records
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def db():
+    pool = synthetic_records("gaussian", 500, uncertain_fraction=0.6, seed=3)
+    return shrink_database(pool, 10).kept
+
+
+def _run(db, use_cache: bool):
+    sim = TopKSimulation(
+        db,
+        k=10,
+        n_chains=6,
+        rng=np.random.default_rng(42),
+        oracle="montecarlo",
+        pi_samples=400,
+        use_pairwise_cache=use_cache,
+    )
+    result = sim.run(max_steps=400, epoch=200, psrf_threshold=0.0)
+    return sim, result
+
+
+@pytest.mark.benchmark(group="ablation-cache")
+def test_cache_on(benchmark, db):
+    sim, result = benchmark.pedantic(
+        _run, args=(db, True), rounds=1, iterations=1
+    )
+    hits, misses = sim.pairwise_cache_stats
+    emit(
+        "Ablation — pairwise cache ON",
+        ["steps", "seconds", "cache hits", "cache misses", "hit rate %"],
+        [
+            (
+                result.total_steps,
+                result.elapsed,
+                hits,
+                misses,
+                100.0 * hits / max(hits + misses, 1),
+            )
+        ],
+    )
+    # The whole point of the cache: reuse dominates recomputation.
+    assert hits > 10 * misses
+
+
+@pytest.mark.benchmark(group="ablation-cache")
+def test_cache_off(benchmark, db):
+    _sim, result = benchmark.pedantic(
+        _run, args=(db, False), rounds=1, iterations=1
+    )
+    emit(
+        "Ablation — pairwise cache OFF",
+        ["steps", "seconds"],
+        [(result.total_steps, result.elapsed)],
+    )
+    assert result.total_steps > 0

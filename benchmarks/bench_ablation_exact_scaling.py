@@ -1,0 +1,80 @@
+"""Ablation — scaling of the exact piecewise-polynomial engine.
+
+The exact engine is this reproduction's addition over the paper (the
+paper used Monte-Carlo even for ground truth). Its costs grow
+polynomially with the database size: prefix probabilities multiply one
+CDF per remaining record, and the rank-probability DP is quadratic in
+the number of records with growing polynomial degree. This bench maps
+where exact evaluation stops being the right default — which is exactly
+the boundary the RankingEngine's method selection encodes.
+"""
+
+import time
+
+import pytest
+
+from repro.core.exact import ExactEvaluator
+from repro.datasets.synthetic import synthetic_records
+
+from conftest import emit
+
+
+def _db(n: int):
+    return synthetic_records(
+        "gaussian", n, uncertain_fraction=0.6, seed=17, prefix=f"s{n}"
+    )
+
+
+@pytest.fixture(scope="module")
+def scaling_rows():
+    rows = []
+    for n in (5, 10, 20, 30):
+        records = _db(n)
+        evaluator = ExactEvaluator(records)
+        prefix = sorted(records, key=lambda r: -r.upper)[:5]
+
+        start = time.perf_counter()
+        evaluator.prefix_probability(prefix)
+        prefix_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        evaluator.rank_probabilities(prefix[0], max_rank=5)
+        rank_s = time.perf_counter() - start
+
+        rows.append(
+            {
+                "records": n,
+                "prefix_seconds": prefix_s,
+                "rank_seconds": rank_s,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-exact-scaling")
+def test_scaling_table(benchmark, scaling_rows):
+    table = emit(
+        "Ablation — exact-engine cost vs database size",
+        ["records", "prefix prob s", "rank probs s"],
+        [
+            (r["records"], r["prefix_seconds"], r["rank_seconds"])
+            for r in scaling_rows
+        ],
+    )
+    # Costs must grow with n (the point of the method-selection knob).
+    assert scaling_rows[-1]["rank_seconds"] >= scaling_rows[0]["rank_seconds"]
+
+    records = _db(20)
+    evaluator = ExactEvaluator(records)
+    prefix = sorted(records, key=lambda r: -r.upper)[:5]
+    benchmark(evaluator.prefix_probability, prefix)
+    benchmark.extra_info["table"] = table
+
+
+@pytest.mark.benchmark(group="ablation-exact-scaling")
+def test_rank_matrix_speed(benchmark):
+    records = _db(15)
+    evaluator = ExactEvaluator(records)
+    benchmark.pedantic(
+        evaluator.rank_probability_matrix, rounds=1, iterations=1
+    )

@@ -1,0 +1,92 @@
+"""Ablation — exact vs Monte-Carlo vs MCMC per query family.
+
+DESIGN.md calls out method selection as a design choice: the engine
+enumerates exactly when the answer space is small and simulates
+otherwise. This bench quantifies the trade-off on a single mid-size
+database where all three methods are feasible.
+"""
+
+import pytest
+
+from repro.core.engine import RankingEngine
+from repro.datasets.synthetic import synthetic_records
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def db():
+    # 12 clustered records with k=3: ~1,000 distinct prefixes, so the
+    # exact path enumerates in seconds while the methods still differ
+    # measurably.
+    from repro.core.pruning import shrink_database
+
+    pool = synthetic_records("gaussian", 300, uncertain_fraction=0.6, seed=5)
+    kept = shrink_database(pool, 5).kept
+    kept.sort(key=lambda r: (-r.upper, r.record_id))
+    return kept[:12]
+
+
+@pytest.fixture(scope="module")
+def method_rows(db):
+    rows = []
+    for family, call in (
+        ("utop_rank(1,3)", lambda e, m: e.utop_rank(1, 3, method=m)),
+        ("utop_prefix(3)", lambda e, m: e.utop_prefix(3, method=m)),
+        ("utop_set(3)", lambda e, m: e.utop_set(3, method=m)),
+    ):
+        methods = (
+            ("exact", "exact"),
+            ("montecarlo", "montecarlo"),
+        )
+        if "prefix" in family or "set" in family:
+            methods += (("mcmc", "mcmc"),)
+        for label, method in methods:
+            engine = RankingEngine(db, seed=9, mcmc_steps=600)
+            result = call(engine, method)
+            rows.append(
+                {
+                    "query": family,
+                    "method": label,
+                    "seconds": result.elapsed,
+                    "top_probability": getattr(
+                        result.top, "probability", None
+                    ),
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-methods")
+def test_methods_table_and_exact_prefix(benchmark, db, method_rows):
+    table = emit(
+        "Ablation — evaluation method per query family",
+        ["query", "method", "seconds", "top probability"],
+        [
+            (r["query"], r["method"], r["seconds"], r["top_probability"])
+            for r in method_rows
+        ],
+    )
+    # All methods must agree on the top answer's probability within
+    # sampling tolerance.
+    by_query = {}
+    for r in method_rows:
+        by_query.setdefault(r["query"], []).append(r["top_probability"])
+    for probs in by_query.values():
+        assert max(probs) - min(probs) < 0.05
+
+    engine = RankingEngine(db, seed=9)
+    benchmark(engine.utop_prefix, 3, 1, "exact")
+    benchmark.extra_info["table"] = table
+
+
+@pytest.mark.benchmark(group="ablation-methods")
+def test_mcmc_prefix_speed(benchmark, db):
+    engine = RankingEngine(db, seed=9, mcmc_steps=600)
+    result = benchmark.pedantic(
+        engine.utop_prefix,
+        args=(3, 1, "mcmc"),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.top is not None

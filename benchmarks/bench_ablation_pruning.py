@@ -1,0 +1,64 @@
+"""Ablation — k-dominance pruning ahead of Monte-Carlo evaluation.
+
+Lemma 1 lets the engine drop k-dominated records before sampling. This
+bench times UTop-Rank(1, 10) with pruning on and off; sampling cost is
+linear in the database size, so the speedup tracks the shrinkage
+percentage of Figure 7.
+"""
+
+import pytest
+
+from repro.core.engine import RankingEngine
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="ablation-pruning")
+def test_pruned(benchmark, suite):
+    engine = RankingEngine(suite["Apts"], seed=11, prune=True)
+    result = benchmark(engine.utop_rank, 1, 10, 5, "montecarlo")
+    emit(
+        "Ablation — pruning ON (Apts)",
+        ["database", "pruned to", "seconds"],
+        [(result.database_size, result.pruned_size, result.elapsed)],
+    )
+    assert result.pruned_size < result.database_size
+
+
+@pytest.mark.benchmark(group="ablation-pruning")
+def test_unpruned(benchmark, suite):
+    engine = RankingEngine(suite["Apts"], seed=11, prune=False)
+    result = benchmark.pedantic(
+        engine.utop_rank,
+        args=(1, 10, 5, "montecarlo"),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Ablation — pruning OFF (Apts)",
+        ["database", "pruned to", "seconds"],
+        [(result.database_size, result.pruned_size, result.elapsed)],
+    )
+    assert result.pruned_size == result.database_size
+
+
+@pytest.mark.benchmark(group="ablation-pruning")
+def test_answers_unchanged_by_pruning(benchmark, suite):
+    """Lemma 1 end-to-end: pruning must not change the answer set."""
+    records = suite["Cars"]
+    pruned = benchmark.pedantic(
+        lambda: RankingEngine(records, seed=13, prune=True).utop_rank(
+            1, 5, l=5, method="montecarlo", samples=30_000
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    full = RankingEngine(records, seed=13, prune=False).utop_rank(
+        1, 5, l=5, method="montecarlo", samples=30_000
+    )
+    pruned_probs = {a.record_id: a.probability for a in pruned.answers}
+    full_probs = {a.record_id: a.probability for a in full.answers}
+    shared = set(pruned_probs) & set(full_probs)
+    assert len(shared) >= 4  # near-ties may swap the tail answer
+    for rid in shared:
+        assert abs(pruned_probs[rid] - full_probs[rid]) < 0.02

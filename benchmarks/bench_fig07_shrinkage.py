@@ -1,0 +1,36 @@
+"""Benchmark for paper Figure 7 — k-dominance database shrinkage.
+
+Regenerates the shrinkage-percentage table over all five datasets and
+k in {10, 100, 500, 1000}, and times Algorithm 2 itself (sorting of U
+excluded, as the paper assumes a precomputed list).
+"""
+
+import pytest
+
+from repro.core.pruning import shrink_database, upper_bound_list
+from repro.experiments import fig07_shrinkage
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="fig07-shrinkage")
+def test_fig07_table_and_prune_speed(benchmark, suite):
+    rows = fig07_shrinkage.run(datasets=suite)
+    table = emit(
+        "Figure 7 — reduction in data size by k-dominance",
+        ["dataset", "k", "size", "removed", "shrinkage %"],
+        [
+            (r["dataset"], r["k"], r["size"], r["removed"], r["shrinkage_pct"])
+            for r in rows
+        ],
+    )
+    # Shape check: the skewed Syn-e dataset shrinks hardest at k=10.
+    at_k10 = {r["dataset"]: r["shrinkage_pct"] for r in rows if r["k"] == 10}
+    assert at_k10["Syn-e-0.5"] >= max(at_k10.values()) - 10.0
+    assert all(pct > 50.0 for pct in at_k10.values())
+
+    records = suite["Apts"]
+    u_list = upper_bound_list(records)
+    result = benchmark(shrink_database, records, 10, u_list)
+    assert result.removed > 0
+    benchmark.extra_info["table"] = table

@@ -1,0 +1,39 @@
+"""Benchmark for paper Figure 8 — record accesses of Algorithm 2.
+
+Regenerates the record-access counts (the paper reports under ~20 on
+every dataset, demonstrating the logarithmic binary search) and times
+the full shrink including construction of the list U.
+"""
+
+import pytest
+
+from repro.core.pruning import shrink_database
+from repro.experiments import fig08_accesses
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="fig08-accesses")
+def test_fig08_table_and_cold_prune(benchmark, suite):
+    rows = fig08_accesses.run(datasets=suite)
+    table = emit(
+        "Figure 8 — number of record accesses (binary search)",
+        ["dataset", "k", "size", "accesses", "ceil(log2 m)"],
+        [
+            (
+                r["dataset"],
+                r["k"],
+                r["size"],
+                r["record_accesses"],
+                r["log2_bound"],
+            )
+            for r in rows
+        ],
+    )
+    # The paper's headline: always at most ~20 accesses.
+    assert all(r["record_accesses"] <= 20 for r in rows)
+
+    records = suite["Syn-u-0.5"]
+    result = benchmark(shrink_database, records, 100)
+    assert result.record_accesses <= 20
+    benchmark.extra_info["table"] = table

@@ -1,0 +1,53 @@
+"""Benchmark for paper Figure 9 — Monte-Carlo integration accuracy.
+
+Regenerates the relative-error table over growing prefix spaces and the
+paper's sample-count sweep, and times the 10,000-sample rank-probability
+estimation. Expected shape: error tracks 1/sqrt(samples) and is
+insensitive to the space size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.montecarlo import MonteCarloEvaluator
+from repro.experiments import fig09_mc_accuracy
+from repro.experiments.workloads import spaces_by_record_count, top_region
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="fig09-mc-accuracy")
+def test_fig09_table_and_estimation_speed(benchmark):
+    pool = top_region(pool_size=2000, k=10, seed=20090107)
+    workload = spaces_by_record_count((10, 12, 14, 16), 10, pool=pool)
+    rows = fig09_mc_accuracy.run(workload=workload)
+    table = emit(
+        "Figure 9 — accuracy of Monte-Carlo integration",
+        ["records", "space size", "samples", "avg rel err %"],
+        [
+            (
+                r["records"],
+                r["space_size"],
+                r["samples"],
+                r["avg_relative_error_pct"],
+            )
+            for r in rows
+        ],
+    )
+    # Shape checks: more samples -> lower error, at every space size;
+    # and the error at a fixed sample count stays within a small factor
+    # across a >1000x change in space size.
+    by_space = {}
+    for r in rows:
+        by_space.setdefault(r["space_size"], {})[r["samples"]] = r[
+            "avg_relative_error_pct"
+        ]
+    for errors in by_space.values():
+        assert errors[30_000] < errors[2_000]
+    at_2000 = [errors[2_000] for errors in by_space.values()]
+    assert max(at_2000) < 6 * max(min(at_2000), 0.5)
+
+    subset = workload[-1][0]
+    sampler = MonteCarloEvaluator(subset, rng=np.random.default_rng(0))
+    benchmark(sampler.rank_probability_matrix, 10_000, 10)
+    benchmark.extra_info["table"] = table

@@ -1,0 +1,47 @@
+"""Benchmark for paper Figure 10 — Monte-Carlo vs BASELINE time.
+
+Regenerates the comparison of BASELINE's prefix-tree enumeration time
+(exponential in the space size) against Monte-Carlo integration time
+(flat). The paper reports MC needing 0.025% of BASELINE's time at 2.5M
+prefixes; the crossover shape is already unmistakable at the scales
+used here.
+"""
+
+import pytest
+
+from repro.experiments import fig10_mc_vs_baseline
+from repro.experiments.workloads import spaces_by_record_count, top_region
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="fig10-mc-vs-baseline")
+def test_fig10_table(benchmark):
+    pool = top_region(pool_size=2000, k=10, seed=20090107)
+    workload = spaces_by_record_count((6, 7, 8, 9), 4, pool=pool)
+
+    rows = benchmark.pedantic(
+        fig10_mc_vs_baseline.run,
+        kwargs={"workload": workload},
+        rounds=1,
+        iterations=1,
+    )
+    sample_cols = [c for c in rows[0] if c.startswith("mc_")]
+    table = emit(
+        "Figure 10 — Monte-Carlo vs BASELINE evaluation time (seconds)",
+        ["records", "space size", "baseline s"]
+        + [c.replace("_seconds", " s") for c in sample_cols],
+        [
+            [r["records"], r["space_size"], r["baseline_seconds"]]
+            + [r[c] for c in sample_cols]
+            for r in rows
+        ],
+    )
+    # Shape checks: BASELINE time grows with the space size while MC
+    # time stays flat, and MC wins by a growing factor.
+    assert rows[-1]["baseline_seconds"] > rows[0]["baseline_seconds"]
+    first_mc = rows[0][sample_cols[-1]]
+    last_mc = rows[-1][sample_cols[-1]]
+    assert last_mc < 20 * max(first_mc, 1e-4)
+    assert rows[-1]["baseline_seconds"] > 10 * last_mc
+    benchmark.extra_info["table"] = table

@@ -1,0 +1,38 @@
+"""Benchmark for paper Figure 11 — UTop-Rank(1, k) evaluation time.
+
+Regenerates the per-dataset time table for k in {5, 10, 20, 50, 100}
+with 10,000 samples, and times the Apts query at k=10 as the benchmark
+target. Expected shape: mild growth with k (the paper saw ~2x over a
+20x k increase), with per-dataset offsets tracking pruned sizes.
+"""
+
+import pytest
+
+from repro.core.engine import RankingEngine
+from repro.experiments import fig11_utoprank_time
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="fig11-utoprank")
+def test_fig11_table_and_query_speed(benchmark, suite):
+    rows = fig11_utoprank_time.run(datasets=suite)
+    table = emit(
+        "Figure 11 — UTop-Rank(1, k) evaluation time (10,000 samples)",
+        ["dataset", "k", "pruned size", "seconds"],
+        [
+            (r["dataset"], r["k"], r["pruned_size"], r["seconds"])
+            for r in rows
+        ],
+    )
+    # Shape check: time grows sub-linearly in k on every dataset.
+    by_dataset = {}
+    for r in rows:
+        by_dataset.setdefault(r["dataset"], {})[r["k"]] = r["seconds"]
+    for name, times in by_dataset.items():
+        assert times[100] < 40 * max(times[5], 1e-3), name
+
+    engine = RankingEngine(suite["Apts"], seed=7, samples=10_000)
+    result = benchmark(engine.utop_rank, 1, 10, 1, "montecarlo")
+    assert result.top is not None
+    benchmark.extra_info["table"] = table

@@ -1,0 +1,36 @@
+"""Benchmark for paper Figure 12 — sampling time (10,000 samples).
+
+Regenerates the time to draw and rank 10,000 score vectors from the
+pruned database, per dataset and k. Differences between datasets track
+the pruned database sizes (the paper's stated interpretation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.montecarlo import MonteCarloEvaluator
+from repro.core.pruning import shrink_database
+from repro.experiments import fig12_sampling_time
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="fig12-sampling")
+def test_fig12_table_and_sampling_speed(benchmark, suite):
+    rows = fig12_sampling_time.run(datasets=suite)
+    table = emit(
+        "Figure 12 — sampling time (10,000 samples)",
+        ["dataset", "k", "pruned size", "seconds"],
+        [
+            (r["dataset"], r["k"], r["pruned_size"], r["seconds"])
+            for r in rows
+        ],
+    )
+    # Shape check: sampling time increases with the pruned size.
+    ordered = sorted(rows, key=lambda r: r["pruned_size"])
+    assert ordered[-1]["seconds"] >= ordered[0]["seconds"] - 0.05
+
+    kept = shrink_database(suite["Apts"], 10).kept
+    sampler = MonteCarloEvaluator(kept, rng=np.random.default_rng(7))
+    benchmark(sampler.sample_rankings, 10_000)
+    benchmark.extra_info["table"] = table

@@ -1,0 +1,51 @@
+"""Benchmark for paper Figure 13 — Markov-chain convergence.
+
+Regenerates the time-to-PSRF-target table for 10 chains at k = 10 on
+every dataset. Expected shape: the clustered real datasets mix fastest;
+Syn-u-0.5 is by far the slowest (the paper's headline finding for this
+figure). Note the statistic orientation: we report the standard PSRF
+(approaching 1 from above); the paper plots a normalized statistic
+approaching 1 from below — see EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import fig13_convergence
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="fig13-convergence")
+def test_fig13_table(benchmark):
+    rows = benchmark.pedantic(
+        fig13_convergence.run,
+        kwargs={
+            "size": 1200,
+            "max_steps": 1200,
+            "epoch": 100,
+            "pi_samples": 400,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    table = emit(
+        "Figure 13 — chains convergence (time to PSRF targets, seconds)",
+        ["dataset", "pruned size", "PSRF target", "seconds", "final PSRF"],
+        [
+            (
+                r["dataset"],
+                r["pruned_size"],
+                r["psrf_target"],
+                r["seconds"] if r["seconds"] is not None else "-",
+                r["final_psrf"],
+            )
+            for r in rows
+        ],
+    )
+    # Shape check: the clustered real dataset (Apts) mixes fastest —
+    # the paper's explanation for its Fig. 13 result. (The paper also
+    # finds Syn-u slowest; at bench scale the synthetic ordering is
+    # noisy, so only the robust real-vs-synthetic claim is asserted.)
+    finals = {r["dataset"]: r["final_psrf"] for r in rows}
+    assert finals["Apts"] <= min(finals.values()) + 0.25
+    benchmark.extra_info["table"] = table

@@ -1,0 +1,49 @@
+"""Benchmark for paper Figure 14 — MCMC space coverage.
+
+Regenerates the comparison of the true top-30 prefix-probability
+envelope against the envelope discovered by 20-80 independent chains.
+Expected shape (the paper's): the envelope gap shrinks as the chain
+count grows (39% -> 7% in the paper), while convergence time rises.
+"""
+
+import pytest
+
+from repro.experiments import fig14_coverage
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="fig14-coverage")
+def test_fig14_table(benchmark):
+    rows = benchmark.pedantic(
+        fig14_coverage.run,
+        kwargs={
+            "n_records": 13,
+            "k": 5,
+            "top": 30,
+            "chain_counts": (20, 40, 60, 80),
+            "max_steps": 300,
+            "seed": 20090107,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    table = emit(
+        "Figure 14 — space coverage (true vs discovered top-30 envelope)",
+        ["chains", "envelope gap %", "states visited", "seconds"],
+        [
+            (
+                r["chains"],
+                r["envelope_gap_pct"],
+                r["states_visited"],
+                r["seconds"],
+            )
+            for r in rows
+        ],
+    )
+    # Shape checks: more chains -> smaller gap, more states, more time.
+    gaps = [r["envelope_gap_pct"] for r in rows]
+    assert gaps[-1] <= gaps[0] + 1e-9
+    states = [r["states_visited"] for r in rows]
+    assert states[-1] >= states[0]
+    benchmark.extra_info["table"] = table

@@ -1,0 +1,32 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every ``bench_figXX`` module regenerates one figure of the paper's
+evaluation section: it times the operation the figure measures with
+``pytest-benchmark`` and prints the same rows/series the paper plots
+(run with ``-s`` to see the tables inline; they are also attached to
+each benchmark's ``extra_info``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import format_table, paper_suite
+
+#: Per-dataset record count for benchmark runs. The paper uses 100k/33k
+#: records; the measured *shapes* are stable from a few thousand records
+#: on, and this keeps the full benchmark suite to a few minutes.
+BENCH_SUITE_SIZE = 10_000
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The five paper datasets at benchmark scale."""
+    return paper_suite(size=BENCH_SUITE_SIZE)
+
+
+def emit(title: str, headers, rows) -> str:
+    """Print a paper-style table and return it for extra_info."""
+    text = f"\n{title}\n" + format_table(headers, rows)
+    print(text)
+    return text

@@ -1,0 +1,56 @@
+"""Probabilities over competition outcomes from partial standings.
+
+The paper's sports application: "a UTop-Rank(i, j) query can be used to
+find the most probable athlete to end up in a range of ranks in some
+competition given a partial order of competitors." Athletes here carry
+projected-performance intervals from qualifying runs; the library
+answers podium questions directly.
+
+Run with:  python examples/competition_outcomes.py
+"""
+
+from repro.core.engine import RankingEngine
+from repro.core.exact import ExactEvaluator
+from repro.core.records import certain, uniform
+
+
+def main() -> None:
+    # Projected final scores (higher is better) from qualifying.
+    athletes = [
+        uniform("nakamura", 78.0, 95.0),
+        uniform("svensson", 80.0, 90.0),
+        uniform("okafor", 70.0, 88.0),
+        certain("moreau", 84.0),
+        uniform("petrov", 60.0, 82.0),
+        certain("tanaka", 71.0),
+    ]
+    engine = RankingEngine(athletes, seed=3)
+
+    print("Gold-medal probabilities (UTop-Rank(1, 1)):")
+    for answer in engine.utop_rank(1, 1, l=6).answers:
+        print(f"  {answer.record_id:10s} {answer.probability:.3f}")
+
+    print("\nPodium probabilities (UTop-Rank(1, 3)):")
+    for answer in engine.utop_rank(1, 3, l=6).answers:
+        print(f"  {answer.record_id:10s} {answer.probability:.3f}")
+
+    print("\nWho most likely finishes exactly fourth"
+          " (UTop-Rank(4, 4))?")
+    for answer in engine.utop_rank(4, 4, l=3).answers:
+        print(f"  {answer.record_id:10s} {answer.probability:.3f}")
+
+    print("\nMost probable podium with order (UTop-Prefix(3)):")
+    for answer in engine.utop_prefix(3, l=3).answers:
+        print(f"  {' > '.join(answer.prefix)}  Pr={answer.probability:.4f}")
+
+    # Exact per-rank distribution for one athlete.
+    evaluator = ExactEvaluator(athletes)
+    probs = evaluator.rank_probabilities("svensson")
+    print("\nSvensson's full finishing-place distribution:")
+    for rank, prob in enumerate(probs, start=1):
+        if prob > 1e-9:
+            print(f"  place {rank}: {prob:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""How score correlation reshapes ranking probabilities.
+
+The paper assumes independent score densities. This example uses the
+library's Gaussian-copula extension to show why that assumption matters:
+two sensor clusters with identical marginal readings produce different
+"hottest location" probabilities once within-cluster correlation (shared
+calibration drift) is modeled — even though every individual reading's
+uncertainty is unchanged.
+
+Run with:  python examples/correlated_sensors.py
+"""
+
+import numpy as np
+
+from repro.core.correlation import (
+    CorrelatedMonteCarloEvaluator,
+    GaussianCopula,
+)
+from repro.core.exact import ExactEvaluator
+from repro.core.montecarlo import MonteCarloEvaluator
+from repro.core.records import uniform
+
+
+def main() -> None:
+    # Six sensors, two physical clusters; all readings overlap.
+    sensors = [
+        uniform("north-1", 50.0, 60.0),
+        uniform("north-2", 51.0, 59.0),
+        uniform("north-3", 49.0, 61.0),
+        uniform("south-1", 48.0, 62.0),
+        uniform("south-2", 50.0, 58.0),
+        uniform("south-3", 52.0, 57.0),
+    ]
+
+    exact = ExactEvaluator(sensors)
+    print("Independent scores (paper's model) — Pr(hottest):")
+    for rec in sensors:
+        p = exact.rank_probabilities(rec, max_rank=1)[0]
+        print(f"  {rec.record_id:8s} {p:.3f}")
+
+    # Within-cluster correlation 0.9 (shared calibration error),
+    # across-cluster correlation 0.
+    corr = np.eye(6)
+    for i in range(3):
+        for j in range(3):
+            if i != j:
+                corr[i, j] = 0.9          # north block
+                corr[3 + i, 3 + j] = 0.9  # south block
+    evaluator = CorrelatedMonteCarloEvaluator(
+        sensors, GaussianCopula(corr), rng=np.random.default_rng(11)
+    )
+    matrix = evaluator.rank_probability_matrix(200_000, max_rank=1)
+    print("\nWith within-cluster correlation 0.9 — Pr(hottest):")
+    for rec, p in zip(sensors, matrix[:, 0]):
+        print(f"  {rec.record_id:8s} {p:.3f}")
+
+    independent_mc = MonteCarloEvaluator(
+        sensors, rng=np.random.default_rng(11)
+    )
+    set_ind = independent_mc.top_set_probability(
+        ["north-1", "north-2", "north-3"], 200_000
+    )
+    set_corr = evaluator.top_set_probability(
+        ["north-1", "north-2", "north-3"], 200_000
+    )
+    print("\nPr(the north cluster is exactly the top-3 set):")
+    print(f"  independent: {set_ind:.4f}")
+    print(f"  correlated:  {set_corr:.4f}")
+    print("\nCorrelation moves clusters together, so 'one cluster sweeps"
+          "\nthe podium' becomes far likelier — a joint event no"
+          "\nper-record marginal can reveal.")
+
+
+if __name__ == "__main__":
+    main()

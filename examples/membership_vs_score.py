@@ -1,0 +1,85 @@
+"""Membership uncertainty vs score uncertainty, side by side.
+
+The paper's related-work section (§VIII) draws a sharp line between two
+kinds of ranking uncertainty:
+
+- **membership uncertainty** (the prior literature): records have exact
+  scores but might not exist — "is this listing still available?";
+- **score uncertainty** (the paper): records definitely exist but their
+  scores are intervals — "the rent is somewhere in $650-$1100".
+
+This example evaluates top-k queries under both models on the same
+five-listing scenario and shows where their answers diverge and why one
+cannot emulate the other.
+
+Run with:  python examples/membership_vs_score.py
+"""
+
+import numpy as np
+
+from repro.core.engine import RankingEngine
+from repro.core.records import certain, uniform
+from repro.related.membership import MembershipRecord, MembershipTopK
+
+
+def score_uncertainty() -> None:
+    print("Score uncertainty (this paper's model)")
+    print("  every listing exists; rents may be ranges")
+    listings = [
+        certain("a1", 9.0),
+        uniform("a2", 5.0, 8.0),
+        certain("a3", 7.0),
+        uniform("a4", 0.0, 10.0),
+        certain("a5", 4.0),
+    ]
+    engine = RankingEngine(listings, seed=1)
+    for answer in engine.utop_rank(1, 1, l=3).answers:
+        print(f"    Pr({answer.record_id} is best) = {answer.probability:.3f}")
+    prefix = engine.utop_prefix(2).top
+    print(f"    most probable top-2 page: {' > '.join(prefix.prefix)}"
+          f"  ({prefix.probability:.3f})")
+
+
+def membership_uncertainty() -> None:
+    print("\nMembership uncertainty (prior work, implemented as comparator)")
+    print("  rents are exact; listings may have been taken")
+    listings = [
+        MembershipRecord("a1", 9.0, 0.6),   # great deal, may be gone
+        MembershipRecord("a2", 6.5, 0.9),
+        MembershipRecord("a3", 7.0, 0.95),
+        MembershipRecord("a4", 5.0, 0.5),
+        MembershipRecord("a5", 4.0, 1.0),
+    ]
+    evaluator = MembershipTopK(listings)
+    matrix = evaluator.rank_probability_matrix(1)
+    for rec, p in zip(evaluator.sorted_records, matrix[:, 0]):
+        if p > 0.01:
+            print(f"    Pr({rec.record_id} is best) = {p:.3f}")
+    vector, prob = evaluator.u_topk(2)
+    print(f"    most probable top-2 page (U-Top2): {' > '.join(vector)}"
+          f"  ({prob:.3f})")
+    freq = evaluator.u_topk_montecarlo(2, np.random.default_rng(3), 50_000)
+    print(f"    Monte-Carlo check: {freq.get(vector, 0.0):.3f}")
+
+
+def why_the_models_differ() -> None:
+    print("\nWhy neither model subsumes the other:")
+    print("  - A range rent ($650-$1100) has no faithful single score:")
+    print("    with certain existence, any fixed score makes every")
+    print("    pairwise comparison 0 or 1 — the score-uncertainty model")
+    print("    gives Pr(a1 > a2) strictly between, e.g. 0.5.")
+    print("  - Conversely, a listing that may not exist cannot be a")
+    print("    score interval: an interval record always occupies some")
+    print("    rank, while a missing record occupies none — U-kRanks")
+    print("    rank probabilities sum to Pr(exists) < 1, UTop-Rank's")
+    print("    sum to exactly 1.")
+
+
+def main() -> None:
+    score_uncertainty()
+    membership_uncertainty()
+    why_the_models_differ()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""repro — reproduction of *Ranking with Uncertain Scores* (ICDE 2009).
+
+A library for ranking records whose scores are uncertain (intervals with
+probability densities): probabilistic partial orders, UTop-Rank /
+UTop-Prefix / UTop-Set queries, rank aggregation over linear extensions,
+and exact, Monte-Carlo, and MCMC evaluation engines.
+
+Quickstart::
+
+    from repro import uniform, certain, RankingEngine
+
+    db = [
+        certain("a1", 9.0),
+        uniform("a2", 5.0, 8.0),
+        certain("a3", 7.0),
+        uniform("a4", 0.0, 10.0),
+        certain("a5", 4.0),
+    ]
+    engine = RankingEngine(db)
+    print(engine.utop_rank(1, 2))
+    print(engine.utop_prefix(3))
+"""
+
+from .core import (
+    BaselineAlgorithm,
+    DiscreteScore,
+    TriangularScore,
+    ConvergenceError,
+    EvaluationError,
+    ExactEvaluator,
+    MonteCarloEvaluator,
+    RankingEngine,
+    TopKSimulation,
+    HistogramScore,
+    MixtureScore,
+    ModelError,
+    PairwiseCache,
+    PiecewisePolynomial,
+    PointScore,
+    ProbabilisticPartialOrder,
+    QueryError,
+    ReproError,
+    ScoreDistribution,
+    TruncatedExponentialScore,
+    TruncatedGaussianScore,
+    UncertainRecord,
+    UniformScore,
+    certain,
+    dominates,
+    probability_greater,
+    shrink_database,
+    supports_exact,
+    uniform,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaselineAlgorithm",
+    "DiscreteScore",
+    "TriangularScore",
+    "ConvergenceError",
+    "EvaluationError",
+    "ExactEvaluator",
+    "MonteCarloEvaluator",
+    "RankingEngine",
+    "TopKSimulation",
+    "HistogramScore",
+    "MixtureScore",
+    "ModelError",
+    "PairwiseCache",
+    "PiecewisePolynomial",
+    "PointScore",
+    "ProbabilisticPartialOrder",
+    "QueryError",
+    "ReproError",
+    "ScoreDistribution",
+    "TruncatedExponentialScore",
+    "TruncatedGaussianScore",
+    "UncertainRecord",
+    "UniformScore",
+    "certain",
+    "dominates",
+    "probability_greater",
+    "shrink_database",
+    "supports_exact",
+    "uniform",
+    "__version__",
+]

@@ -1,0 +1,112 @@
+"""Command-line entry point: regenerate the paper's evaluation figures.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro fig07 [--size N]     # one figure
+    python -m repro all  [--size N]      # every figure in sequence
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    fig07_shrinkage,
+    scalability,
+    fig08_accesses,
+    fig09_mc_accuracy,
+    fig10_mc_vs_baseline,
+    fig11_utoprank_time,
+    fig12_sampling_time,
+    fig13_convergence,
+    fig14_coverage,
+)
+
+_SIZED = {
+    "fig07": fig07_shrinkage.main,
+    "fig08": fig08_accesses.main,
+    "fig11": fig11_utoprank_time.main,
+    "fig12": fig12_sampling_time.main,
+    "fig13": fig13_convergence.main,
+}
+_UNSIZED = {
+    "scalability": scalability.main,
+    "fig09": fig09_mc_accuracy.main,
+    "fig10": fig10_mc_vs_baseline.main,
+    "fig14": fig14_coverage.main,
+}
+
+_DESCRIPTIONS = {
+    "fig07": "database shrinkage under k-dominance (Algorithm 2)",
+    "fig08": "record accesses of the pruning binary search",
+    "fig09": "Monte-Carlo integration accuracy vs space size",
+    "fig10": "Monte-Carlo vs BASELINE evaluation time",
+    "fig11": "UTop-Rank(1, k) query evaluation time",
+    "fig12": "sampling time (10,000 samples)",
+    "fig13": "Markov-chain convergence (Gelman-Rubin)",
+    "fig14": "MCMC space coverage vs number of chains",
+    "scalability": "query latency vs database size (beyond the paper)",
+}
+
+
+def main(argv=None) -> int:
+    """Parse arguments and dispatch to the experiment runners."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the evaluation figures of 'Ranking with "
+        "Uncertain Scores' (ICDE 2009).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(
+            _SIZED | _UNSIZED | {"all": None, "list": None, "report": None}
+        ),
+        help="which figure to regenerate ('all' for every one, 'report' "
+        "to write a Markdown report)",
+    )
+    parser.add_argument(
+        "--size",
+        type=int,
+        default=None,
+        help="per-dataset record count for the sized experiments",
+    )
+    parser.add_argument(
+        "--output",
+        default="experiment_report.md",
+        help="output path for the 'report' command",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "report":
+        from .experiments.report import write_report
+
+        write_report(args.output, size=args.size or 5000)
+        print(f"wrote {args.output}")
+        return 0
+
+    if args.experiment == "list":
+        for name in sorted(_DESCRIPTIONS):
+            print(f"{name}  {_DESCRIPTIONS[name]}")
+        return 0
+
+    if args.experiment == "all":
+        names = sorted(_DESCRIPTIONS)
+    else:
+        names = [args.experiment]
+
+    for name in names:
+        if name in _SIZED:
+            if args.size is not None:
+                _SIZED[name](size=args.size)
+            else:
+                _SIZED[name]()
+        else:
+            _UNSIZED[name]()
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

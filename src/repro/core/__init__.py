@@ -1,0 +1,138 @@
+"""Core model and query-evaluation algorithms of the reproduction.
+
+Re-exports the main public names so ``repro.core`` is usable directly.
+"""
+
+from .distributions import (
+    ConvolutionScore,
+    DiscreteScore,
+    HistogramScore,
+    MixtureScore,
+    PointScore,
+    ScoreDistribution,
+    TriangularScore,
+    TruncatedExponentialScore,
+    TruncatedGaussianScore,
+    UniformScore,
+)
+from .errors import (
+    ConvergenceError,
+    EvaluationError,
+    ModelError,
+    QueryError,
+    ReproError,
+)
+from .analysis import (
+    comparability_ratio,
+    expected_ranks,
+    most_uncertain_pairs,
+    rank_entropies,
+    rank_variances,
+    uncertainty_summary,
+)
+from .baseline import BaselineAlgorithm, BaselineStats
+from .correlation import CorrelatedMonteCarloEvaluator, GaussianCopula
+from .diagnostics import ConvergenceTrace, gelman_rubin
+from .engine import RankingEngine
+from .exact import ExactEvaluator, supports_exact
+from .mcmc import (
+    MCMCResult,
+    MetropolisHastingsChain,
+    TopKSimulation,
+    prefix_probability_upper_bound,
+    set_probability_upper_bound,
+)
+from .montecarlo import MonteCarloEvaluator
+from .naive import expected_score_ranking, mode_aggregation_ranking
+from .pairwise import PairwiseCache, probability_greater
+from .queries import (
+    PrefixAnswer,
+    QueryResult,
+    RankAggAnswer,
+    RankAggQuery,
+    RecordAnswer,
+    SetAnswer,
+    UTopPrefixQuery,
+    UTopRankQuery,
+    UTopSetQuery,
+)
+from .rank_agg import (
+    empirical_rank_matrix,
+    footrule_distance,
+    kendall_tau_distance,
+    optimal_rank_aggregation,
+)
+from .piecewise import PiecewisePolynomial
+from .ppo import ProbabilisticPartialOrder, dominates
+from .pruning import ShrinkResult, shrink_database, upper_bound_list
+from .records import UncertainRecord, certain, tie_break, uniform
+from .validation import ValidationIssue, validate_distribution, validate_records
+
+__all__ = [
+    "BaselineAlgorithm",
+    "BaselineStats",
+    "ConvergenceError",
+    "ConvergenceTrace",
+    "ConvolutionScore",
+    "CorrelatedMonteCarloEvaluator",
+    "GaussianCopula",
+    "EvaluationError",
+    "ExactEvaluator",
+    "MCMCResult",
+    "MetropolisHastingsChain",
+    "MonteCarloEvaluator",
+    "PrefixAnswer",
+    "QueryResult",
+    "RankAggAnswer",
+    "RankAggQuery",
+    "RankingEngine",
+    "RecordAnswer",
+    "SetAnswer",
+    "TopKSimulation",
+    "UTopPrefixQuery",
+    "UTopRankQuery",
+    "UTopSetQuery",
+    "empirical_rank_matrix",
+    "expected_ranks",
+    "expected_score_ranking",
+    "footrule_distance",
+    "gelman_rubin",
+    "kendall_tau_distance",
+    "mode_aggregation_ranking",
+    "most_uncertain_pairs",
+    "optimal_rank_aggregation",
+    "prefix_probability_upper_bound",
+    "rank_entropies",
+    "rank_variances",
+    "set_probability_upper_bound",
+    "uncertainty_summary",
+    "HistogramScore",
+    "MixtureScore",
+    "ModelError",
+    "PairwiseCache",
+    "PiecewisePolynomial",
+    "DiscreteScore",
+    "PointScore",
+    "ProbabilisticPartialOrder",
+    "QueryError",
+    "ReproError",
+    "ScoreDistribution",
+    "ShrinkResult",
+    "TriangularScore",
+    "TruncatedExponentialScore",
+    "TruncatedGaussianScore",
+    "UncertainRecord",
+    "UniformScore",
+    "certain",
+    "comparability_ratio",
+    "dominates",
+    "probability_greater",
+    "shrink_database",
+    "supports_exact",
+    "tie_break",
+    "uniform",
+    "upper_bound_list",
+    "ValidationIssue",
+    "validate_distribution",
+    "validate_records",
+]

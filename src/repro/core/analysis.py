@@ -1,0 +1,131 @@
+"""Descriptive analytics over probabilistic partial orders.
+
+Utilities a user exploring an uncertain ranking actually reaches for:
+summaries of how uncertain the data is, how tangled the partial order
+is, and what the per-record rank distributions look like. All of them
+operate on either the raw records, the
+:class:`~repro.core.ppo.ProbabilisticPartialOrder`, or a rank-probability
+matrix (exact or Monte-Carlo), so they compose with every evaluator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .errors import QueryError
+from .ppo import ProbabilisticPartialOrder, dominates
+from .records import UncertainRecord
+
+__all__ = [
+    "expected_ranks",
+    "rank_variances",
+    "rank_entropies",
+    "comparability_ratio",
+    "most_uncertain_pairs",
+    "uncertainty_summary",
+]
+
+
+def _check_matrix(rank_matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(rank_matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise QueryError("rank matrix must be 2-dimensional")
+    return matrix
+
+
+def expected_ranks(rank_matrix: np.ndarray) -> np.ndarray:
+    """Expected (1-based) rank of each record.
+
+    ``rank_matrix[t, j]`` is ``eta_{j+1}(t)``; rows should sum to ~1
+    (pass a full-width matrix, not a truncated one, for meaningful
+    expectations).
+    """
+    matrix = _check_matrix(rank_matrix)
+    ranks = np.arange(1, matrix.shape[1] + 1)
+    return matrix @ ranks
+
+
+def rank_variances(rank_matrix: np.ndarray) -> np.ndarray:
+    """Variance of each record's rank distribution."""
+    matrix = _check_matrix(rank_matrix)
+    ranks = np.arange(1, matrix.shape[1] + 1)
+    mean = matrix @ ranks
+    second = matrix @ (ranks**2)
+    return np.maximum(second - mean**2, 0.0)
+
+
+def rank_entropies(rank_matrix: np.ndarray) -> np.ndarray:
+    """Shannon entropy (nats) of each record's rank distribution.
+
+    Zero for records with a certain rank; up to ``log(n)`` for records
+    that could land anywhere — a direct per-record measure of how much
+    ranking ambiguity the score uncertainty causes.
+    """
+    matrix = _check_matrix(rank_matrix)
+    safe = np.where(matrix > 0.0, matrix, 1.0)
+    return -(matrix * np.log(safe)).sum(axis=1)
+
+
+def comparability_ratio(ppo: ProbabilisticPartialOrder) -> float:
+    """Fraction of record pairs ordered by dominance.
+
+    1.0 means the PPO is a total order (no ranking uncertainty at all);
+    0.0 means a pure antichain (every pair is probabilistic). This is
+    the single number that best predicts how expensive TOP-k queries
+    will be: the linear-extension count explodes as the ratio falls.
+    """
+    n = len(ppo.records)
+    if n < 2:
+        return 1.0
+    comparable = 0
+    for a, b in itertools.combinations(ppo.records, 2):
+        if dominates(a, b) or dominates(b, a):
+            comparable += 1
+    return comparable / (n * (n - 1) / 2)
+
+
+def most_uncertain_pairs(
+    ppo: ProbabilisticPartialOrder, top: int = 10
+) -> List[Tuple[UncertainRecord, UncertainRecord, float]]:
+    """Record pairs whose relative order is most ambiguous.
+
+    Returns up to ``top`` probabilistic pairs sorted by how close
+    ``Pr(a > b)`` is to a coin flip — the pairs where gathering better
+    data would sharpen the ranking most.
+    """
+    if top < 1:
+        raise QueryError("top must be positive")
+    scored = []
+    for a, b in ppo.probabilistic_pairs():
+        p = ppo.probability_greater(a, b)
+        scored.append((abs(p - 0.5), a, b, p))
+    scored.sort(key=lambda item: (item[0], item[1].record_id, item[2].record_id))
+    return [(a, b, p) for _gap, a, b, p in scored[:top]]
+
+
+def uncertainty_summary(records: Sequence[UncertainRecord]) -> Dict[str, float]:
+    """Aggregate statistics of the score uncertainty in a database.
+
+    Returns the record count, the fraction with uncertain scores, and
+    the mean/max interval widths — the quantities the paper reports
+    about its datasets (e.g. "65% of apartment listings have uncertain
+    rent").
+    """
+    if not records:
+        raise QueryError("cannot summarize an empty database")
+    widths = np.array([rec.upper - rec.lower for rec in records])
+    uncertain = widths > 0
+    return {
+        "records": float(len(records)),
+        "uncertain_fraction": float(uncertain.mean()),
+        "mean_width": float(widths.mean()),
+        "mean_uncertain_width": float(
+            widths[uncertain].mean() if uncertain.any() else 0.0
+        ),
+        "max_width": float(widths.max()),
+        "score_low": float(min(rec.lower for rec in records)),
+        "score_high": float(max(rec.upper for rec in records)),
+    }

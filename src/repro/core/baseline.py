@@ -1,0 +1,213 @@
+"""The BASELINE exact algorithm (paper §V).
+
+BASELINE materializes the linear-extension prefix tree (Algorithm 1
+truncated at depth ``k``), computes the probability of every depth-``k``
+node with the nested integral of Eq. 6, and answers queries by scanning
+the annotated tree:
+
+- **UTop-Prefix(k)**: the deepest nodes with the highest probabilities.
+- **UTop-Rank(i, j)** for ``i, j <= k``: internal-node probabilities are
+  the sums of their children's, so a record's rank-range probability is
+  the sum over its node occurrences at depths ``i..j``.
+- **UTop-Set(k)**: prefix probabilities aggregated over prefixes that
+  contain the same record set.
+
+The tree grows exponentially in the database size — that is the point:
+BASELINE is the ground-truth-but-expensive comparator for Figures 9/10.
+Per-node integrals use the exact evaluator when densities permit, or
+Monte-Carlo integration of Eq. 6 otherwise (the paper's own choice).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .errors import QueryError
+from .exact import ExactEvaluator, supports_exact
+from .linext import ExtensionTreeNode, build_tree
+from .montecarlo import MonteCarloEvaluator
+from .ppo import ProbabilisticPartialOrder
+from .records import UncertainRecord
+
+__all__ = ["BaselineAlgorithm", "BaselineStats"]
+
+
+@dataclass
+class BaselineStats:
+    """Work counters for a BASELINE run (Fig. 10's cost axis)."""
+
+    nodes: int
+    leaf_integrals: int
+    elapsed: float
+
+
+class BaselineAlgorithm:
+    """Materializing evaluator over the depth-``k`` prefix tree.
+
+    Parameters
+    ----------
+    records:
+        The database ``D``.
+    method:
+        ``"exact"`` to evaluate Eq. 6 with the piecewise-polynomial
+        engine (requires piecewise densities), ``"montecarlo"`` to use
+        sampling as the paper did.
+    samples:
+        Monte-Carlo sample count per integral when
+        ``method="montecarlo"``.
+    max_nodes:
+        Safety cap on materialized tree nodes.
+    """
+
+    def __init__(
+        self,
+        records: Sequence[UncertainRecord],
+        method: str = "auto",
+        samples: int = 10_000,
+        rng: Optional[np.random.Generator] = None,
+        max_nodes: int = 2_000_000,
+    ) -> None:
+        if method == "auto":
+            method = "exact" if supports_exact(records) else "montecarlo"
+        if method not in ("exact", "montecarlo"):
+            raise QueryError(f"unknown BASELINE method {method!r}")
+        self.records = list(records)
+        self.method = method
+        self.samples = samples
+        self.max_nodes = max_nodes
+        self.ppo = ProbabilisticPartialOrder(self.records)
+        if method == "exact":
+            self._exact = ExactEvaluator(self.records)
+            self._sampler = None
+        else:
+            self._exact = None
+            self._sampler = MonteCarloEvaluator(
+                self.records, rng=rng or np.random.default_rng()
+            )
+        self._trees: Dict[int, Tuple[ExtensionTreeNode, BaselineStats]] = {}
+
+    # ------------------------------------------------------------------
+    # tree construction and annotation
+    # ------------------------------------------------------------------
+
+    def _prefix_probability(self, prefix: Sequence[UncertainRecord]) -> float:
+        if self._exact is not None:
+            return self._exact.prefix_probability(prefix)
+        assert self._sampler is not None
+        return self._sampler.prefix_probability(list(prefix), self.samples)
+
+    def annotated_tree(self, k: int) -> Tuple[ExtensionTreeNode, BaselineStats]:
+        """The depth-``k`` prefix tree with probabilities on every node.
+
+        Leaf (depth-``k``) probabilities come from Eq. 6; internal nodes
+        sum their children, exactly as §V describes. Trees are cached per
+        depth.
+        """
+        if k < 1 or k > len(self.records):
+            raise QueryError(f"invalid prefix length k={k}")
+        cached = self._trees.get(k)
+        if cached is not None:
+            return cached
+        start = time.perf_counter()
+        root = build_tree(self.ppo, depth=k, max_nodes=self.max_nodes)
+        integrals = 0
+        prefix: List[UncertainRecord] = []
+
+        def _annotate(node: ExtensionTreeNode) -> float:
+            nonlocal integrals
+            if node.record is not None:
+                prefix.append(node.record)
+            if node.depth == k or not node.children:
+                integrals += 1
+                node.probability = self._prefix_probability(prefix)
+            else:
+                node.probability = sum(
+                    _annotate(child) for child in node.children
+                )
+            value = node.probability
+            if node.record is not None:
+                prefix.pop()
+            return value
+
+        _annotate(root)
+        stats = BaselineStats(
+            nodes=root.node_count(),
+            leaf_integrals=integrals,
+            elapsed=time.perf_counter() - start,
+        )
+        self._trees[k] = (root, stats)
+        return root, stats
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def utop_prefix(self, k: int, l: int = 1) -> List[Tuple[Tuple[str, ...], float]]:
+        """The ``l`` most probable k-length prefixes with probabilities."""
+        if l < 1:
+            raise QueryError("l must be positive")
+        root, _stats = self.annotated_tree(k)
+        answers: List[Tuple[Tuple[str, ...], float]] = []
+        path: List[str] = []
+
+        def _collect(node: ExtensionTreeNode) -> None:
+            if node.record is not None:
+                path.append(node.record.record_id)
+            if node.depth == k:
+                answers.append((tuple(path), node.probability or 0.0))
+            else:
+                for child in node.children:
+                    _collect(child)
+            if node.record is not None:
+                path.pop()
+
+        _collect(root)
+        answers.sort(key=lambda kv: (-kv[1], kv[0]))
+        return answers[:l]
+
+    def utop_set(self, k: int, l: int = 1) -> List[Tuple[FrozenSet[str], float]]:
+        """The ``l`` most probable top-k sets, via prefix aggregation."""
+        if l < 1:
+            raise QueryError("l must be positive")
+        prefixes = self.utop_prefix(k, l=10**9)
+        by_set: Dict[FrozenSet[str], float] = {}
+        for prefix, prob in prefixes:
+            key = frozenset(prefix)
+            by_set[key] = by_set.get(key, 0.0) + prob
+        ranked = sorted(by_set.items(), key=lambda kv: (-kv[1], sorted(kv[0])))
+        return ranked[:l]
+
+    def utop_rank(
+        self, i: int, j: int, l: int = 1, depth: Optional[int] = None
+    ) -> List[Tuple[UncertainRecord, float]]:
+        """The ``l`` most probable records at a rank in ``[i, j]``.
+
+        Uses the annotated tree of depth ``max(j, depth)``: the
+        probability of a record at rank range ``[i, j]`` is the sum of
+        the probabilities of its node occurrences at depths ``i..j``.
+        """
+        if i < 1 or j < i:
+            raise QueryError(f"invalid rank range [{i}, {j}]")
+        if l < 1:
+            raise QueryError("l must be positive")
+        k = max(j, depth or 0)
+        root, _stats = self.annotated_tree(k)
+        mass: Dict[str, float] = {}
+        for node in root.walk():
+            if node.record is None:
+                continue
+            if i <= node.depth <= j:
+                rid = node.record.record_id
+                mass[rid] = mass.get(rid, 0.0) + (node.probability or 0.0)
+        ranked = sorted(mass.items(), key=lambda kv: (-kv[1], kv[0]))
+        by_id = {rec.record_id: rec for rec in self.records}
+        return [(by_id[rid], prob) for rid, prob in ranked[:l]]
+
+    def stats(self, k: int) -> BaselineStats:
+        """Work counters for the depth-``k`` tree (built if necessary)."""
+        _root, stats = self.annotated_tree(k)
+        return stats

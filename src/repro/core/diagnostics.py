@@ -1,0 +1,74 @@
+"""Convergence diagnostics for multi-chain MCMC (paper §VI-D).
+
+The paper judges chain mixing with the Gelman–Rubin statistic [Gelman &
+Rubin 1992]: run several independent chains from dispersed starting
+points, compare the within-chain variance ``W`` of a scalar summary to the
+between-chain variance ``B``, and declare convergence when the potential
+scale reduction factor (PSRF) approaches 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .errors import EvaluationError
+
+__all__ = ["gelman_rubin", "ConvergenceTrace"]
+
+
+def gelman_rubin(chains: Sequence[Sequence[float]]) -> float:
+    """Potential scale reduction factor for one scalar summary.
+
+    Parameters
+    ----------
+    chains:
+        One numeric sequence per chain. Only the second half of each
+        chain is used (the customary burn-in discard); chains are
+        truncated to the shortest length.
+
+    Returns
+    -------
+    float
+        The PSRF; values close to 1 indicate the chains have mixed.
+        Degenerate inputs (zero within-chain variance everywhere) return
+        exactly 1.0, matching the "all chains agree" interpretation.
+    """
+    if len(chains) < 2:
+        raise EvaluationError("Gelman-Rubin needs at least two chains")
+    length = min(len(c) for c in chains)
+    if length < 4:
+        raise EvaluationError(
+            "Gelman-Rubin needs at least four samples per chain"
+        )
+    half = length // 2
+    data = np.array(
+        [np.asarray(c, dtype=float)[:length][length - half :] for c in chains]
+    )
+    m, n = data.shape
+    chain_means = data.mean(axis=1)
+    chain_vars = data.var(axis=1, ddof=1)
+    w = chain_vars.mean()
+    b_over_n = chain_means.var(ddof=1)
+    if w <= 0.0:
+        return 1.0 if b_over_n <= 0.0 else float("inf")
+    var_plus = (n - 1) / n * w + b_over_n
+    return float(np.sqrt(var_plus / w))
+
+
+@dataclass
+class ConvergenceTrace:
+    """PSRF observations collected while a multi-chain simulation runs."""
+
+    steps: List[int]
+    psrf: List[float]
+    elapsed: List[float]
+
+    def converged_at(self, threshold: float) -> int | None:
+        """First recorded step count where PSRF dropped below ``threshold``."""
+        for step, value in zip(self.steps, self.psrf):
+            if value <= threshold:
+                return step
+        return None

@@ -1,0 +1,579 @@
+"""`RankingEngine` — the library's main entry point.
+
+Ties the pieces of the paper together the way its evaluation does:
+
+1. **Prune** the database with k-dominance (Algorithm 2) at the level the
+   query allows (``j`` for UTop-Rank(i, j), ``k`` for TOP-k queries;
+   rank aggregation needs all ranks and is never pruned).
+2. **Pick an evaluation method**: exact (piecewise-polynomial integrals)
+   when the densities allow it and the answer space is small enough to
+   enumerate; Monte-Carlo integration for RECORD-RANK queries (the
+   paper's §VI-C choice); multi-chain MCMC for TOP-k queries over large
+   spaces (§VI-D).
+3. **Return** typed answers with probabilities and execution metadata.
+
+Example
+-------
+>>> from repro import uniform, certain
+>>> from repro.core.engine import RankingEngine
+>>> db = [certain("a1", 9.0), uniform("a2", 5.0, 8.0), certain("a3", 7.0)]
+>>> engine = RankingEngine(db, seed=7)
+>>> engine.utop_rank(1, 1).top.record_id
+'a1'
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .errors import EvaluationError, QueryError
+from .exact import ExactEvaluator, supports_exact
+from .linext import count_prefixes, enumerate_prefixes
+from .mcmc import TopKSimulation
+from .montecarlo import MonteCarloEvaluator
+from .ppo import ProbabilisticPartialOrder
+from .pruning import shrink_database
+from .queries import (
+    PrefixAnswer,
+    QueryResult,
+    RankAggAnswer,
+    RecordAnswer,
+    SetAnswer,
+)
+from .rank_agg import optimal_rank_aggregation
+from .records import UncertainRecord
+
+__all__ = ["RankingEngine"]
+
+
+class RankingEngine:
+    """High-level evaluator for ranking queries over uncertain scores.
+
+    Parameters
+    ----------
+    records:
+        The database ``D`` of :class:`UncertainRecord`.
+    seed:
+        Seed for all randomized evaluation (Monte-Carlo, MCMC); a fixed
+        seed makes results reproducible.
+    prune:
+        Whether to apply k-dominance pruning ahead of evaluation.
+    exact_record_limit:
+        Maximum (pruned) database size for which exact per-rank
+        probabilities are computed; larger inputs use Monte-Carlo.
+    prefix_enumeration_limit:
+        Maximum number of distinct k-prefixes that the exact TOP-k path
+        will enumerate; larger spaces switch to MCMC.
+    samples:
+        Default Monte-Carlo sample count (the paper's experiments use
+        10,000).
+    mcmc_chains / mcmc_steps / psrf_threshold:
+        Multi-chain simulation parameters for TOP-k queries.
+    copula:
+        Optional :class:`~repro.core.correlation.GaussianCopula` over
+        the records (in database order) modelling score correlation.
+        When set, evaluation is restricted to the sampling-based methods
+        that remain valid without independence: UTop-Rank, rank
+        distributions, and rank aggregation run on correlated samples;
+        UTop-Prefix/UTop-Set fall back to empirical frequencies
+        (``method="montecarlo"``); exact and MCMC paths are refused.
+        k-dominance pruning stays sound because dominance is a
+        support-containment property that holds on every joint sample.
+    """
+
+    def __init__(
+        self,
+        records: Sequence[UncertainRecord],
+        seed: Optional[int] = None,
+        prune: bool = True,
+        exact_record_limit: int = 20,
+        prefix_enumeration_limit: int = 20_000,
+        samples: int = 10_000,
+        mcmc_chains: int = 10,
+        mcmc_steps: int = 3_000,
+        psrf_threshold: float = 1.05,
+        copula=None,
+    ) -> None:
+        if not records:
+            raise QueryError("cannot rank an empty database")
+        self.records = list(records)
+        self.rng = np.random.default_rng(seed)
+        self.prune = prune
+        self.exact_record_limit = exact_record_limit
+        self.prefix_enumeration_limit = prefix_enumeration_limit
+        self.samples = samples
+        self.mcmc_chains = mcmc_chains
+        self.mcmc_steps = mcmc_steps
+        self.psrf_threshold = psrf_threshold
+        self.copula = copula
+        if copula is not None and copula.dimension != len(self.records):
+            raise QueryError(
+                f"copula dimension {copula.dimension} does not match "
+                f"database size {len(self.records)}"
+            )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def ppo(self) -> ProbabilisticPartialOrder:
+        """The partial order induced by the full database."""
+        return ProbabilisticPartialOrder(self.records)
+
+    def _pruned(self, level: int) -> List[UncertainRecord]:
+        if not self.prune or level >= len(self.records):
+            return self.records
+        return shrink_database(self.records, level).kept
+
+    def _child_rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.rng.integers(2**63))
+
+    def _sampler(self, subset: Sequence[UncertainRecord]) -> MonteCarloEvaluator:
+        """Monte-Carlo evaluator over ``subset``, honoring the copula.
+
+        A Gaussian copula marginalizes to any record subset by taking
+        the corresponding correlation submatrix, so pruned databases
+        keep exactly the joint distribution of the surviving records.
+        """
+        rng = self._child_rng()
+        if self.copula is None:
+            return MonteCarloEvaluator(subset, rng=rng)
+        from .correlation import CorrelatedMonteCarloEvaluator, GaussianCopula
+
+        wanted = {rec.record_id for rec in subset}
+        idx = [
+            i
+            for i, rec in enumerate(self.records)
+            if rec.record_id in wanted
+        ]
+        sub = self.copula.correlation[np.ix_(idx, idx)]
+        return CorrelatedMonteCarloEvaluator(
+            subset, GaussianCopula(sub), rng=rng
+        )
+
+    def _guard_copula(self, method: str) -> str:
+        """Map/refuse methods that assume independence under a copula."""
+        if self.copula is None:
+            return method
+        if method == "auto":
+            return "montecarlo"
+        if method in ("exact", "mcmc"):
+            raise QueryError(
+                f"method {method!r} assumes independent scores and is "
+                "invalid when a copula is set; use 'montecarlo'"
+            )
+        return method
+
+    # ------------------------------------------------------------------
+    # RECORD-RANK queries (Def. 4)
+    # ------------------------------------------------------------------
+
+    def utop_rank(
+        self,
+        i: int,
+        j: int,
+        l: int = 1,
+        method: str = "auto",
+        samples: Optional[int] = None,
+    ) -> QueryResult:
+        """Evaluate l-UTop-Rank(i, j).
+
+        ``method`` is ``"auto"``, ``"exact"``, or ``"montecarlo"``.
+        """
+        if i < 1 or j < i:
+            raise QueryError(f"invalid rank range [{i}, {j}]")
+        if l < 1:
+            raise QueryError("l must be positive")
+        start = time.perf_counter()
+        method = self._guard_copula(method)
+        pruned = self._pruned(j)
+        if method == "auto":
+            use_exact = (
+                supports_exact(pruned) and len(pruned) <= self.exact_record_limit
+            )
+            method = "exact" if use_exact else "montecarlo"
+        if method == "exact":
+            evaluator = ExactEvaluator(pruned)
+            matrix = evaluator.rank_probability_matrix(max_rank=j)
+            probs = matrix[:, i - 1 : j].sum(axis=1)
+            order = sorted(
+                range(len(pruned)),
+                key=lambda t: (-probs[t], pruned[t].record_id),
+            )
+            answers = [
+                RecordAnswer(pruned[t].record_id, float(probs[t]))
+                for t in order[:l]
+            ]
+        elif method == "montecarlo":
+            sampler = self._sampler(pruned)
+            pairs = sampler.top_rank_candidates(
+                i, j, l, samples or self.samples
+            )
+            answers = [
+                RecordAnswer(rec.record_id, prob) for rec, prob in pairs
+            ]
+        else:
+            raise QueryError(f"unknown method {method!r} for UTop-Rank")
+        return QueryResult(
+            answers=answers,
+            method=method,
+            elapsed=time.perf_counter() - start,
+            database_size=len(self.records),
+            pruned_size=len(pruned),
+        )
+
+    def rank_distribution(
+        self,
+        record_id: str,
+        max_rank: Optional[int] = None,
+        method: str = "auto",
+        samples: Optional[int] = None,
+    ) -> np.ndarray:
+        """Full rank distribution ``eta_r(t)`` of one record.
+
+        Returns a vector of length ``max_rank`` (default: the database
+        size) whose ``r``-th entry is the probability that the record
+        occupies rank ``r + 1`` across linear extensions. Exact when the
+        densities allow it and the database is small; Monte-Carlo
+        otherwise.
+        """
+        if all(rec.record_id != record_id for rec in self.records):
+            raise QueryError(f"record {record_id!r} is not in this database")
+        method = self._guard_copula(method)
+        if method == "auto":
+            use_exact = (
+                supports_exact(self.records)
+                and len(self.records) <= self.exact_record_limit
+            )
+            method = "exact" if use_exact else "montecarlo"
+        if method == "exact":
+            return ExactEvaluator(self.records).rank_probabilities(
+                record_id, max_rank=max_rank
+            )
+        if method != "montecarlo":
+            raise QueryError(f"unknown method {method!r}")
+        sampler = self._sampler(self.records)
+        matrix = sampler.rank_probability_matrix(
+            samples or self.samples, max_rank=max_rank
+        )
+        index = next(
+            i
+            for i, rec in enumerate(self.records)
+            if rec.record_id == record_id
+        )
+        return matrix[index]
+
+    # ------------------------------------------------------------------
+    # related-work semantics expressed in the paper's model
+    # ------------------------------------------------------------------
+
+    def global_topk(self, k: int, method: str = "auto") -> QueryResult:
+        """Global-Top-k semantics under score uncertainty.
+
+        The analog of Zhang & Chomicki's Global-Top-k [16] in the
+        paper's model: the ``k`` records with the highest probability of
+        ranking in the top ``k`` — exactly ``k``-UTop-Rank(1, k).
+        """
+        if k < 1:
+            raise QueryError("k must be positive")
+        return self.utop_rank(1, k, l=k, method=method)
+
+    def threshold_topk(
+        self, k: int, threshold: float, method: str = "auto"
+    ) -> QueryResult:
+        """PT-k semantics under score uncertainty (Hua et al. [17]).
+
+        All records whose probability of ranking in the top ``k``
+        reaches ``threshold``; the answer size is data-dependent
+        (possibly empty, possibly larger than ``k``).
+        """
+        if k < 1:
+            raise QueryError("k must be positive")
+        if not 0.0 < threshold <= 1.0:
+            raise QueryError("threshold must be in (0, 1]")
+        result = self.utop_rank(1, k, l=len(self.records), method=method)
+        result.answers = [
+            answer
+            for answer in result.answers
+            if answer.probability >= threshold
+        ]
+        return result
+
+    # ------------------------------------------------------------------
+    # TOP-k queries (Defs. 5 and 6)
+    # ------------------------------------------------------------------
+
+    def _enumerable(self, pruned: Sequence[UncertainRecord], k: int) -> bool:
+        if not supports_exact(pruned):
+            return False
+        try:
+            ppo = ProbabilisticPartialOrder(pruned)
+            return (
+                count_prefixes(ppo, k, max_states=200_000)
+                <= self.prefix_enumeration_limit
+            )
+        except EvaluationError:
+            return False
+
+    def utop_prefix(
+        self, k: int, l: int = 1, method: str = "auto"
+    ) -> QueryResult:
+        """Evaluate l-UTop-Prefix(k).
+
+        ``method``: ``"auto"``, ``"exact"`` (enumerate + integrate),
+        ``"mcmc"`` (multi-chain simulation), or ``"montecarlo"``
+        (empirical frequencies over sampled rankings).
+        """
+        if k < 1:
+            raise QueryError("k must be positive")
+        if l < 1:
+            raise QueryError("l must be positive")
+        start = time.perf_counter()
+        method = self._guard_copula(method)
+        pruned = self._pruned(k)
+        k_eff = min(k, len(pruned))
+        if method == "auto":
+            method = "exact" if self._enumerable(pruned, k_eff) else "mcmc"
+        error_bound = None
+        diagnostics: dict = {}
+        if method == "exact":
+            evaluator = ExactEvaluator(pruned)
+            ppo = ProbabilisticPartialOrder(pruned)
+            scored = [
+                (
+                    tuple(rec.record_id for rec in prefix),
+                    evaluator.prefix_probability(prefix),
+                )
+                for prefix in enumerate_prefixes(ppo, k_eff)
+            ]
+            scored.sort(key=lambda kv: (-kv[1], kv[0]))
+            answers = [PrefixAnswer(p, prob) for p, prob in scored[:l]]
+        elif method == "mcmc":
+            sampler = self._sampler(pruned)
+            rank_matrix = sampler.rank_probability_matrix(
+                max(2000, self.samples // 5), max_rank=k_eff
+            )
+            sim = TopKSimulation(
+                pruned,
+                k_eff,
+                target="prefix",
+                n_chains=self.mcmc_chains,
+                rng=self._child_rng(),
+            )
+            result = sim.run(
+                max_steps=self.mcmc_steps,
+                psrf_threshold=self.psrf_threshold,
+                top_l=l,
+                rank_matrix=rank_matrix,
+            )
+            answers = [
+                PrefixAnswer(tuple(key), prob) for key, prob in result.answers
+            ]
+            error_bound = result.error_estimate
+            diagnostics = {
+                "converged": result.converged,
+                "total_steps": result.total_steps,
+                "acceptance_rate": result.acceptance_rate,
+                "states_visited": result.states_visited,
+                "psrf": result.trace.psrf[-1] if result.trace.psrf else None,
+            }
+        elif method == "montecarlo":
+            sampler = self._sampler(pruned)
+            freq = sampler.empirical_top_prefixes(k_eff, self.samples)
+            ranked = sorted(freq.items(), key=lambda kv: (-kv[1], kv[0]))
+            answers = [PrefixAnswer(p, prob) for p, prob in ranked[:l]]
+        else:
+            raise QueryError(f"unknown method {method!r} for UTop-Prefix")
+        return QueryResult(
+            answers=answers,
+            method=method,
+            elapsed=time.perf_counter() - start,
+            database_size=len(self.records),
+            pruned_size=len(pruned),
+            error_bound=error_bound,
+            diagnostics=diagnostics,
+        )
+
+    def utop_set(self, k: int, l: int = 1, method: str = "auto") -> QueryResult:
+        """Evaluate l-UTop-Set(k); methods as in :meth:`utop_prefix`."""
+        if k < 1:
+            raise QueryError("k must be positive")
+        if l < 1:
+            raise QueryError("l must be positive")
+        start = time.perf_counter()
+        method = self._guard_copula(method)
+        pruned = self._pruned(k)
+        k_eff = min(k, len(pruned))
+        if method == "auto":
+            method = "exact" if self._enumerable(pruned, k_eff) else "mcmc"
+        error_bound = None
+        diagnostics: dict = {}
+        if method == "exact":
+            evaluator = ExactEvaluator(pruned)
+            ppo = ProbabilisticPartialOrder(pruned)
+            candidate_sets = {
+                frozenset(rec.record_id for rec in prefix)
+                for prefix in enumerate_prefixes(ppo, k_eff)
+            }
+            scored = [
+                (members, evaluator.top_set_probability(members))
+                for members in candidate_sets
+            ]
+            scored.sort(key=lambda kv: (-kv[1], sorted(kv[0])))
+            answers = [SetAnswer(m, prob) for m, prob in scored[:l]]
+        elif method == "mcmc":
+            sampler = self._sampler(pruned)
+            rank_matrix = sampler.rank_probability_matrix(
+                max(2000, self.samples // 5), max_rank=k_eff
+            )
+            sim = TopKSimulation(
+                pruned,
+                k_eff,
+                target="set",
+                n_chains=self.mcmc_chains,
+                rng=self._child_rng(),
+            )
+            result = sim.run(
+                max_steps=self.mcmc_steps,
+                psrf_threshold=self.psrf_threshold,
+                top_l=l,
+                rank_matrix=rank_matrix,
+            )
+            answers = [
+                SetAnswer(frozenset(key), prob) for key, prob in result.answers
+            ]
+            error_bound = result.error_estimate
+            diagnostics = {
+                "converged": result.converged,
+                "total_steps": result.total_steps,
+                "acceptance_rate": result.acceptance_rate,
+                "states_visited": result.states_visited,
+            }
+        elif method == "montecarlo":
+            sampler = self._sampler(pruned)
+            freq = sampler.empirical_top_sets(k_eff, self.samples)
+            ranked = sorted(
+                freq.items(), key=lambda kv: (-kv[1], sorted(kv[0]))
+            )
+            answers = [SetAnswer(m, prob) for m, prob in ranked[:l]]
+        else:
+            raise QueryError(f"unknown method {method!r} for UTop-Set")
+        return QueryResult(
+            answers=answers,
+            method=method,
+            elapsed=time.perf_counter() - start,
+            database_size=len(self.records),
+            pruned_size=len(pruned),
+            error_bound=error_bound,
+            diagnostics=diagnostics,
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def explain(self, query: str, k: int) -> dict:
+        """Explain the evaluation plan for a query without running it.
+
+        Parameters
+        ----------
+        query:
+            ``"utop_rank"``, ``"utop_prefix"``, or ``"utop_set"`` (for
+            UTop-Rank, ``k`` is the upper rank ``j``).
+        k:
+            The query's dominance level.
+
+        Returns
+        -------
+        dict
+            Pruning outcome, whether the densities allow exact
+            evaluation, the (capped) size of the enumeration space, and
+            the method the ``"auto"`` policy would select — the plan a
+            user inspects when a query is slower than expected.
+        """
+        if query not in ("utop_rank", "utop_prefix", "utop_set"):
+            raise QueryError(f"unknown query kind {query!r}")
+        if k < 1:
+            raise QueryError("k must be positive")
+        pruned = self._pruned(k)
+        k_eff = min(k, len(pruned))
+        plan = {
+            "query": query,
+            "k": k,
+            "database_size": len(self.records),
+            "pruned_size": len(pruned),
+            "pruning_enabled": self.prune,
+            "exact_densities": supports_exact(pruned),
+        }
+        if query == "utop_rank":
+            plan["method"] = (
+                "exact"
+                if plan["exact_densities"]
+                and len(pruned) <= self.exact_record_limit
+                else "montecarlo"
+            )
+            plan["samples"] = self.samples
+            return plan
+        space: Optional[int]
+        try:
+            space = count_prefixes(
+                ProbabilisticPartialOrder(pruned), k_eff, max_states=200_000
+            )
+        except EvaluationError:
+            space = None
+        plan["prefix_space"] = space
+        enumerable = (
+            plan["exact_densities"]
+            and space is not None
+            and space <= self.prefix_enumeration_limit
+        )
+        plan["method"] = "exact" if enumerable else "mcmc"
+        if plan["method"] == "mcmc":
+            plan["mcmc_chains"] = self.mcmc_chains
+            plan["mcmc_steps"] = self.mcmc_steps
+        return plan
+
+    # ------------------------------------------------------------------
+    # RANK-AGGREGATION queries (Def. 7)
+    # ------------------------------------------------------------------
+
+    def rank_aggregation(
+        self, method: str = "auto", samples: Optional[int] = None
+    ) -> QueryResult:
+        """Evaluate Rank-Agg under the footrule distance (Theorem 2).
+
+        Never pruned: the consensus ranking needs every rank's
+        probabilities. ``method``: ``"auto"``, ``"exact"``, or
+        ``"montecarlo"`` (selects how the ``eta`` matrix is obtained).
+        """
+        start = time.perf_counter()
+        method = self._guard_copula(method)
+        records = self.records
+        if method == "auto":
+            use_exact = (
+                supports_exact(records)
+                and len(records) <= self.exact_record_limit
+            )
+            method = "exact" if use_exact else "montecarlo"
+        if method == "exact":
+            matrix = ExactEvaluator(records).rank_probability_matrix()
+        elif method == "montecarlo":
+            sampler = self._sampler(records)
+            matrix = sampler.rank_probability_matrix(samples or self.samples)
+        else:
+            raise QueryError(f"unknown method {method!r} for Rank-Agg")
+        ranking, cost = optimal_rank_aggregation(matrix, records)
+        answer = RankAggAnswer(
+            ranking=tuple(rec.record_id for rec in ranking),
+            expected_distance=cost,
+        )
+        return QueryResult(
+            answers=[answer],
+            method=method,
+            elapsed=time.perf_counter() - start,
+            database_size=len(records),
+            pruned_size=len(records),
+        )

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ModelError(ReproError):
+    """An uncertain-score model was constructed with invalid inputs.
+
+    Examples: an interval with ``lo > up``, a density that does not
+    integrate to one, or a duplicate record identifier.
+    """
+
+
+class QueryError(ReproError):
+    """A ranking query was specified with invalid parameters.
+
+    Examples: ``UTop-Rank(i, j)`` with ``i > j``, a ``k`` larger than the
+    database, or a non-positive number of requested answers ``l``.
+    """
+
+
+class EvaluationError(ReproError):
+    """Query evaluation failed or was asked to do something unsupported.
+
+    Examples: requesting exact evaluation for a density family without a
+    piecewise-polynomial representation, or exceeding an enumeration cap.
+    """
+
+
+class ConvergenceError(EvaluationError):
+    """An iterative method (MCMC) failed to reach its convergence target."""

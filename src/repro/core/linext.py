@@ -1,0 +1,372 @@
+"""Linear extensions of a probabilistic partial order.
+
+The space of possible rankings of a PPO is the set of its linear
+extensions — the topological sorts of the dominance DAG (paper §II-A).
+This module provides:
+
+- :func:`build_tree` — the paper's Algorithm 1, materializing the linear-
+  extension tree (each root-to-leaf path is one extension); optionally
+  truncated at depth ``k`` to obtain the prefix tree of §V.
+- :func:`enumerate_extensions` / :func:`enumerate_prefixes` — lazy
+  generators over the same spaces, for callers that must not materialize.
+- :func:`count_linear_extensions` / :func:`count_prefix_nodes` — exact
+  counting with downset memoization (counting is #P-complete in general
+  [Brightwell & Winkler], so both enforce an explicit work cap).
+- :func:`random_linear_extension` — draw a ranking by sampling one score
+  per record and sorting, which by Theorem 1 yields a valid extension
+  distributed according to the PPO's probability space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .errors import EvaluationError
+from .ppo import ProbabilisticPartialOrder, dominates
+from .records import UncertainRecord
+
+__all__ = [
+    "ExtensionTreeNode",
+    "build_tree",
+    "enumerate_extensions",
+    "enumerate_prefixes",
+    "count_linear_extensions",
+    "count_prefix_nodes",
+    "random_linear_extension",
+]
+
+
+@dataclass
+class ExtensionTreeNode:
+    """One node of the linear-extension tree (paper Fig. 4).
+
+    The root is a dummy node with ``record is None``; every other node
+    represents an occurrence of a record at the node's depth, and each
+    root-to-leaf path spells out one linear extension (or prefix).
+    """
+
+    record: Optional[UncertainRecord]
+    depth: int
+    children: List["ExtensionTreeNode"] = field(default_factory=list)
+    #: Probability annotation filled in by the BASELINE algorithm.
+    probability: Optional[float] = None
+
+    def walk(self) -> Iterator["ExtensionTreeNode"]:
+        """Depth-first traversal including this node."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def node_count(self) -> int:
+        """Number of non-root nodes in this subtree."""
+        count = 0 if self.record is None else 1
+        return count + sum(c.node_count() for c in self.children)
+
+    def paths(self) -> Iterator[Tuple[UncertainRecord, ...]]:
+        """All root-to-leaf record sequences below this node."""
+        prefix: List[UncertainRecord] = []
+
+        def _recurse(node: "ExtensionTreeNode") -> Iterator[Tuple[UncertainRecord, ...]]:
+            if node.record is not None:
+                prefix.append(node.record)
+            if not node.children:
+                yield tuple(prefix)
+            else:
+                for child in node.children:
+                    yield from _recurse(child)
+            if node.record is not None:
+                prefix.pop()
+
+        return _recurse(self)
+
+
+class _DominanceAdjacency:
+    """Precomputed dominance adjacency for fast source maintenance.
+
+    ``dominated[i]`` lists indices directly or transitively dominated by
+    ``i`` under the full dominance relation; in-degree bookkeeping over it
+    makes each enumeration step linear in the out-degree of the removed
+    record.
+    """
+
+    def __init__(self, records: Sequence[UncertainRecord]) -> None:
+        self.records = list(records)
+        n = len(self.records)
+        self.dominated: List[List[int]] = [[] for _ in range(n)]
+        self.indegree = [0] * n
+        for i in range(n):
+            for j in range(n):
+                if i != j and dominates(self.records[i], self.records[j]):
+                    self.dominated[i].append(j)
+                    self.indegree[j] += 1
+
+
+def _source_order_key(rec: UncertainRecord):
+    """Deterministic ordering of sources (stable output across runs)."""
+    return (-rec.upper, -rec.lower, rec.record_id)
+
+
+def build_tree(
+    ppo: ProbabilisticPartialOrder,
+    depth: Optional[int] = None,
+    max_nodes: int = 2_000_000,
+) -> ExtensionTreeNode:
+    """Materialize the linear-extension tree (paper Algorithm 1).
+
+    Parameters
+    ----------
+    ppo:
+        The partial order to expand.
+    depth:
+        Truncation depth ``k``; ``None`` expands complete extensions.
+    max_nodes:
+        Safety cap on materialized nodes; the space grows exponentially
+        (``sum_i m! / (m - i)!`` for an antichain of ``m`` records), so
+        exceeding the cap raises :class:`EvaluationError`.
+    """
+    adjacency = _DominanceAdjacency(ppo.records)
+    limit = len(ppo.records) if depth is None else min(depth, len(ppo.records))
+    root = ExtensionTreeNode(record=None, depth=0)
+    produced = 0
+
+    def _expand(node: ExtensionTreeNode, indegree: List[int], used: List[bool]) -> None:
+        nonlocal produced
+        if node.depth >= limit:
+            return
+        sources = [
+            i
+            for i in range(len(adjacency.records))
+            if not used[i] and indegree[i] == 0
+        ]
+        sources.sort(key=lambda i: _source_order_key(adjacency.records[i]))
+        for i in sources:
+            produced += 1
+            if produced > max_nodes:
+                raise EvaluationError(
+                    f"linear-extension tree exceeds {max_nodes} nodes; "
+                    "use the sampling-based evaluators instead"
+                )
+            child = ExtensionTreeNode(
+                record=adjacency.records[i], depth=node.depth + 1
+            )
+            node.children.append(child)
+            used[i] = True
+            for j in adjacency.dominated[i]:
+                indegree[j] -= 1
+            _expand(child, indegree, used)
+            for j in adjacency.dominated[i]:
+                indegree[j] += 1
+            used[i] = False
+
+    _expand(root, list(adjacency.indegree), [False] * len(ppo.records))
+    return root
+
+
+def _enumerate(
+    ppo: ProbabilisticPartialOrder,
+    depth: int,
+    limit: Optional[int],
+) -> Iterator[Tuple[UncertainRecord, ...]]:
+    adjacency = _DominanceAdjacency(ppo.records)
+    n = len(adjacency.records)
+    indegree = list(adjacency.indegree)
+    used = [False] * n
+    prefix: List[UncertainRecord] = []
+    yielded = 0
+
+    def _recurse() -> Iterator[Tuple[UncertainRecord, ...]]:
+        nonlocal yielded
+        if len(prefix) == depth:
+            yielded += 1
+            yield tuple(prefix)
+            return
+        sources = [i for i in range(n) if not used[i] and indegree[i] == 0]
+        sources.sort(key=lambda i: _source_order_key(adjacency.records[i]))
+        for i in sources:
+            if limit is not None and yielded >= limit:
+                return
+            used[i] = True
+            prefix.append(adjacency.records[i])
+            for j in adjacency.dominated[i]:
+                indegree[j] -= 1
+            yield from _recurse()
+            for j in adjacency.dominated[i]:
+                indegree[j] += 1
+            prefix.pop()
+            used[i] = False
+
+    return _recurse()
+
+
+def enumerate_extensions(
+    ppo: ProbabilisticPartialOrder, limit: Optional[int] = None
+) -> Iterator[Tuple[UncertainRecord, ...]]:
+    """Lazily enumerate complete linear extensions.
+
+    ``limit`` stops the generator after that many extensions; the space
+    is exponential, so unbounded enumeration is only sensible for small
+    inputs.
+    """
+    return _enumerate(ppo, len(ppo.records), limit)
+
+
+def enumerate_prefixes(
+    ppo: ProbabilisticPartialOrder, k: int, limit: Optional[int] = None
+) -> Iterator[Tuple[UncertainRecord, ...]]:
+    """Lazily enumerate distinct k-length linear-extension prefixes."""
+    k = min(k, len(ppo.records))
+    return _enumerate(ppo, k, limit)
+
+
+def count_linear_extensions(
+    ppo: ProbabilisticPartialOrder, max_states: int = 1_000_000
+) -> int:
+    """Exact number of linear extensions, via downset memoization.
+
+    The memo key is the frozenset of remaining records, so distinct
+    orders reaching the same remainder are counted once. ``max_states``
+    caps the number of memo entries (counting is #P-complete).
+    """
+    adjacency = _DominanceAdjacency(ppo.records)
+    n = len(adjacency.records)
+    memo: Dict[FrozenSet[int], int] = {}
+
+    def _count(remaining: FrozenSet[int], indegree: List[int]) -> int:
+        if not remaining:
+            return 1
+        cached = memo.get(remaining)
+        if cached is not None:
+            return cached
+        if len(memo) >= max_states:
+            raise EvaluationError(
+                f"linear-extension count exceeds {max_states} memo states"
+            )
+        total = 0
+        for i in list(remaining):
+            if indegree[i] != 0:
+                continue
+            for j in adjacency.dominated[i]:
+                indegree[j] -= 1
+            total += _count(remaining - {i}, indegree)
+            for j in adjacency.dominated[i]:
+                indegree[j] += 1
+        memo[remaining] = total
+        return total
+
+    return _count(frozenset(range(n)), list(adjacency.indegree))
+
+
+def count_prefix_nodes(
+    ppo: ProbabilisticPartialOrder, depth: int, max_states: int = 1_000_000
+) -> int:
+    """Number of nodes in the depth-``k`` prefix tree (paper §V).
+
+    This is the "space size" axis of the paper's Figures 9 and 10. Uses
+    the same downset memoization as :func:`count_linear_extensions`.
+    """
+    adjacency = _DominanceAdjacency(ppo.records)
+    n = len(adjacency.records)
+    depth = min(depth, n)
+    memo: Dict[Tuple[FrozenSet[int], int], int] = {}
+
+    def _count(remaining: FrozenSet[int], left: int, indegree: List[int]) -> int:
+        if left == 0:
+            return 0
+        key = (remaining, left)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        if len(memo) >= max_states:
+            raise EvaluationError(
+                f"prefix-tree size exceeds {max_states} memo states"
+            )
+        total = 0
+        for i in list(remaining):
+            if indegree[i] != 0:
+                continue
+            for j in adjacency.dominated[i]:
+                indegree[j] -= 1
+            total += 1 + _count(remaining - {i}, left - 1, indegree)
+            for j in adjacency.dominated[i]:
+                indegree[j] += 1
+        memo[key] = total
+        return total
+
+    return _count(frozenset(range(n)), depth, list(adjacency.indegree))
+
+
+def count_prefixes(
+    ppo: ProbabilisticPartialOrder, depth: int, max_states: int = 1_000_000
+) -> int:
+    """Number of distinct depth-``k`` prefixes (leaves of the prefix tree)."""
+    adjacency = _DominanceAdjacency(ppo.records)
+    n = len(adjacency.records)
+    depth = min(depth, n)
+    memo: Dict[Tuple[FrozenSet[int], int], int] = {}
+
+    def _count(remaining: FrozenSet[int], left: int, indegree: List[int]) -> int:
+        if left == 0:
+            return 1
+        key = (remaining, left)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        if len(memo) >= max_states:
+            raise EvaluationError(
+                f"prefix count exceeds {max_states} memo states"
+            )
+        total = 0
+        for i in list(remaining):
+            if indegree[i] != 0:
+                continue
+            for j in adjacency.dominated[i]:
+                indegree[j] -= 1
+            total += _count(remaining - {i}, left - 1, indegree)
+            for j in adjacency.dominated[i]:
+                indegree[j] += 1
+        memo[key] = total
+        return total
+
+    return _count(frozenset(range(n)), depth, list(adjacency.indegree))
+
+
+def random_linear_extension(
+    ppo: ProbabilisticPartialOrder, rng: np.random.Generator
+) -> Tuple[UncertainRecord, ...]:
+    """Draw one linear extension from the PPO's probability space.
+
+    Samples a concrete score per record and sorts descending; by
+    Theorem 1 the resulting ranking is a valid linear extension and the
+    draw follows the distribution defined by Eq. 4. Deterministic score
+    ties are resolved with the tie-breaker.
+    """
+    records = ppo.records
+    scores = np.array([rec.score.sample(rng) for rec in records], dtype=float)
+    order = sorted(
+        range(len(records)),
+        key=lambda i: (-scores[i], records[i].record_id),
+    )
+    return tuple(records[i] for i in order)
+
+
+def is_linear_extension(
+    ppo: ProbabilisticPartialOrder, ranking: Sequence[UncertainRecord]
+) -> bool:
+    """Whether ``ranking`` respects every dominance constraint of ``ppo``."""
+    if len(ranking) != len(ppo.records):
+        return False
+    position = {rec.record_id: i for i, rec in enumerate(ranking)}
+    if len(position) != len(ppo.records):
+        return False
+    for a in ppo.records:
+        if a.record_id not in position:
+            return False
+    for a in ppo.records:
+        for b in ppo.records:
+            if a is not b and dominates(a, b):
+                if position[a.record_id] > position[b.record_id]:
+                    return False
+    return True

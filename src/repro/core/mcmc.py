@@ -1,0 +1,513 @@
+"""Markov-chain Monte-Carlo evaluation of TOP-k queries (paper §VI-D).
+
+The answer spaces of UTop-Prefix and UTop-Set are exponential in the
+database size, so the paper simulates the top-k prefix/set distribution
+with a Metropolis–Hastings random walk over linear extensions:
+
+- **States** are linear extensions; the target density ``pi(omega)`` is
+  the probability of the state's top-k prefix (or set).
+- **Proposal**: pick ``z <= k`` random ranks; move each picked record
+  upward (if below the top-k region) or downward (if inside it) by
+  successive record swaps, where a swap of adjacent records commits with
+  the pairwise probability of the *new* orientation (Eq. 1) and the walk
+  of one record stops at its first uncommitted swap. Because a swap that
+  would violate dominance has commit probability zero, proposals always
+  remain valid linear extensions.
+- **Multiple chains** from independently sampled starting extensions are
+  run until the Gelman–Rubin statistic signals mixing; the ``l`` most
+  probable states visited across chains approximate the query answer
+  (paper §VI-D, "Computing Query Answers").
+- **Caching** (paper §VI-D, "Caching"): pairwise probabilities and state
+  probabilities are memoized across steps and across chains.
+
+The module also provides the paper's probability upper bounds used to
+report an approximation-error estimate for the best state found.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .diagnostics import ConvergenceTrace, gelman_rubin
+from .errors import QueryError
+from .exact import ExactEvaluator, supports_exact
+from .montecarlo import MonteCarloEvaluator
+from .pairwise import PairwiseCache, probability_greater
+from .records import UncertainRecord
+
+__all__ = [
+    "ProposalResult",
+    "MetropolisHastingsChain",
+    "TopKSimulation",
+    "MCMCResult",
+    "prefix_probability_upper_bound",
+    "set_probability_upper_bound",
+]
+
+
+def prefix_probability_upper_bound(rank_matrix: np.ndarray, k: int) -> float:
+    """Upper bound on any top-k *prefix* probability (paper §VI-D).
+
+    The prefix event requires record occurrences at ranks ``1..k``
+    simultaneously, so its probability cannot exceed
+    ``min_{i<=k} max_t eta_i(t)``.
+    """
+    if k < 1 or k > rank_matrix.shape[1]:
+        raise QueryError(f"k={k} outside the rank matrix width")
+    return float(rank_matrix[:, :k].max(axis=0).min())
+
+
+def set_probability_upper_bound(rank_matrix: np.ndarray, k: int) -> float:
+    """Upper bound on any top-k *set* probability (paper §VI-D).
+
+    A top-k set needs ``k`` records simultaneously inside ranks
+    ``1..k``, so its probability cannot exceed the k-th largest
+    ``eta_{1..k}(t)`` value.
+    """
+    if k < 1 or k > rank_matrix.shape[1]:
+        raise QueryError(f"k={k} outside the rank matrix width")
+    mass = np.sort(rank_matrix[:, :k].sum(axis=1))[::-1]
+    return float(min(mass[k - 1], 1.0))
+
+
+@dataclass
+class ProposalResult:
+    """One proposal draw: candidate state and proposal densities."""
+
+    state: Tuple[int, ...]
+    forward: float
+    reverse: float
+    changed: bool
+
+
+class MetropolisHastingsChain:
+    """A single M-H chain over linear extensions.
+
+    Parameters
+    ----------
+    records:
+        Database order used to interpret state indices.
+    k:
+        Size of the top-k region driving the target density.
+    target:
+        ``"prefix"`` or ``"set"``; selects what ``pi`` measures.
+    state_probability:
+        Callable mapping a state key (tuple of record ids for prefixes,
+        frozenset for sets) to its probability.
+    pairwise:
+        Callable ``(record_a, record_b) -> Pr(a > b)`` used by the
+        proposal; inject a cached version to enable §VI-D caching.
+    rng:
+        Chain-private random generator.
+    initial:
+        Starting state as a tuple of record indices (a valid extension).
+    """
+
+    def __init__(
+        self,
+        records: Sequence[UncertainRecord],
+        k: int,
+        target: str,
+        state_probability: Callable[[Hashable], float],
+        pairwise: Callable[[UncertainRecord, UncertainRecord], float],
+        rng: np.random.Generator,
+        initial: Tuple[int, ...],
+    ) -> None:
+        self.records = records
+        self.k = k
+        self.target = target
+        self._pi_of_key = state_probability
+        self._pairwise = pairwise
+        self.rng = rng
+        self.state = tuple(initial)
+        self.pi = self._pi(self.state)
+        self.trace: List[float] = [self.pi]
+        self.visited: Dict[Hashable, float] = {self._key(self.state): self.pi}
+        #: How many steps the chain spent at each state key. Per the
+        #: paper (§III), at stationarity the relative visit frequency
+        #: estimates pi(x) — an alternative estimator to the exact
+        #: per-state probabilities in ``visited``.
+        self.visit_counts: Dict[Hashable, int] = {self._key(self.state): 1}
+        self.accepted = 0
+        self.steps = 0
+
+    def _key(self, state: Tuple[int, ...]) -> Hashable:
+        ids = tuple(self.records[i].record_id for i in state[: self.k])
+        return ids if self.target == "prefix" else frozenset(ids)
+
+    def _pi(self, state: Tuple[int, ...]) -> float:
+        return self._pi_of_key(self._key(state))
+
+    # ------------------------------------------------------------------
+    # proposal (paper §VI-D, "Sampling Space")
+    # ------------------------------------------------------------------
+
+    def propose(self) -> ProposalResult:
+        """Draw a candidate state with the paper's shuffling proposal."""
+        state = list(self.state)
+        n = len(state)
+        z = int(self.rng.integers(1, self.k + 1))
+        forward = 1.0
+        reverse = 1.0
+        changed = False
+        for _ in range(z):
+            r = int(self.rng.integers(0, n))
+            direction = 1 if r < self.k else -1
+            pos = r
+            while True:
+                m = pos + direction
+                if m < 0 or m >= n:
+                    break
+                mover = self.records[state[pos]]
+                neighbour = self.records[state[m]]
+                if direction == 1:
+                    #
+
+                    # Moving downward: after the swap the neighbour sits
+                    # above the mover, which happens with Pr(neighbour >
+                    # mover).
+                    commit = self._pairwise(neighbour, mover)
+                else:
+                    # Moving upward: the mover overtakes the neighbour.
+                    commit = self._pairwise(mover, neighbour)
+                if self.rng.random() >= commit:
+                    break  # first uncommitted swap stops this record
+                state[pos], state[m] = state[m], state[pos]
+                forward *= commit
+                # Undoing this swap restores the original orientation,
+                # which the reverse move commits with the complement.
+                reverse *= 1.0 - commit
+                changed = True
+                pos = m
+        return ProposalResult(tuple(state), forward, reverse, changed)
+
+    def step(self) -> bool:
+        """Advance one M-H step; returns whether the move was accepted."""
+        proposal = self.propose()
+        self.steps += 1
+        if not proposal.changed:
+            self.trace.append(self.pi)
+            key = self._key(self.state)
+            self.visit_counts[key] = self.visit_counts.get(key, 0) + 1
+            return False
+        pi_new = self._pi(proposal.state)
+        key_new = self._key(proposal.state)
+        best = self.visited.get(key_new)
+        if best is None or pi_new > best:
+            self.visited[key_new] = pi_new
+        if self.pi <= 0.0:
+            alpha = 1.0
+        else:
+            alpha = min(
+                (pi_new * proposal.reverse) / (self.pi * proposal.forward),
+                1.0,
+            )
+        if self.rng.random() < alpha:
+            self.state = proposal.state
+            self.pi = pi_new
+            self.accepted += 1
+            self.trace.append(self.pi)
+            self.visit_counts[key_new] = (
+                self.visit_counts.get(key_new, 0) + 1
+            )
+            return True
+        self.trace.append(self.pi)
+        key = self._key(self.state)
+        self.visit_counts[key] = self.visit_counts.get(key, 0) + 1
+        return False
+
+    def run(self, steps: int) -> None:
+        """Advance the chain ``steps`` times."""
+        for _ in range(steps):
+            self.step()
+
+
+@dataclass
+class MCMCResult:
+    """Outcome of a multi-chain top-k simulation.
+
+    Attributes
+    ----------
+    answers:
+        The ``l`` most probable states discovered, as ``(key,
+        probability)`` pairs; keys are record-id tuples for prefix
+        targets and frozensets for set targets.
+    trace:
+        Gelman–Rubin observations per epoch.
+    converged:
+        Whether the PSRF threshold was reached before the step budget.
+    total_steps / acceptance_rate / elapsed:
+        Aggregate simulation statistics.
+    upper_bound:
+        The paper's probability upper bound for any state, when the
+        caller supplied a rank-probability matrix; ``None`` otherwise.
+    """
+
+    answers: List[Tuple[Hashable, float]]
+    trace: ConvergenceTrace
+    converged: bool
+    total_steps: int
+    acceptance_rate: float
+    elapsed: float
+    upper_bound: Optional[float] = None
+    states_visited: int = 0
+    #: Total probability of the distinct states visited. Prefix (and
+    #: set) events are mutually exclusive, so this is the share of the
+    #: whole answer space the walk has covered — 1.0 means the chains
+    #: have seen every state that matters.
+    probability_mass: float = 0.0
+    #: Relative visit frequency per state across all chains — the
+    #: paper's §III estimator of pi(x); converges to the normalized
+    #: state probabilities at stationarity.
+    visit_frequencies: Dict[Hashable, float] = field(default_factory=dict)
+
+    @property
+    def error_estimate(self) -> Optional[float]:
+        """Paper's approximation-error estimate: bound minus best found."""
+        if self.upper_bound is None or not self.answers:
+            return None
+        return max(self.upper_bound - self.answers[0][1], 0.0)
+
+
+class TopKSimulation:
+    """Multi-chain Metropolis–Hastings driver for TOP-k queries.
+
+    Parameters
+    ----------
+    records:
+        The (pruned) database.
+    k:
+        Answer length.
+    target:
+        ``"prefix"`` for UTop-Prefix, ``"set"`` for UTop-Set.
+    n_chains:
+        Number of independent chains (paper recommends dispersed starts;
+        Fig. 14 sweeps 20-80).
+    rng:
+        Seed generator; chains receive independent child generators.
+    state_probability:
+        Optional override for the state-probability oracle.
+    oracle:
+        ``"auto"`` (exact when densities allow it and the database is
+        small enough that per-state integrals stay cheap, Monte-Carlo
+        otherwise), ``"exact"``, or ``"montecarlo"``. Ignored when
+        ``state_probability`` is given.
+    pi_samples:
+        Sample count for the Monte-Carlo oracle.
+    exact_oracle_limit:
+        Largest database size for which ``oracle="auto"`` picks exact.
+    use_pairwise_cache:
+        Toggle for the §VI-D pairwise-integral cache (the caching
+        ablation benchmark switches this off).
+    """
+
+    def __init__(
+        self,
+        records: Sequence[UncertainRecord],
+        k: int,
+        target: str = "prefix",
+        n_chains: int = 10,
+        rng: Optional[np.random.Generator] = None,
+        state_probability: Optional[Callable[[Hashable], float]] = None,
+        oracle: str = "auto",
+        pi_samples: int = 5000,
+        use_pairwise_cache: bool = True,
+        exact_oracle_limit: int = 60,
+    ) -> None:
+        if target not in ("prefix", "set"):
+            raise QueryError(f"unknown simulation target {target!r}")
+        if k < 1 or k > len(records):
+            raise QueryError(f"invalid k={k} for database of {len(records)}")
+        if n_chains < 2:
+            raise QueryError("need at least two chains for convergence checks")
+        self.records = list(records)
+        self.k = k
+        self.target = target
+        self.n_chains = n_chains
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._by_id = {rec.record_id: rec for rec in self.records}
+        self._state_cache: Dict[Hashable, float] = {}
+        self._oracle = state_probability or self._build_oracle(
+            oracle, pi_samples, exact_oracle_limit
+        )
+        if use_pairwise_cache:
+            self._pairwise_cache: Optional[PairwiseCache] = PairwiseCache()
+            self._pairwise = self._pairwise_cache.probability
+        else:
+            self._pairwise_cache = None
+            self._pairwise = probability_greater
+
+    # ------------------------------------------------------------------
+    # oracles
+    # ------------------------------------------------------------------
+
+    def _build_oracle(
+        self, oracle: str, pi_samples: int, exact_limit: int
+    ) -> Callable[[Hashable], float]:
+        if oracle == "auto":
+            use_exact = (
+                supports_exact(self.records)
+                and len(self.records) <= exact_limit
+            )
+            oracle = "exact" if use_exact else "montecarlo"
+        if oracle == "exact":
+            evaluator = ExactEvaluator(self.records)
+            if self.target == "prefix":
+                return lambda key: evaluator.prefix_probability(list(key))
+            return lambda key: evaluator.top_set_probability(list(key))
+        if oracle != "montecarlo":
+            raise QueryError(f"unknown state-probability oracle {oracle!r}")
+        sampler = MonteCarloEvaluator(
+            self.records, rng=np.random.default_rng(self.rng.integers(2**63))
+        )
+        # Sequential importance sampling (prefixes) and the CDF-product
+        # estimator (sets) are unbiased and strictly positive for
+        # feasible states, unlike plain indicator frequencies, so the
+        # walk never sees spurious zeros.
+        if self.target == "prefix":
+            return lambda key: sampler.prefix_probability_sis(
+                list(key), pi_samples
+            )
+        return lambda key: sampler.top_set_probability_cdf(
+            list(key), pi_samples
+        )
+
+    def _cached_pi(self, key: Hashable) -> float:
+        value = self._state_cache.get(key)
+        if value is None:
+            value = self._oracle(key)
+            self._state_cache[key] = value
+        return value
+
+    def _initial_state(self, rng: np.random.Generator) -> Tuple[int, ...]:
+        """Sample a starting extension by drawing and ranking scores."""
+        scores = np.array(
+            [
+                rec.score.sample(rng) if not rec.is_deterministic else rec.lower
+                for rec in self.records
+            ],
+            dtype=float,
+        )
+        order = sorted(
+            range(len(self.records)),
+            key=lambda i: (-scores[i], self.records[i].record_id),
+        )
+        return tuple(order)
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        max_steps: int = 5000,
+        epoch: int = 50,
+        psrf_threshold: float = 1.05,
+        top_l: int = 1,
+        rank_matrix: Optional[np.ndarray] = None,
+        min_epochs: int = 2,
+    ) -> MCMCResult:
+        """Run all chains until mixing or the per-chain step budget.
+
+        Parameters
+        ----------
+        max_steps:
+            Per-chain step budget.
+        epoch:
+            Steps between Gelman–Rubin evaluations.
+        psrf_threshold:
+            PSRF value that declares convergence (1.0 is perfect mixing).
+        top_l:
+            Number of best states to report.
+        rank_matrix:
+            Optional ``eta`` matrix enabling the probability upper bound
+            / error estimate of §VI-D.
+        min_epochs:
+            Minimum epochs before convergence may be declared.
+        """
+        start = time.perf_counter()
+        seeds = self.rng.integers(0, 2**63, size=self.n_chains)
+        chains = [
+            MetropolisHastingsChain(
+                self.records,
+                self.k,
+                self.target,
+                self._cached_pi,
+                self._pairwise,
+                np.random.default_rng(seed),
+                self._initial_state(np.random.default_rng(seed + 1)),
+            )
+            for seed in seeds
+        ]
+        trace = ConvergenceTrace(steps=[], psrf=[], elapsed=[])
+        converged = False
+        done = 0
+        while done < max_steps:
+            todo = min(epoch, max_steps - done)
+            for chain in chains:
+                chain.run(todo)
+            done += todo
+            try:
+                # Summarize states by log-probability: pi is heavy-tailed
+                # across the walk, and the PSRF of the raw values would
+                # be dominated by rare high-probability excursions.
+                summaries = [
+                    np.log(np.maximum(np.asarray(c.trace), 1e-300))
+                    for c in chains
+                ]
+                psrf = gelman_rubin(summaries)
+            except Exception:
+                psrf = float("inf")
+            trace.steps.append(done)
+            trace.psrf.append(psrf)
+            trace.elapsed.append(time.perf_counter() - start)
+            if len(trace.steps) >= min_epochs and psrf <= psrf_threshold:
+                converged = True
+                break
+
+        merged: Dict[Hashable, float] = {}
+        visit_totals: Dict[Hashable, int] = {}
+        for chain in chains:
+            for key, value in chain.visited.items():
+                existing = merged.get(key)
+                if existing is None or value > existing:
+                    merged[key] = value
+            for key, count in chain.visit_counts.items():
+                visit_totals[key] = visit_totals.get(key, 0) + count
+        total_visits = sum(visit_totals.values())
+        visit_frequencies = {
+            key: count / total_visits for key, count in visit_totals.items()
+        } if total_visits else {}
+        ranked = sorted(merged.items(), key=lambda kv: (-kv[1], str(kv[0])))
+        bound = None
+        if rank_matrix is not None:
+            bound = (
+                prefix_probability_upper_bound(rank_matrix, self.k)
+                if self.target == "prefix"
+                else set_probability_upper_bound(rank_matrix, self.k)
+            )
+        total_steps = sum(c.steps for c in chains)
+        accepted = sum(c.accepted for c in chains)
+        return MCMCResult(
+            answers=ranked[:top_l],
+            trace=trace,
+            converged=converged,
+            total_steps=total_steps,
+            acceptance_rate=accepted / total_steps if total_steps else 0.0,
+            elapsed=time.perf_counter() - start,
+            upper_bound=bound,
+            states_visited=len(merged),
+            probability_mass=min(sum(merged.values()), 1.0),
+            visit_frequencies=visit_frequencies,
+        )
+
+    @property
+    def pairwise_cache_stats(self) -> Optional[Tuple[int, int]]:
+        """(hits, misses) of the pairwise cache, if caching is enabled."""
+        if self._pairwise_cache is None:
+            return None
+        return (self._pairwise_cache.hits, self._pairwise_cache.misses)

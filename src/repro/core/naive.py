@@ -1,0 +1,62 @@
+"""Naive comparators the paper argues against (§I).
+
+Two simple ways to force a total order out of uncertain scores, both
+implemented here as baselines so their failure modes can be measured:
+
+- :func:`expected_score_ranking` — replace each score interval by its
+  expectation and sort. The paper's introduction shows why this is
+  unsound: records with equal expectations get an arbitrary order even
+  when the interval geometry makes some rankings five times likelier
+  than others (the [0,100]/[40,60]/[30,70] example).
+- :func:`mode_aggregation_ranking` — rank by most probable single rank
+  (argmax of each record's rank distribution); can produce rankings
+  that assign several records the same "best" rank.
+
+Both return deterministic rankings with the library's tie-breaking, so
+they slot into the same comparison harnesses as the real queries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .records import UncertainRecord
+
+__all__ = ["expected_score_ranking", "mode_aggregation_ranking"]
+
+
+def expected_score_ranking(
+    records: Sequence[UncertainRecord],
+) -> List[UncertainRecord]:
+    """Rank records by expected score, ties broken by record id.
+
+    The paper's §I criticism: for score intervals with large variance
+    this produces orders independent of how the intervals intersect.
+    """
+    return sorted(records, key=lambda r: (-r.score.mean(), r.record_id))
+
+
+def mode_aggregation_ranking(
+    rank_matrix: np.ndarray,
+    records: Sequence[UncertainRecord],
+) -> List[UncertainRecord]:
+    """Rank records by their individually most probable rank.
+
+    ``rank_matrix[t, r]`` is ``eta_{r+1}(t)``. Records are ordered by
+    (argmax rank, descending probability at it, record id). Unlike the
+    footrule aggregation of Theorem 2 this is not a proper assignment —
+    multiple records may claim the same mode — which is exactly why the
+    paper solves a matching problem instead; the function exists as the
+    strawman comparator.
+    """
+    matrix = np.asarray(rank_matrix, dtype=float)
+    if matrix.shape[0] != len(records):
+        raise ValueError("need one rank-distribution row per record")
+    keyed = []
+    for idx, rec in enumerate(records):
+        mode = int(np.argmax(matrix[idx]))
+        keyed.append((mode, -float(matrix[idx, mode]), rec.record_id, rec))
+    keyed.sort()
+    return [rec for _m, _p, _rid, rec in keyed]

@@ -1,0 +1,245 @@
+"""The probabilistic partial order (PPO) induced by uncertain scores.
+
+Implements Definitions 1-3 and 8 of the paper:
+
+- **Record dominance** (Def. 2): ``t_i`` dominates ``t_j`` iff
+  ``lo_i >= up_j``; ties between identical deterministic scores are
+  oriented by the deterministic tie-breaker ``tau`` so the relation stays
+  acyclic.
+- **PPO** (Def. 3): the strict partial order ``(R, O)`` of dominance plus
+  the probabilistic dominance relation ``P`` quantified by Eq. 1.
+- **Rank intervals** (Def. 8): the range of possible ranks of each record
+  across all linear extensions.
+
+Dominator/dominated counts are computed with sorted-array binary searches
+(vectorized over the whole database), so rank intervals and skylines cost
+``O(n log n)`` rather than ``O(n^2)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .errors import ModelError
+from .pairwise import PairwiseCache
+from .records import UncertainRecord, tie_break
+
+__all__ = ["dominates", "ProbabilisticPartialOrder"]
+
+
+def dominates(a: UncertainRecord, b: UncertainRecord) -> bool:
+    """Record dominance (paper Def. 2) with tie-breaking.
+
+    ``a`` dominates ``b`` iff ``lo_a >= up_b``. When both scores are
+    deterministic and equal, the tie-breaker ``tau`` orients the pair.
+    """
+    if a is b or a.record_id == b.record_id:
+        return False
+    if a.is_deterministic and b.is_deterministic and a.lower == b.lower:
+        return tie_break(a, b)
+    return a.lower >= b.upper
+
+
+class ProbabilisticPartialOrder:
+    """PPO over a set of uncertain records (paper Def. 3).
+
+    Parameters
+    ----------
+    records:
+        The database ``D``; record identifiers must be unique.
+    cache:
+        Optional shared :class:`~repro.core.pairwise.PairwiseCache` for
+        the probabilistic dominance probabilities.
+    """
+
+    def __init__(
+        self,
+        records: Sequence[UncertainRecord],
+        cache: Optional[PairwiseCache] = None,
+    ) -> None:
+        records = list(records)
+        seen = set()
+        for rec in records:
+            if rec.record_id in seen:
+                raise ModelError(f"duplicate record id {rec.record_id!r}")
+            seen.add(rec.record_id)
+        self.records: List[UncertainRecord] = records
+        self.cache = cache if cache is not None else PairwiseCache()
+        self._index: Dict[str, int] = {
+            rec.record_id: i for i, rec in enumerate(records)
+        }
+        self._lowers = np.array([r.lower for r in records], dtype=float)
+        self._uppers = np.array([r.upper for r in records], dtype=float)
+        self._sorted_lowers = np.sort(self._lowers)
+        self._sorted_uppers = np.sort(self._uppers)
+        self._det_groups = self._build_deterministic_groups()
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def record(self, record_id: str) -> UncertainRecord:
+        """Look up a record by identifier."""
+        return self.records[self._index[record_id]]
+
+    def _build_deterministic_groups(self) -> Dict[float, List[int]]:
+        """Group indices of deterministic records sharing a score value.
+
+        Only groups of size >= 2 are retained; they are the only places
+        where the tie-breaker affects dominance counts.
+        """
+        groups: Dict[float, List[int]] = {}
+        for i, rec in enumerate(self.records):
+            if rec.is_deterministic:
+                groups.setdefault(rec.lower, []).append(i)
+        return {
+            value: sorted(idxs, key=lambda i: self.records[i].record_id)
+            for value, idxs in groups.items()
+            if len(idxs) >= 2
+        }
+
+    # ------------------------------------------------------------------
+    # dominance structure
+    # ------------------------------------------------------------------
+
+    def dominator_count(self, rec: UncertainRecord) -> int:
+        """``|D-bar(t)|``: number of records dominating ``rec``."""
+        i = self._index[rec.record_id]
+        n = len(self.records)
+        # Records with lo >= up_i, then remove self-counting and correct
+        # ties among identical deterministic scores.
+        count = n - int(
+            np.searchsorted(self._sorted_lowers, self._uppers[i], side="left")
+        )
+        if self._lowers[i] >= self._uppers[i]:
+            count -= 1  # deterministic records must not count themselves
+        if rec.is_deterministic and rec.lower in self._det_groups:
+            group = self._det_groups[rec.lower]
+            position = group.index(i)
+            # All group members were counted as dominators via lo >= up;
+            # only those preceding `rec` in tie-break order actually
+            # dominate it.
+            count -= (len(group) - 1) - position
+        return count
+
+    def dominated_count(self, rec: UncertainRecord) -> int:
+        """``|D-underline(t)|``: number of records dominated by ``rec``."""
+        i = self._index[rec.record_id]
+        count = int(
+            np.searchsorted(self._sorted_uppers, self._lowers[i], side="right")
+        )
+        if self._lowers[i] >= self._uppers[i]:
+            count -= 1
+        if rec.is_deterministic and rec.lower in self._det_groups:
+            group = self._det_groups[rec.lower]
+            position = group.index(i)
+            count -= position
+        return count
+
+    def rank_interval(self, rec: UncertainRecord) -> Tuple[int, int]:
+        """Possible rank range of ``rec`` (paper Def. 8), 1-based."""
+        n = len(self.records)
+        return (
+            self.dominator_count(rec) + 1,
+            n - self.dominated_count(rec),
+        )
+
+    def skyline(self) -> List[UncertainRecord]:
+        """Records with no dominators (the non-dominated objects)."""
+        return [r for r in self.records if self.dominator_count(r) == 0]
+
+    def dominators(self, rec: UncertainRecord) -> List[UncertainRecord]:
+        """Records that dominate ``rec`` (explicit ``O(n)`` scan)."""
+        return [r for r in self.records if dominates(r, rec)]
+
+    def dominated(self, rec: UncertainRecord) -> List[UncertainRecord]:
+        """Records dominated by ``rec`` (explicit ``O(n)`` scan)."""
+        return [r for r in self.records if dominates(rec, r)]
+
+    # ------------------------------------------------------------------
+    # probabilistic dominance
+    # ------------------------------------------------------------------
+
+    def probability_greater(
+        self, a: UncertainRecord, b: UncertainRecord
+    ) -> float:
+        """``Pr(a > b)`` via the shared pairwise cache (Eq. 1)."""
+        return self.cache.probability(a, b)
+
+    def probabilistic_pairs(self) -> List[Tuple[UncertainRecord, UncertainRecord]]:
+        """Pairs in the probabilistic dominance relation ``P``.
+
+        These are exactly the unordered pairs with intersecting score
+        intervals where neither record dominates the other, i.e.
+        ``Pr(t_i > t_j)`` lies strictly inside ``(0, 1)``.
+        """
+        pairs = []
+        for a, b in itertools.combinations(self.records, 2):
+            if not dominates(a, b) and not dominates(b, a):
+                pairs.append((a, b))
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Hasse diagram
+    # ------------------------------------------------------------------
+
+    def hasse_edges(
+        self, max_records: int = 2000
+    ) -> List[Tuple[UncertainRecord, UncertainRecord]]:
+        """Edges of the Hasse diagram (transitive reduction of ``O``).
+
+        An edge ``(a, b)`` means ``a`` is ranked directly above ``b``.
+        Quadratic-to-cubic in the number of records, so guarded by
+        ``max_records``; intended for inspection and tests, not for bulk
+        query evaluation (which never needs the reduction).
+        """
+        n = len(self.records)
+        if n > max_records:
+            raise ModelError(
+                f"hasse_edges is limited to {max_records} records (got {n})"
+            )
+        edges = []
+        for a, b in itertools.permutations(self.records, 2):
+            if not dominates(a, b):
+                continue
+            # Keep the edge only if no intermediate c gives a 2-step path.
+            if any(
+                dominates(a, c) and dominates(c, b)
+                for c in self.records
+                if c is not a and c is not b
+            ):
+                continue
+            edges.append((a, b))
+        return edges
+
+    def to_networkx(self, reduced: bool = True):
+        """The dominance DAG as a :class:`networkx.DiGraph`.
+
+        Nodes are record identifiers. ``reduced`` selects the Hasse
+        diagram; otherwise the full dominance relation is returned.
+        """
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(r.record_id for r in self.records)
+        if reduced:
+            edge_iter: Iterable = self.hasse_edges()
+        else:
+            edge_iter = (
+                (a, b)
+                for a, b in itertools.permutations(self.records, 2)
+                if dominates(a, b)
+            )
+        graph.add_edges_from(
+            (a.record_id, b.record_id) for a, b in edge_iter
+        )
+        return graph

@@ -1,0 +1,198 @@
+"""Typed query and answer objects for the ranking query families.
+
+The paper defines three query classes (§II-B):
+
+- RECORD-RANK queries — :class:`UTopRankQuery` (Def. 4);
+- TOP-k queries — :class:`UTopPrefixQuery` (Def. 5) and
+  :class:`UTopSetQuery` (Def. 6), including their ``l``-answer variants;
+- RANK-AGGREGATION queries — :class:`RankAggQuery` (Def. 7).
+
+Answers carry their probability (or expected distance) plus evaluation
+metadata: which method produced them, how long evaluation took, how much
+of the database survived k-dominance pruning, and — for MCMC answers —
+the paper's probability-upper-bound error estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+from .errors import QueryError
+
+__all__ = [
+    "UTopRankQuery",
+    "UTopPrefixQuery",
+    "UTopSetQuery",
+    "RankAggQuery",
+    "RecordAnswer",
+    "PrefixAnswer",
+    "SetAnswer",
+    "RankAggAnswer",
+    "QueryResult",
+]
+
+
+@dataclass(frozen=True)
+class UTopRankQuery:
+    """UTop-Rank(i, j): most probable record(s) at a rank in ``[i, j]``."""
+
+    i: int
+    j: int
+    l: int = 1
+
+    def __post_init__(self) -> None:
+        if self.i < 1 or self.j < self.i:
+            raise QueryError(f"invalid rank range [{self.i}, {self.j}]")
+        if self.l < 1:
+            raise QueryError("l must be positive")
+
+
+@dataclass(frozen=True)
+class UTopPrefixQuery:
+    """UTop-Prefix(k): most probable k-length linear-extension prefix(es)."""
+
+    k: int
+    l: int = 1
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise QueryError("k must be positive")
+        if self.l < 1:
+            raise QueryError("l must be positive")
+
+
+@dataclass(frozen=True)
+class UTopSetQuery:
+    """UTop-Set(k): most probable top-k record set(s)."""
+
+    k: int
+    l: int = 1
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise QueryError("k must be positive")
+        if self.l < 1:
+            raise QueryError("l must be positive")
+
+
+@dataclass(frozen=True)
+class RankAggQuery:
+    """Rank-Agg: footrule-optimal consensus over linear extensions."""
+
+    distance: str = "footrule"
+
+    def __post_init__(self) -> None:
+        if self.distance != "footrule":
+            raise QueryError(
+                "only the footrule distance admits the polynomial "
+                f"aggregation algorithm (got {self.distance!r})"
+            )
+
+
+@dataclass(frozen=True)
+class RecordAnswer:
+    """One UTop-Rank answer: a record and its rank-range probability."""
+
+    record_id: str
+    probability: float
+
+
+@dataclass(frozen=True)
+class PrefixAnswer:
+    """One UTop-Prefix answer: an ordered prefix and its probability."""
+
+    prefix: Tuple[str, ...]
+    probability: float
+
+
+@dataclass(frozen=True)
+class SetAnswer:
+    """One UTop-Set answer: an unordered top-k set and its probability."""
+
+    members: FrozenSet[str]
+    probability: float
+
+
+@dataclass(frozen=True)
+class RankAggAnswer:
+    """A Rank-Agg answer: the consensus ranking and its expected distance."""
+
+    ranking: Tuple[str, ...]
+    expected_distance: float
+
+
+@dataclass
+class QueryResult:
+    """Evaluation outcome: answers plus execution metadata.
+
+    Attributes
+    ----------
+    answers:
+        Ranked best-first; element type depends on the query family.
+    method:
+        ``"exact"``, ``"montecarlo"``, ``"mcmc"``, or ``"baseline"``.
+    elapsed:
+        Wall-clock evaluation time in seconds.
+    database_size / pruned_size:
+        Record counts before and after k-dominance pruning.
+    error_bound:
+        For approximate TOP-k answers: the §VI-D upper-bound gap, when
+        available.
+    diagnostics:
+        Free-form extras (e.g. MCMC convergence traces).
+    """
+
+    answers: List
+    method: str
+    elapsed: float
+    database_size: int
+    pruned_size: int
+    error_bound: Optional[float] = None
+    diagnostics: dict = field(default_factory=dict)
+
+    @property
+    def top(self):
+        """The single best answer (or ``None`` when empty)."""
+        return self.answers[0] if self.answers else None
+
+    def to_dict(self) -> dict:
+        """JSON-serializable rendition of the result.
+
+        Answer objects become plain dicts (frozensets become sorted
+        lists) so the result can be returned from a web service or
+        logged verbatim.
+        """
+
+        def encode(answer):
+            if isinstance(answer, RecordAnswer):
+                return {
+                    "record_id": answer.record_id,
+                    "probability": answer.probability,
+                }
+            if isinstance(answer, PrefixAnswer):
+                return {
+                    "prefix": list(answer.prefix),
+                    "probability": answer.probability,
+                }
+            if isinstance(answer, SetAnswer):
+                return {
+                    "members": sorted(answer.members),
+                    "probability": answer.probability,
+                }
+            if isinstance(answer, RankAggAnswer):
+                return {
+                    "ranking": list(answer.ranking),
+                    "expected_distance": answer.expected_distance,
+                }
+            return answer  # pragma: no cover - future answer kinds
+
+        return {
+            "answers": [encode(a) for a in self.answers],
+            "method": self.method,
+            "elapsed": self.elapsed,
+            "database_size": self.database_size,
+            "pruned_size": self.pruned_size,
+            "error_bound": self.error_bound,
+            "diagnostics": dict(self.diagnostics),
+        }

@@ -1,0 +1,90 @@
+"""Records with uncertain scores and the deterministic tie-breaker.
+
+A record couples an identifier, a :class:`~repro.core.distributions.
+ScoreDistribution`, and an optional attribute payload (used by the
+:mod:`repro.db` substrate to carry the original tuple).
+
+The paper (§II-A) assumes a transitive, deterministic tie-breaker ``tau``
+over records with identical deterministic scores; we realize ``tau`` by
+comparing record identifiers, which is transitive by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from .distributions import PointScore, ScoreDistribution, UniformScore
+from .errors import ModelError
+
+__all__ = ["UncertainRecord", "tie_break", "certain", "uniform"]
+
+
+@dataclass(frozen=True)
+class UncertainRecord:
+    """A database record whose score is a probability distribution.
+
+    Parameters
+    ----------
+    record_id:
+        Unique identifier; also the deterministic tie-breaker key.
+    score:
+        The score distribution ``f_i`` on ``[lo_i, up_i]``.
+    payload:
+        Optional mapping of original attribute values (informational).
+    """
+
+    record_id: str
+    score: ScoreDistribution
+    payload: Optional[Mapping[str, Any]] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.record_id:
+            raise ModelError("record_id must be a non-empty string")
+
+    @property
+    def lower(self) -> float:
+        """Score interval lower bound ``lo_i``."""
+        return self.score.lower
+
+    @property
+    def upper(self) -> float:
+        """Score interval upper bound ``up_i``."""
+        return self.score.upper
+
+    @property
+    def is_deterministic(self) -> bool:
+        """Whether the record's score is certain."""
+        return self.score.is_deterministic
+
+    def __repr__(self) -> str:
+        return (
+            f"UncertainRecord({self.record_id!r}, "
+            f"[{self.lower}, {self.upper}])"
+        )
+
+
+def tie_break(a: UncertainRecord, b: UncertainRecord) -> bool:
+    """The paper's tie-breaker ``tau``: whether ``a`` ranks above ``b``.
+
+    Only meaningful for records with identical deterministic scores; we
+    order by record identifier, which is deterministic and transitive.
+    """
+    return a.record_id < b.record_id
+
+
+def certain(record_id: str, score: float, **payload: Any) -> UncertainRecord:
+    """Convenience constructor for a record with a deterministic score."""
+    return UncertainRecord(record_id, PointScore(score), payload or None)
+
+
+def uniform(
+    record_id: str, lower: float, upper: float, **payload: Any
+) -> UncertainRecord:
+    """Convenience constructor for a record with a uniform score interval.
+
+    A zero-width interval degrades gracefully to a deterministic score.
+    """
+    if lower == upper:
+        return certain(record_id, lower, **payload)
+    return UncertainRecord(record_id, UniformScore(lower, upper), payload or None)

@@ -1,0 +1,196 @@
+"""Validation of user-supplied score models.
+
+The evaluators trust that every :class:`ScoreDistribution` is a proper
+probability distribution on its declared interval. Library-provided
+families guarantee that by construction, but the ABC is open — a user
+can plug in a custom subclass, and a buggy ``cdf`` silently corrupts
+every probability downstream. This module provides the checks a
+database would run at ingestion time:
+
+- :func:`validate_distribution` — support declaration, CDF boundary
+  values, monotonicity, pdf/cdf consistency, ppf inversion, and
+  sampling support, each reported as a named
+  :class:`ValidationIssue`.
+- :func:`validate_records` — per-record validation plus database-level
+  checks (duplicate ids).
+
+Checks are numeric (grid- and sample-based), so they are probabilistic
+guarantees, not proofs; tolerances are explicit parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .distributions import ScoreDistribution
+from .errors import ModelError
+from .records import UncertainRecord
+
+__all__ = ["ValidationIssue", "validate_distribution", "validate_records"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One detected problem: a machine-readable code plus a message."""
+
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.code}] {self.message}"
+
+
+def validate_distribution(
+    dist: ScoreDistribution,
+    grid_points: int = 257,
+    samples: int = 2_000,
+    tolerance: float = 1e-6,
+    rng: np.random.Generator | None = None,
+) -> List[ValidationIssue]:
+    """Check one distribution; returns the (possibly empty) issue list."""
+    issues: List[ValidationIssue] = []
+    lo, up = dist.lower, dist.upper
+    if not (np.isfinite(lo) and np.isfinite(up)):
+        issues.append(
+            ValidationIssue("support", "support bounds must be finite")
+        )
+        return issues
+    if lo > up:
+        issues.append(
+            ValidationIssue("support", f"lower {lo} exceeds upper {up}")
+        )
+        return issues
+
+    span = max(up - lo, 1.0)
+    below = lo - 0.01 * span
+    above = up + 0.01 * span
+    if dist.cdf(below) > tolerance:
+        issues.append(
+            ValidationIssue(
+                "cdf-left", f"cdf({below}) = {dist.cdf(below)} != 0 below support"
+            )
+        )
+    if abs(dist.cdf(above) - 1.0) > tolerance:
+        issues.append(
+            ValidationIssue(
+                "cdf-right",
+                f"cdf({above}) = {dist.cdf(above)} != 1 above support",
+            )
+        )
+
+    if not dist.is_deterministic:
+        xs = np.linspace(lo, up, grid_points)
+        cdf = np.asarray(dist.cdf(xs), dtype=float)
+        if np.any(np.diff(cdf) < -tolerance):
+            issues.append(
+                ValidationIssue("cdf-monotone", "cdf decreases on its support")
+            )
+        if np.any(cdf < -tolerance) or np.any(cdf > 1.0 + tolerance):
+            issues.append(
+                ValidationIssue("cdf-range", "cdf leaves the [0, 1] range")
+            )
+        pdf = np.asarray(dist.pdf(xs), dtype=float)
+        if np.any(pdf < -tolerance):
+            issues.append(
+                ValidationIssue("pdf-negative", "pdf takes negative values")
+            )
+        if np.all(np.isfinite(pdf)):
+            # Trapezoid integral of the pdf should approximate 1.
+            total = float(np.trapezoid(pdf, xs))
+            if abs(total - 1.0) > 0.05:
+                issues.append(
+                    ValidationIssue(
+                        "pdf-mass",
+                        f"pdf integrates to {total:.4f}, expected ~1",
+                    )
+                )
+            # pdf/cdf consistency at interior points.
+            mid = (xs[:-1] + xs[1:]) / 2.0
+            increments = np.diff(cdf)
+            approx = np.asarray(dist.pdf(mid)) * np.diff(xs)
+            if np.any(
+                np.abs(approx - increments)
+                > 0.2 * (np.abs(increments) + 1.0 / grid_points)
+            ):
+                issues.append(
+                    ValidationIssue(
+                        "pdf-cdf", "pdf is inconsistent with cdf increments"
+                    )
+                )
+
+        qs = np.linspace(0.01, 0.99, 25)
+        ppf = np.asarray(dist.ppf(qs), dtype=float)
+        if np.any(ppf < lo - tolerance * span) or np.any(
+            ppf > up + tolerance * span
+        ):
+            issues.append(
+                ValidationIssue("ppf-range", "ppf leaves the support")
+            )
+        roundtrip = np.asarray(dist.cdf(ppf), dtype=float)
+        if np.any(np.abs(roundtrip - qs) > 0.02):
+            issues.append(
+                ValidationIssue("ppf-inverse", "cdf(ppf(q)) deviates from q")
+            )
+
+    generator = rng if rng is not None else np.random.default_rng(0)
+    try:
+        drawn = np.atleast_1d(dist.sample(generator, samples))
+    except Exception as exc:  # pragma: no cover - defensive
+        issues.append(
+            ValidationIssue("sample-error", f"sampling raised {exc!r}")
+        )
+        return issues
+    if drawn.size != samples:
+        issues.append(
+            ValidationIssue(
+                "sample-shape",
+                f"requested {samples} samples, got {drawn.size}",
+            )
+        )
+    if drawn.size and (
+        drawn.min() < lo - tolerance * span
+        or drawn.max() > up + tolerance * span
+    ):
+        issues.append(
+            ValidationIssue(
+                "sample-support", "samples fall outside the support"
+            )
+        )
+    return issues
+
+
+def validate_records(
+    records: Sequence[UncertainRecord],
+    raise_on_issue: bool = False,
+    **kwargs,
+) -> dict[str, List[ValidationIssue]]:
+    """Validate a whole database; returns issues keyed by record id.
+
+    Database-level problems (duplicate ids) are keyed under ``"*"``.
+    With ``raise_on_issue=True`` the first problem raises
+    :class:`~repro.core.errors.ModelError` instead.
+    """
+    report: dict[str, List[ValidationIssue]] = {}
+    seen: set[str] = set()
+    duplicates: List[str] = []
+    for rec in records:
+        if rec.record_id in seen:
+            duplicates.append(rec.record_id)
+        seen.add(rec.record_id)
+    if duplicates:
+        report["*"] = [
+            ValidationIssue(
+                "duplicate-ids", f"duplicate record ids: {sorted(duplicates)}"
+            )
+        ]
+    for rec in records:
+        issues = validate_distribution(rec.score, **kwargs)
+        if issues:
+            report[rec.record_id] = issues
+    if report and raise_on_issue:
+        rid, issues = next(iter(report.items()))
+        raise ModelError(f"record {rid!r}: {issues[0]}")
+    return report

@@ -1,0 +1,29 @@
+"""Dataset generators for the paper's experimental workloads.
+
+- :mod:`repro.datasets.synthetic` — the Syn-u-0.5 / Syn-g-0.5 /
+  Syn-e-0.5 interval workloads of §VII.
+- :mod:`repro.datasets.apartments` / :mod:`repro.datasets.cars` —
+  synthetic stand-ins for the paper's scraped *Apts* (apartments.com,
+  65% uncertain rent) and *Cars* (carpages.ca, 10% uncertain price)
+  datasets (see DESIGN.md §4 for the substitution rationale).
+- :mod:`repro.datasets.sensors` — interval sensor readings for the
+  UTop-Rank "hottest locations" application.
+"""
+
+from .apartments import apartment_records, generate_apartments
+from .cars import car_records, generate_cars
+from .scraped import generate_scraped_csv
+from .sensors import generate_sensor_readings, sensor_records
+from .synthetic import paper_dataset_suite, synthetic_records
+
+__all__ = [
+    "apartment_records",
+    "car_records",
+    "generate_apartments",
+    "generate_cars",
+    "generate_scraped_csv",
+    "generate_sensor_readings",
+    "paper_dataset_suite",
+    "sensor_records",
+    "synthetic_records",
+]

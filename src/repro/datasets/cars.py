@@ -1,0 +1,113 @@
+"""Simulated used-car ads (stand-in for the paper's *Cars* data).
+
+The paper scraped 10,000 car ads from carpages.ca with 10% uncertain
+price. This generator synthesizes ads with a depreciation-curve price
+model (price falls exponentially with vehicle age, with condition
+noise); 10% of ads quote price ranges or omit the price. The ranking
+attribute is price with "cheaper is better" scoring.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.errors import ModelError
+from ..core.records import UncertainRecord
+from ..db.scoring import InverseAttributeScore
+from ..db.table import UncertainTable
+
+__all__ = ["PRICE_DOMAIN", "generate_cars", "car_records", "car_scoring"]
+
+#: Price domain in dollars used by the scoring function.
+PRICE_DOMAIN = (500.0, 60000.0)
+
+# Vehicle segments: (new price mean, std, mix weight).
+_SEGMENTS = (
+    (18000.0, 2500.0, 0.45),
+    (28000.0, 4000.0, 0.35),
+    (45000.0, 7000.0, 0.2),
+)
+
+#: Depreciation time constant in years.
+_DEPRECIATION_TAU = 6.0
+
+
+def generate_cars(
+    size: int,
+    seed: Optional[int] = None,
+    uncertain_fraction: float = 0.10,
+    missing_fraction: float = 0.03,
+) -> UncertainTable:
+    """Generate an :class:`UncertainTable` of car ads.
+
+    Parameters mirror :func:`repro.datasets.apartments.generate_apartments`
+    with the paper's 10% uncertainty rate as the default.
+    """
+    if size < 1:
+        raise ModelError("size must be positive")
+    if not 0.0 <= missing_fraction <= uncertain_fraction <= 1.0:
+        raise ModelError(
+            "need 0 <= missing_fraction <= uncertain_fraction <= 1"
+        )
+    rng = np.random.default_rng(seed)
+    weights = np.array([s[2] for s in _SEGMENTS])
+    segments = rng.choice(
+        len(_SEGMENTS), size=size, p=weights / weights.sum()
+    )
+    new_price = rng.normal(
+        [_SEGMENTS[s][0] for s in segments],
+        [_SEGMENTS[s][1] for s in segments],
+    )
+    age = rng.uniform(0.0, 15.0, size)
+    condition = rng.lognormal(0.0, 0.12, size)
+    price = np.clip(
+        np.round(new_price * np.exp(-age / _DEPRECIATION_TAU) * condition, -2),
+        PRICE_DOMAIN[0],
+        PRICE_DOMAIN[1],
+    )
+    u = rng.random(size)
+    is_missing = u < missing_fraction
+    is_range = (~is_missing) & (u < uncertain_fraction)
+    half_width = np.maximum(np.round(price * 0.08, -2), 100.0)
+    mileage = np.round(np.clip(rng.normal(15000 * age, 8000), 0, 400000))
+    width = len(str(size))
+    rows = []
+    for i in range(size):
+        if is_missing[i]:
+            cell = None
+        elif is_range[i]:
+            low = max(PRICE_DOMAIN[0], price[i] - half_width[i])
+            high = min(PRICE_DOMAIN[1], price[i] + half_width[i])
+            cell = (float(low), float(high)) if low < high else float(low)
+        else:
+            cell = float(price[i])
+        rows.append(
+            {
+                "id": f"car-{i:0{width}d}",
+                "price": cell,
+                "age": float(np.round(age[i], 1)),
+                "mileage": float(mileage[i]),
+            }
+        )
+    return UncertainTable(
+        "cars", ["id", "price", "age", "mileage"], rows, key="id",
+        uncertain_columns=["price"]
+    )
+
+
+def car_scoring(scale: float = 10.0) -> InverseAttributeScore:
+    """The paper's price scoring: the cheaper the car, the higher."""
+    return InverseAttributeScore("price", PRICE_DOMAIN, scale=scale)
+
+
+def car_records(
+    size: int,
+    seed: Optional[int] = None,
+    uncertain_fraction: float = 0.10,
+    scale: float = 10.0,
+) -> List[UncertainRecord]:
+    """Ranked-ready car records (table generation + scoring)."""
+    table = generate_cars(size, seed=seed, uncertain_fraction=uncertain_fraction)
+    return table.to_records(car_scoring(scale), payload_columns=["age", "mileage"])

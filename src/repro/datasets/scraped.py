@@ -1,0 +1,79 @@
+"""Synthetic "scraped" CSV listings (messy-string form of the Apts data).
+
+The paper's pipeline starts from scraped web pages whose cells are
+strings in inconsistent formats. :func:`generate_scraped_csv` renders
+the simulated apartment data the way a scraper would actually see it —
+"$1,200", "$650-$1,100", "negotiable", "~800", "700+" — producing input
+for :func:`repro.db.parsing.table_from_csv` and the end-to-end example.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Optional
+
+import numpy as np
+
+from ..core.errors import ModelError
+
+__all__ = ["generate_scraped_csv"]
+
+
+def _money(value: float) -> str:
+    return f"${value:,.0f}"
+
+
+def generate_scraped_csv(
+    size: int,
+    seed: Optional[int] = None,
+    uncertain_fraction: float = 0.65,
+) -> str:
+    """CSV text of ``size`` apartment listings with messy string cells.
+
+    Columns: ``id, rent, area, rooms``. The rent column mixes exact
+    prices, ranges, "negotiable", approximate ("~") and open-ended
+    ("+") quotes at roughly the paper's 65% uncertainty rate; areas are
+    sometimes approximate.
+    """
+    if size < 1:
+        raise ModelError("size must be positive")
+    if not 0.0 <= uncertain_fraction <= 1.0:
+        raise ModelError("uncertain_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    # Gamma-shaped rents: strictly above $450, long right tail, no
+    # boundary atom (a clipped Gaussian would pile mass at the minimum).
+    rent = np.clip(
+        np.round((450.0 + rng.gamma(4.0, 180.0, size)) / 25.0) * 25.0,
+        450.0,
+        3400.0,
+    )
+    area = np.round(np.clip(rng.normal(750.0, 220.0, size), 250.0, 2400.0))
+    rooms = rng.integers(1, 5, size)
+    styles = rng.random(size)
+    width = len(str(size))
+    out = io.StringIO()
+    out.write("id,rent,area,rooms\n")
+    for i in range(size):
+        rid = f"listing-{i:0{width}d}"
+        u = styles[i]
+        if u < uncertain_fraction * 0.25:
+            rent_cell = "negotiable"
+        elif u < uncertain_fraction * 0.75:
+            half = max(float(rng.uniform(0.05, 0.25)) * rent[i], 25.0)
+            low = max(400.0, rent[i] - half)
+            high = min(3400.0, rent[i] + half)
+            rent_cell = f"{_money(low)}-{_money(high)}"
+        elif u < uncertain_fraction * 0.9:
+            rent_cell = f"~{rent[i]:,.0f}"
+        elif u < uncertain_fraction:
+            rent_cell = f"{rent[i]:,.0f}+"
+        else:
+            rent_cell = _money(rent[i])
+        if rng.random() < 0.3:
+            area_cell = f"~{area[i]:.0f}"
+        else:
+            area_cell = f"{area[i]:.0f} sq ft"
+        out.write(
+            f'{rid},"{rent_cell}","{area_cell}",{int(rooms[i])}\n'
+        )
+    return out.getvalue()

@@ -1,0 +1,47 @@
+"""Uncertain-relation substrate.
+
+A small in-memory database layer that turns raw tuples with uncertain
+attributes (missing values, ranges, weighted imputations) into the
+:class:`~repro.core.records.UncertainRecord` model the ranking engines
+consume — the role the paper's motivating apartment/car tables play.
+"""
+
+from .attributes import (
+    ExactValue,
+    IntervalValue,
+    MissingValue,
+    UncertainValue,
+    WeightedValue,
+    wrap_value,
+)
+from .indexes import ScoreBoundIndex
+from .io import dump_table, dumps_table, load_table, loads_table
+from .parsing import parse_uncertain_number, table_from_csv
+from .scoring import (
+    AttributeScore,
+    CombinedScoring,
+    InverseAttributeScore,
+    ScoringFunction,
+)
+from .table import UncertainTable
+
+__all__ = [
+    "AttributeScore",
+    "CombinedScoring",
+    "ExactValue",
+    "IntervalValue",
+    "InverseAttributeScore",
+    "MissingValue",
+    "ScoreBoundIndex",
+    "ScoringFunction",
+    "UncertainTable",
+    "UncertainValue",
+    "WeightedValue",
+    "dump_table",
+    "dumps_table",
+    "load_table",
+    "loads_table",
+    "parse_uncertain_number",
+    "table_from_csv",
+    "wrap_value",
+]

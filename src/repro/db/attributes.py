@@ -1,0 +1,143 @@
+"""Uncertain attribute values.
+
+The paper's motivating tables (Fig. 1) contain four kinds of attribute
+obscurity, all modeled here:
+
+- :class:`ExactValue` — an ordinary known value;
+- :class:`IntervalValue` — a range quote ("$650-$1100");
+- :class:`MissingValue` — absent or "negotiable" entries;
+- :class:`WeightedValue` — a discrete distribution of candidate values,
+  e.g. produced by an imputation model (§II-A cites multiple-imputation
+  learning methods).
+
+Scoring functions (:mod:`repro.db.scoring`) translate these into score
+distributions on a fixed score interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple, Union
+
+from ..core.errors import ModelError
+
+__all__ = [
+    "UncertainValue",
+    "ExactValue",
+    "IntervalValue",
+    "MissingValue",
+    "WeightedValue",
+    "wrap_value",
+]
+
+
+@dataclass(frozen=True)
+class ExactValue:
+    """A known attribute value."""
+
+    value: float
+
+    @property
+    def bounds(self) -> Tuple[float, float]:
+        """(min, max) possible attribute values."""
+        return (self.value, self.value)
+
+    @property
+    def is_uncertain(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class IntervalValue:
+    """An attribute known only up to a closed interval."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ModelError(
+                f"invalid attribute interval [{self.low}, {self.high}]"
+            )
+
+    @property
+    def bounds(self) -> Tuple[float, float]:
+        return (self.low, self.high)
+
+    @property
+    def is_uncertain(self) -> bool:
+        return self.low < self.high
+
+
+@dataclass(frozen=True)
+class MissingValue:
+    """A completely unknown attribute (missing / "negotiable")."""
+
+    @property
+    def bounds(self) -> Tuple[float, float]:
+        raise ModelError(
+            "a missing value has no intrinsic bounds; the scoring "
+            "function supplies the attribute domain"
+        )
+
+    @property
+    def is_uncertain(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class WeightedValue:
+    """A discrete distribution of candidate attribute values."""
+
+    values: Tuple[float, ...]
+    weights: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ModelError("weighted value needs at least one candidate")
+        if len(self.values) != len(self.weights):
+            raise ModelError("need one weight per candidate value")
+        if any(w <= 0 for w in self.weights):
+            raise ModelError("candidate weights must be positive")
+        if len(set(self.values)) != len(self.values):
+            raise ModelError("candidate values must be distinct")
+
+    @property
+    def bounds(self) -> Tuple[float, float]:
+        return (min(self.values), max(self.values))
+
+    @property
+    def is_uncertain(self) -> bool:
+        return len(self.values) > 1
+
+
+UncertainValue = Union[ExactValue, IntervalValue, MissingValue, WeightedValue]
+
+
+def wrap_value(raw) -> UncertainValue:
+    """Coerce a raw cell into an :data:`UncertainValue`.
+
+    Accepts numbers (exact), ``None`` (missing), 2-tuples/lists
+    (intervals), existing uncertain values (pass-through), and
+    ``(values, weights)`` pairs of sequences (weighted).
+    """
+    if isinstance(
+        raw, (ExactValue, IntervalValue, MissingValue, WeightedValue)
+    ):
+        return raw
+    if raw is None:
+        return MissingValue()
+    if isinstance(raw, (int, float)):
+        return ExactValue(float(raw))
+    if isinstance(raw, (tuple, list)) and len(raw) == 2:
+        first, second = raw
+        if isinstance(first, (int, float)) and isinstance(second, (int, float)):
+            if first == second:
+                return ExactValue(float(first))
+            return IntervalValue(float(first), float(second))
+        if isinstance(first, Sequence) and isinstance(second, Sequence):
+            return WeightedValue(
+                tuple(float(v) for v in first),
+                tuple(float(w) for w in second),
+            )
+    raise ModelError(f"cannot interpret {raw!r} as an uncertain value")

@@ -1,0 +1,87 @@
+"""Score-bound indexes supporting k-dominance pruning (paper §VI-A).
+
+The paper assumes two access paths for Algorithm 2: the list ``U`` of
+records in descending score-upper-bound order, and an index over score
+lower bounds from which ``t(k)`` (the k-th largest lower bound) is read.
+:class:`ScoreBoundIndex` maintains both as sorted structures so that, as
+the paper notes, they "can be pre-computed for heavily-used scoring
+functions" and reused across queries with different ``k``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.errors import ModelError, QueryError
+from ..core.pruning import ShrinkResult, shrink_database
+from ..core.records import UncertainRecord
+
+__all__ = ["ScoreBoundIndex"]
+
+
+class ScoreBoundIndex:
+    """Maintains ``U`` and the lower-bound order for a record set.
+
+    Supports incremental insertion so a long-lived database can keep the
+    index current; lookups are binary searches.
+    """
+
+    def __init__(self, records: Optional[Sequence[UncertainRecord]] = None) -> None:
+        # Parallel sorted structures keyed for binary search. ``_upper``
+        # is ascending on (-upper, id) i.e. the paper's descending-U.
+        self._upper: List[Tuple[float, str]] = []
+        self._upper_records: List[UncertainRecord] = []
+        self._lower: List[Tuple[float, str]] = []
+        self._lower_records: List[UncertainRecord] = []
+        self._ids: set[str] = set()
+        for rec in records or []:
+            self.insert(rec)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def insert(self, rec: UncertainRecord) -> None:
+        """Add one record to both sorted orders."""
+        if rec.record_id in self._ids:
+            raise ModelError(f"duplicate record id {rec.record_id!r}")
+        self._ids.add(rec.record_id)
+        up_key = (-rec.upper, rec.record_id)
+        pos = bisect.bisect_left(self._upper, up_key)
+        self._upper.insert(pos, up_key)
+        self._upper_records.insert(pos, rec)
+        lo_key = (-rec.lower, rec.record_id)
+        pos = bisect.bisect_left(self._lower, lo_key)
+        self._lower.insert(pos, lo_key)
+        self._lower_records.insert(pos, rec)
+
+    def remove(self, rec: UncertainRecord) -> None:
+        """Remove one record from both sorted orders."""
+        if rec.record_id not in self._ids:
+            raise ModelError(f"unknown record id {rec.record_id!r}")
+        self._ids.remove(rec.record_id)
+        up_key = (-rec.upper, rec.record_id)
+        pos = bisect.bisect_left(self._upper, up_key)
+        del self._upper[pos]
+        del self._upper_records[pos]
+        lo_key = (-rec.lower, rec.record_id)
+        pos = bisect.bisect_left(self._lower, lo_key)
+        del self._lower[pos]
+        del self._lower_records[pos]
+
+    def upper_bound_list(self) -> List[UncertainRecord]:
+        """The list ``U``: records by descending score upper bound."""
+        return list(self._upper_records)
+
+    def kth_largest_lower(self, k: int) -> UncertainRecord:
+        """``t(k)``: the record with the k-th largest score lower bound."""
+        if k < 1 or k > len(self._lower_records):
+            raise QueryError(
+                f"k={k} outside index of {len(self._lower_records)} records"
+            )
+        return self._lower_records[k - 1]
+
+    def shrink(self, k: int) -> ShrinkResult:
+        """Run Algorithm 2 against the precomputed ``U`` list."""
+        records = list(self._upper_records)
+        return shrink_database(records, k, upper_list=records)

@@ -1,0 +1,188 @@
+"""Parsing scraped text into uncertain attribute values.
+
+The paper's motivating data (Fig. 1) is scraped web listings whose cells
+arrive as *strings*: "$1,200", "$650-$1,100", "negotiable", "700+",
+"~950 sq ft". This module turns such strings into the
+:mod:`repro.db.attributes` model so a scraping pipeline can feed the
+ranking engine directly:
+
+- :func:`parse_uncertain_number` — one cell to an uncertain value;
+- :func:`table_from_csv` — a whole CSV document to an
+  :class:`~repro.db.table.UncertainTable`.
+
+Recognized shapes (after currency/unit stripping):
+
+=====================  ============================================
+input                  result
+=====================  ============================================
+``"1200"``             ``ExactValue(1200)``
+``"$1,200.50"``        ``ExactValue(1200.5)``
+``"650-1100"``         ``IntervalValue(650, 1100)`` (also ``–``/``to``)
+``"700+"``             ``IntervalValue(700, 700 * (1 + open_fraction))``
+``"~950"``             ``IntervalValue(950·(1-a), 950·(1+a))``
+``""/"negotiable"``    ``MissingValue()`` (configurable token set)
+=====================  ============================================
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import re
+from typing import IO, Dict, Iterable, Optional, Sequence, Union
+
+from ..core.errors import ModelError
+from .attributes import ExactValue, IntervalValue, MissingValue, UncertainValue
+from .table import UncertainTable
+
+__all__ = ["parse_uncertain_number", "table_from_csv", "DEFAULT_MISSING_TOKENS"]
+
+#: Strings (lower-cased, stripped) treated as missing values.
+DEFAULT_MISSING_TOKENS = frozenset(
+    {"", "-", "--", "n/a", "na", "none", "null", "unknown", "negotiable",
+     "call", "call for price", "tbd", "?"}
+)
+
+_NUMBER = r"[-+]?\d{1,3}(?:,\d{3})*(?:\.\d+)?|[-+]?\d+(?:\.\d+)?"
+_RANGE_SEPARATOR = r"(?:-|–|—|to|/)"
+_RANGE_RE = re.compile(
+    rf"^\s*({_NUMBER})\s*{_RANGE_SEPARATOR}\s*({_NUMBER})\s*$",
+    re.IGNORECASE,
+)
+_PLUS_RE = re.compile(rf"^\s*({_NUMBER})\s*\+\s*$")
+_APPROX_RE = re.compile(
+    rf"^\s*(?:~|about|approx\.?|approximately|ca\.?)\s*({_NUMBER})\s*$",
+    re.IGNORECASE,
+)
+_EXACT_RE = re.compile(rf"^\s*({_NUMBER})\s*$")
+_STRIP_RE = re.compile(r"[$€£¥]|\b(?:usd|eur|cad|sq\.?\s*ft\.?|sqft|ft²|m²)\b",
+                       re.IGNORECASE)
+
+
+def _to_float(token: str) -> float:
+    return float(token.replace(",", ""))
+
+
+def parse_uncertain_number(
+    raw,
+    missing_tokens: Iterable[str] = DEFAULT_MISSING_TOKENS,
+    open_fraction: float = 0.5,
+    approx_fraction: float = 0.1,
+) -> UncertainValue:
+    """Parse one scraped cell into an uncertain value.
+
+    Parameters
+    ----------
+    raw:
+        The cell: a string, a number, or ``None``.
+    missing_tokens:
+        Lower-cased strings treated as missing.
+    open_fraction:
+        Width of the interval created for open-ended values: ``"700+"``
+        becomes ``[700, 700 * (1 + open_fraction)]``.
+    approx_fraction:
+        Half-width fraction for approximate values: ``"~950"`` becomes
+        ``[950 * (1 - a), 950 * (1 + a)]``.
+
+    Raises
+    ------
+    ModelError
+        If the cell cannot be interpreted.
+    """
+    if raw is None:
+        return MissingValue()
+    if isinstance(raw, (int, float)):
+        return ExactValue(float(raw))
+    if not isinstance(raw, str):
+        raise ModelError(f"cannot parse {raw!r} as an uncertain number")
+    text = _STRIP_RE.sub("", raw).strip()
+    if text.lower() in {t.lower() for t in missing_tokens}:
+        return MissingValue()
+
+    match = _RANGE_RE.match(text)
+    if match:
+        low, high = _to_float(match.group(1)), _to_float(match.group(2))
+        if low > high:
+            low, high = high, low
+        if low == high:
+            return ExactValue(low)
+        return IntervalValue(low, high)
+
+    match = _PLUS_RE.match(text)
+    if match:
+        base = _to_float(match.group(1))
+        spread = abs(base) * open_fraction
+        if spread == 0.0:
+            return ExactValue(base)
+        return IntervalValue(base, base + spread)
+
+    match = _APPROX_RE.match(text)
+    if match:
+        center = _to_float(match.group(1))
+        spread = abs(center) * approx_fraction
+        if spread == 0.0:
+            return ExactValue(center)
+        return IntervalValue(center - spread, center + spread)
+
+    match = _EXACT_RE.match(text)
+    if match:
+        return ExactValue(_to_float(match.group(1)))
+
+    raise ModelError(f"cannot parse {raw!r} as an uncertain number")
+
+
+def table_from_csv(
+    source: Union[str, IO[str]],
+    name: str,
+    key: str,
+    uncertain_columns: Sequence[str],
+    missing_tokens: Iterable[str] = DEFAULT_MISSING_TOKENS,
+    open_fraction: float = 0.5,
+    approx_fraction: float = 0.1,
+    payload_columns: Optional[Sequence[str]] = None,
+) -> UncertainTable:
+    """Build an :class:`UncertainTable` from CSV text or an open file.
+
+    ``uncertain_columns`` are parsed with :func:`parse_uncertain_number`;
+    other columns are kept as plain strings (or, for columns named in
+    ``payload_columns``, parsed as floats when possible).
+    """
+    handle = io.StringIO(source) if isinstance(source, str) else source
+    reader = csv.DictReader(handle)
+    if reader.fieldnames is None:
+        raise ModelError("CSV input has no header row")
+    columns = list(reader.fieldnames)
+    if key not in columns:
+        raise ModelError(f"key column {key!r} missing from CSV header")
+    unknown = set(uncertain_columns) - set(columns)
+    if unknown:
+        raise ModelError(f"unknown uncertain columns {sorted(unknown)!r}")
+    payload = set(payload_columns or [])
+    rows = []
+    for line_no, raw_row in enumerate(reader, start=2):
+        row: Dict = {}
+        for col in columns:
+            cell = raw_row.get(col)
+            if col in uncertain_columns:
+                try:
+                    row[col] = parse_uncertain_number(
+                        cell,
+                        missing_tokens=missing_tokens,
+                        open_fraction=open_fraction,
+                        approx_fraction=approx_fraction,
+                    )
+                except ModelError as exc:
+                    raise ModelError(
+                        f"line {line_no}, column {col!r}: {exc}"
+                    ) from exc
+            elif col in payload and cell is not None:
+                try:
+                    row[col] = float(cell.replace(",", ""))
+                except (ValueError, AttributeError):
+                    row[col] = cell
+            else:
+                row[col] = cell
+        rows.append(row)
+    return UncertainTable(
+        name, columns, rows, key=key, uncertain_columns=list(uncertain_columns)
+    )

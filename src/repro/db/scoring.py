@@ -1,0 +1,186 @@
+"""Scoring functions: uncertain attributes to score distributions.
+
+The paper scores apartments by rent and cars by price ("the cheaper, the
+higher the score") over a fixed score interval (``[0, 10]`` in its
+running example). A :class:`ScoringFunction` maps one uncertain attribute
+value to a :class:`~repro.core.distributions.ScoreDistribution` on
+``[0, scale]``:
+
+- exact values map to deterministic scores,
+- intervals map to uniform score intervals (the paper's model),
+- missing values map to the full score range (the paper's treatment of
+  the unknown-rent apartment ``a4``),
+- weighted imputations map to discrete score distributions.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence, Tuple
+
+from ..core.distributions import (
+    ConvolutionScore,
+    DiscreteScore,
+    PointScore,
+    ScoreDistribution,
+    UniformScore,
+)
+from ..core.errors import ModelError
+from .attributes import (
+    ExactValue,
+    IntervalValue,
+    MissingValue,
+    UncertainValue,
+    WeightedValue,
+    wrap_value,
+)
+
+__all__ = [
+    "ScoringFunction",
+    "AttributeScore",
+    "InverseAttributeScore",
+    "CombinedScoring",
+]
+
+
+class ScoringFunction(ABC):
+    """Maps an uncertain attribute value to a score distribution.
+
+    Parameters
+    ----------
+    attribute:
+        Column name the function reads.
+    domain:
+        ``(low, high)`` attribute domain; values are clipped to it and a
+        :class:`MissingValue` spreads over all of it.
+    scale:
+        Upper end of the produced score interval ``[0, scale]``.
+    """
+
+    def __init__(
+        self, attribute: str, domain: tuple[float, float], scale: float = 10.0
+    ) -> None:
+        low, high = domain
+        if low >= high:
+            raise ModelError(f"invalid attribute domain [{low}, {high}]")
+        if scale <= 0:
+            raise ModelError("score scale must be positive")
+        self.attribute = attribute
+        self.domain = (float(low), float(high))
+        self.scale = float(scale)
+
+    @abstractmethod
+    def score_value(self, value: float) -> float:
+        """Score of one concrete attribute value."""
+
+    @property
+    def attributes(self) -> List[str]:
+        """Columns this function reads (one for single-attribute rules)."""
+        return [self.attribute]
+
+    def score_row(self, row) -> ScoreDistribution:
+        """Score distribution for a whole table row."""
+        return self(row[self.attribute])
+
+    def _clip(self, value: float) -> float:
+        low, high = self.domain
+        return min(max(value, low), high)
+
+    def __call__(self, raw) -> ScoreDistribution:
+        """Score distribution for an (uncertain) attribute value."""
+        value: UncertainValue = wrap_value(raw)
+        if isinstance(value, MissingValue):
+            return UniformScore(0.0, self.scale)
+        if isinstance(value, ExactValue):
+            return PointScore(self.score_value(self._clip(value.value)))
+        if isinstance(value, IntervalValue):
+            a = self.score_value(self._clip(value.low))
+            b = self.score_value(self._clip(value.high))
+            lo, up = (a, b) if a <= b else (b, a)
+            if lo == up:
+                return PointScore(lo)
+            return UniformScore(lo, up)
+        if isinstance(value, WeightedValue):
+            scores = [self.score_value(self._clip(v)) for v in value.values]
+            if len(set(scores)) == 1:
+                return PointScore(scores[0])
+            # Merge candidates that clip to the same score.
+            merged: dict[float, float] = {}
+            for s, w in zip(scores, value.weights):
+                merged[s] = merged.get(s, 0.0) + w
+            if len(merged) == 1:
+                return PointScore(next(iter(merged)))
+            return DiscreteScore(list(merged), list(merged.values()))
+        raise ModelError(f"unsupported uncertain value {value!r}")
+
+
+class AttributeScore(ScoringFunction):
+    """Monotone-increasing score: larger attribute values score higher."""
+
+    def score_value(self, value: float) -> float:
+        low, high = self.domain
+        return self.scale * (value - low) / (high - low)
+
+
+class InverseAttributeScore(ScoringFunction):
+    """Monotone-decreasing score: the paper's "cheaper is better" rule."""
+
+    def score_value(self, value: float) -> float:
+        low, high = self.domain
+        return self.scale * (high - value) / (high - low)
+
+
+class CombinedScoring:
+    """Weighted combination of per-attribute scoring functions.
+
+    The paper defines scoring functions over "one or more scoring
+    predicates"; this realizes the multi-predicate case: each term is an
+    ordinary single-attribute :class:`ScoringFunction` with a weight,
+    and a record's total score is the weighted sum of its per-attribute
+    scores. With independent attribute uncertainties the total score's
+    distribution is their convolution
+    (:class:`~repro.core.distributions.ConvolutionScore`).
+
+    Example: rank apartments on cheap rent *and* large area::
+
+        CombinedScoring([
+            (InverseAttributeScore("rent", RENT_DOMAIN), 0.7),
+            (AttributeScore("area", (150.0, 2500.0)), 0.3),
+        ])
+    """
+
+    def __init__(
+        self,
+        terms: Sequence[Tuple[ScoringFunction, float]],
+        grid_points: int = 2048,
+    ) -> None:
+        if not terms:
+            raise ModelError("combined scoring needs at least one term")
+        for _fn, weight in terms:
+            if weight <= 0:
+                raise ModelError("term weights must be positive")
+        self.terms = list(terms)
+        self.grid_points = grid_points
+
+    @property
+    def attributes(self) -> List[str]:
+        """All columns the combination reads."""
+        return [fn.attribute for fn, _w in self.terms]
+
+    @property
+    def scale(self) -> float:
+        """Upper end of the combined score range."""
+        return float(sum(fn.scale * w for fn, w in self.terms))
+
+    def score_row(self, row) -> ScoreDistribution:
+        """Score distribution of one row: the weighted-sum convolution."""
+        distributions = [fn(row[fn.attribute]) for fn, _w in self.terms]
+        weights = [w for _fn, w in self.terms]
+        if all(d.is_deterministic for d in distributions):
+            total = sum(
+                w * d.lower for d, w in zip(distributions, weights)
+            )
+            return PointScore(total)
+        return ConvolutionScore(
+            distributions, weights, grid_points=self.grid_points
+        )

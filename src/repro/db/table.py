@@ -1,0 +1,226 @@
+"""In-memory uncertain relations.
+
+:class:`UncertainTable` is a minimal relational substrate: named columns,
+rows whose cells may be uncertain (see :mod:`repro.db.attributes`),
+selection/projection, and — the step every query in the paper starts
+from — conversion to ranked :class:`~repro.core.records.UncertainRecord`
+lists via a :class:`~repro.db.scoring.ScoringFunction`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from ..core.errors import ModelError
+from ..core.records import UncertainRecord
+from .attributes import (
+    ExactValue,
+    IntervalValue,
+    MissingValue,
+    WeightedValue,
+    wrap_value,
+)
+
+from .scoring import ScoringFunction
+
+__all__ = ["UncertainTable"]
+
+_UNCERTAIN_TYPES = (ExactValue, IntervalValue, MissingValue, WeightedValue)
+
+
+class UncertainTable:
+    """A named relation whose cells may carry uncertain values.
+
+    Parameters
+    ----------
+    name:
+        Relation name (informational).
+    columns:
+        Ordered column names; must include ``key``.
+    rows:
+        Iterable of mappings from column name to raw cell values; cells
+        are coerced with :func:`~repro.db.attributes.wrap_value` except
+        for the key column and non-numeric payload columns, which are
+        kept verbatim.
+    key:
+        Column holding the unique record identifier.
+    uncertain_columns:
+        Columns whose cells are coerced to uncertain values. ``None``
+        (the default) coerces every coercible non-key cell; passing an
+        explicit list keeps payload columns as plain Python values,
+        which is friendlier to predicates and display.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[str],
+        rows: Iterable[Dict],
+        key: str = "id",
+        uncertain_columns: Optional[Sequence[str]] = None,
+    ) -> None:
+        if key not in columns:
+            raise ModelError(f"key column {key!r} missing from columns")
+        if uncertain_columns is not None:
+            unknown = set(uncertain_columns) - set(columns)
+            if unknown:
+                raise ModelError(f"unknown uncertain columns {unknown!r}")
+        self.name = name
+        self.columns = list(columns)
+        self.key = key
+        self.uncertain_columns = (
+            None if uncertain_columns is None else set(uncertain_columns)
+        )
+        self.rows: List[Dict] = []
+        seen = set()
+        for raw_row in rows:
+            row = {}
+            for col in self.columns:
+                if col not in raw_row:
+                    raise ModelError(
+                        f"row is missing column {col!r}: {raw_row!r}"
+                    )
+                cell = raw_row[col]
+                wrap = (
+                    col != self.key
+                    and not isinstance(cell, str)
+                    and (
+                        self.uncertain_columns is None
+                        or col in self.uncertain_columns
+                    )
+                )
+                if not wrap:
+                    row[col] = cell
+                else:
+                    try:
+                        row[col] = wrap_value(cell)
+                    except ModelError:
+                        row[col] = cell
+            key_value = str(row[self.key])
+            if key_value in seen:
+                raise ModelError(f"duplicate key {key_value!r}")
+            seen.add(key_value)
+            row[self.key] = key_value
+            self.rows.append(row)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Dict]:
+        return iter(self.rows)
+
+    # ------------------------------------------------------------------
+    # relational operations
+    # ------------------------------------------------------------------
+
+    def select(self, predicate: Callable[[Dict], bool]) -> "UncertainTable":
+        """Rows satisfying ``predicate`` as a new table."""
+        table = UncertainTable.__new__(UncertainTable)
+        table.name = self.name
+        table.columns = list(self.columns)
+        table.key = self.key
+        table.uncertain_columns = self.uncertain_columns
+        table.rows = [row for row in self.rows if predicate(row)]
+        return table
+
+    def project(self, columns: Sequence[str]) -> "UncertainTable":
+        """Keep only ``columns`` (the key is always retained)."""
+        cols = list(columns)
+        if self.key not in cols:
+            cols = [self.key] + cols
+        missing = [c for c in cols if c not in self.columns]
+        if missing:
+            raise ModelError(f"unknown columns {missing!r}")
+        table = UncertainTable.__new__(UncertainTable)
+        table.name = self.name
+        table.columns = cols
+        table.key = self.key
+        table.uncertain_columns = self.uncertain_columns
+        table.rows = [{c: row[c] for c in cols} for row in self.rows]
+        return table
+
+    def head(self, n: int) -> "UncertainTable":
+        """The first ``n`` rows as a new table."""
+        table = UncertainTable.__new__(UncertainTable)
+        table.name = self.name
+        table.columns = list(self.columns)
+        table.key = self.key
+        table.uncertain_columns = self.uncertain_columns
+        table.rows = self.rows[:n]
+        return table
+
+    def column(self, name: str) -> List:
+        """All values of one column."""
+        if name not in self.columns:
+            raise ModelError(f"unknown column {name!r}")
+        return [row[name] for row in self.rows]
+
+    # ------------------------------------------------------------------
+    # bridging to the ranking model
+    # ------------------------------------------------------------------
+
+    def to_records(
+        self,
+        scoring: ScoringFunction,
+        payload_columns: Optional[Sequence[str]] = None,
+    ) -> List[UncertainRecord]:
+        """Score every row and return ranking-ready records.
+
+        ``scoring`` reads its configured attribute column(s) — both
+        single-attribute :class:`~repro.db.scoring.ScoringFunction` and
+        multi-attribute :class:`~repro.db.scoring.CombinedScoring` rules
+        are accepted; the optional ``payload_columns`` are attached to
+        each record for display.
+        """
+        needed = (
+            list(scoring.attributes)
+            if hasattr(scoring, "attributes")
+            else [scoring.attribute]
+        )
+        missing = [c for c in needed if c not in self.columns]
+        if missing:
+            raise ModelError(
+                f"scoring attributes {missing!r} are not columns"
+            )
+        keep = list(payload_columns) if payload_columns else []
+        records = []
+        for row in self.rows:
+            distribution = scoring.score_row(row)
+            payload = {c: row[c] for c in keep} if keep else None
+            records.append(
+                UncertainRecord(row[self.key], distribution, payload)
+            )
+        return records
+
+    def rank(
+        self,
+        scoring: ScoringFunction,
+        k: int = 10,
+        l: Optional[int] = None,
+        seed: Optional[int] = None,
+        **engine_kwargs,
+    ):
+        """One-call ranking: score the table and run UTop-Rank(1, k).
+
+        Returns the :class:`~repro.core.queries.QueryResult` of
+        ``l``-UTop-Rank(1, k) (``l`` defaults to ``k``) over this
+        table's rows. Additional keyword arguments configure the
+        underlying :class:`~repro.core.engine.RankingEngine`.
+        """
+        from ..core.engine import RankingEngine
+
+        records = self.to_records(scoring)
+        engine = RankingEngine(records, seed=seed, **engine_kwargs)
+        return engine.utop_rank(1, k, l=l if l is not None else k)
+
+    def uncertainty_rate(self, column: str) -> float:
+        """Fraction of rows whose ``column`` value is uncertain."""
+        values = self.column(column)
+        if not values:
+            return 0.0
+        uncertain = sum(
+            1
+            for v in values
+            if isinstance(v, _UNCERTAIN_TYPES) and v.is_uncertain
+        )
+        return uncertain / len(values)

@@ -1,0 +1,36 @@
+"""Experiment runners reproducing the paper's evaluation (Figures 7-14).
+
+Each ``figXX_*`` module exposes a ``run(...)`` function returning the
+rows/series the corresponding paper figure plots, plus a ``main()`` that
+prints them as a text table. The benchmark suite under ``benchmarks/``
+drives the same runners through ``pytest-benchmark``.
+"""
+
+from . import (
+    fig07_shrinkage,
+    fig08_accesses,
+    fig09_mc_accuracy,
+    fig10_mc_vs_baseline,
+    fig11_utoprank_time,
+    fig12_sampling_time,
+    fig13_convergence,
+    fig14_coverage,
+    report,
+    scalability,
+)
+from .harness import format_table, paper_suite
+
+__all__ = [
+    "fig07_shrinkage",
+    "fig08_accesses",
+    "fig09_mc_accuracy",
+    "fig10_mc_vs_baseline",
+    "fig11_utoprank_time",
+    "fig12_sampling_time",
+    "fig13_convergence",
+    "fig14_coverage",
+    "report",
+    "scalability",
+    "format_table",
+    "paper_suite",
+]

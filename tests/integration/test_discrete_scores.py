@@ -1,0 +1,83 @@
+"""End-to-end behaviour with discrete (multiple-imputation) scores.
+
+Multi-atom :class:`DiscreteScore` densities are sums of Dirac masses;
+they have no pdf, so the exact engine refuses them and every query must
+route through sampling. Ground truth is computable by brute force over
+atom combinations, which these tests use to pin the estimates.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import DiscreteScore
+from repro.core.engine import RankingEngine
+from repro.core.exact import supports_exact
+from repro.core.montecarlo import MonteCarloEvaluator
+from repro.core.records import UncertainRecord, certain
+
+
+@pytest.fixture
+def db():
+    return [
+        UncertainRecord("x", DiscreteScore([2.0, 6.0], [0.5, 0.5])),
+        UncertainRecord("y", DiscreteScore([3.0, 5.0], [0.4, 0.6])),
+        certain("z", 4.0),
+    ]
+
+
+def brute_force_top1(db):
+    """Exact Pr(top-1) per record by enumerating atom combinations."""
+    atoms = []
+    for rec in db:
+        if isinstance(rec.score, DiscreteScore):
+            atoms.append(
+                list(zip(rec.score.values, rec.score.weights))
+            )
+        else:
+            atoms.append([(rec.lower, 1.0)])
+    totals = {rec.record_id: 0.0 for rec in db}
+    for combo in itertools.product(*atoms):
+        prob = float(np.prod([w for _v, w in combo]))
+        values = [v for v, _w in combo]
+        # Ties resolved by record id (tau), consistent with the library.
+        best = max(
+            range(len(db)),
+            key=lambda i: (values[i], -ord(db[i].record_id[0])),
+        )
+        totals[db[best].record_id] += prob
+    return totals
+
+
+class TestDiscreteRouting:
+    def test_not_exact(self, db):
+        assert not supports_exact(db)
+
+    def test_engine_routes_to_sampling(self, db):
+        engine = RankingEngine(db, seed=0)
+        result = engine.utop_rank(1, 1, l=3)
+        assert result.method == "montecarlo"
+
+    def test_top1_probabilities_match_brute_force(self, db):
+        truth = brute_force_top1(db)
+        sampler = MonteCarloEvaluator(db, rng=np.random.default_rng(1))
+        matrix = sampler.rank_probability_matrix(100_000, max_rank=1)
+        for rec, estimate in zip(db, matrix[:, 0]):
+            assert estimate == pytest.approx(
+                truth[rec.record_id], abs=0.01
+            )
+
+    def test_prefix_via_mcmc_with_mc_oracle(self, db):
+        engine = RankingEngine(db, seed=2, prefix_enumeration_limit=0)
+        result = engine.utop_prefix(2, method="mcmc")
+        assert result.method == "mcmc"
+        assert len(result.top.prefix) == 2
+        assert 0.0 < result.top.probability <= 1.0
+
+    def test_sis_estimator_handles_atoms(self, db):
+        # SIS draws from ppf; for discrete scores that samples atoms.
+        sampler = MonteCarloEvaluator(db, rng=np.random.default_rng(3))
+        value = sampler.prefix_probability_sis(["x", "y"], 50_000)
+        indicator = sampler.prefix_probability(["x", "y"], 50_000)
+        assert value == pytest.approx(indicator, abs=0.02)

@@ -1,0 +1,83 @@
+"""The shipped examples must run end-to-end and print sane output."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        out = _run_example("quickstart", capsys)
+        assert "skyline" in out
+        assert "UTop-Prefix(3)" in out
+        assert "a1" in out
+
+    def test_apartment_search(self, capsys):
+        out = _run_example("apartment_search", capsys)
+        assert "uncertain rent" in out
+        assert "Algorithm 2 pruned" in out
+        assert "Pr=" in out
+
+    def test_sensor_hotspots(self, capsys):
+        out = _run_example("sensor_hotspots", capsys)
+        assert "skyline" in out
+        assert "UTop-Rank(1, 1)" in out
+
+    def test_competition_outcomes(self, capsys):
+        out = _run_example("competition_outcomes", capsys)
+        assert "Gold-medal" in out
+        assert "finishing-place distribution" in out
+
+    def test_correlated_sensors(self, capsys):
+        out = _run_example("correlated_sensors", capsys)
+        assert "Independent scores" in out
+        assert "correlated:" in out
+
+    def test_membership_vs_score(self, capsys):
+        out = _run_example("membership_vs_score", capsys)
+        assert "Score uncertainty" in out
+        assert "U-Top2" in out
+
+    def test_multi_criteria_search(self, capsys):
+        out = _run_example("multi_criteria_search", capsys)
+        assert "rent weight" in out
+        assert "penthouse" in out
+
+    def test_scraped_listings(self, capsys):
+        out = _run_example("scraped_listings", capsys)
+        assert "uncertain rent" in out
+        assert "Pr(top-10)" in out
+
+
+class TestProductAggregationExample:
+    def test_both_entry_points(self, capsys):
+        path = EXAMPLES_DIR / "product_rank_aggregation.py"
+        spec = importlib.util.spec_from_file_location("example_pra", path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[spec.name] = module
+        try:
+            spec.loader.exec_module(module)
+            module.consensus_from_fuzzy_reviews()
+            module.figure6_voter_aggregation()
+        finally:
+            sys.modules.pop(spec.name, None)
+        out = capsys.readouterr().out
+        assert "Consensus product ranking" in out
+        assert "consensus: t1 > t2 > t3" in out

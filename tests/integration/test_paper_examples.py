@@ -1,0 +1,174 @@
+"""Golden integration tests: every worked example in the paper's body.
+
+These pin the reproduction to the numbers printed in the paper
+(Figures 2-6 and the introduction's example). The paper's own values are
+Monte-Carlo estimates rounded to 2-3 digits; our exact engine recovers
+the underlying rational numbers, so assertions use the paper's printed
+precision against our exact output.
+"""
+
+import itertools
+
+import pytest
+
+from repro import (
+    ExactEvaluator,
+    ProbabilisticPartialOrder,
+    RankingEngine,
+    probability_greater,
+)
+from repro.core.linext import enumerate_extensions
+
+
+class TestIntroductionExample:
+    """a1=[0,100], a2=[40,60], a3=[30,70]: equal means, unequal rankings."""
+
+    def test_expected_scores_are_equal(self, intro_db):
+        assert all(r.score.mean() == pytest.approx(50.0) for r in intro_db)
+
+    def test_ranking_probabilities(self, intro_db):
+        evaluator = ExactEvaluator(intro_db)
+        paper_values = {
+            ("a1", "a2", "a3"): 0.25,
+            ("a1", "a3", "a2"): 0.2,
+            ("a2", "a1", "a3"): 0.05,
+            ("a2", "a3", "a1"): 0.2,
+            ("a3", "a1", "a2"): 0.05,
+            ("a3", "a2", "a1"): 0.25,
+        }
+        by_id = {r.record_id: r for r in intro_db}
+        for ids, printed in paper_values.items():
+            exact = evaluator.extension_probability([by_id[i] for i in ids])
+            assert exact == pytest.approx(printed, abs=0.01)
+
+    def test_distribution_is_nonuniform(self, intro_db):
+        evaluator = ExactEvaluator(intro_db)
+        probs = [
+            evaluator.extension_probability(p)
+            for p in itertools.permutations(intro_db)
+        ]
+        assert max(probs) > 2 * min(probs)
+        assert sum(probs) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestFigure2:
+    """The five-apartment example with its partial order."""
+
+    def test_skyline(self, figure2_db):
+        ppo = ProbabilisticPartialOrder(figure2_db)
+        assert {r.record_id for r in ppo.skyline()} == {"a1", "a4"}
+
+    def test_ten_linear_extensions(self, figure2_db):
+        ppo = ProbabilisticPartialOrder(figure2_db)
+        extensions = {
+            tuple(r.record_id for r in e) for e in enumerate_extensions(ppo)
+        }
+        # Figure 2(c) lists exactly these ten.
+        assert extensions == {
+            ("a1", "a2", "a3", "a4", "a5"),
+            ("a1", "a2", "a3", "a5", "a4"),
+            ("a1", "a2", "a4", "a3", "a5"),
+            ("a1", "a3", "a2", "a4", "a5"),
+            ("a1", "a3", "a2", "a5", "a4"),
+            ("a1", "a3", "a4", "a2", "a5"),
+            ("a1", "a4", "a2", "a3", "a5"),
+            ("a1", "a4", "a3", "a2", "a5"),
+            ("a4", "a1", "a2", "a3", "a5"),
+            ("a4", "a1", "a3", "a2", "a5"),
+        }
+
+    def test_a1_tops_eight_of_ten_extensions(self, figure2_db):
+        ppo = ProbabilisticPartialOrder(figure2_db)
+        tops = [
+            next(iter(e)).record_id for e in enumerate_extensions(ppo)
+        ]
+        assert tops.count("a1") == 8
+        assert tops.count("a4") == 2
+
+
+class TestFigure3And4:
+    """The six-record running example and its PPO."""
+
+    def test_pairwise_probabilities(self, paper_db):
+        by_id = {r.record_id: r for r in paper_db}
+        assert probability_greater(by_id["t1"], by_id["t2"]) == pytest.approx(0.5)
+        assert probability_greater(by_id["t2"], by_id["t3"]) == pytest.approx(0.9375)
+        assert probability_greater(by_id["t3"], by_id["t4"]) == pytest.approx(
+            0.9583, abs=5e-5
+        )
+        assert probability_greater(by_id["t2"], by_id["t5"]) == pytest.approx(0.25)
+
+    def test_seven_extensions_with_paper_probabilities(self, paper_db):
+        evaluator = ExactEvaluator(paper_db)
+        ppo = ProbabilisticPartialOrder(paper_db)
+        probs = {
+            tuple(r.record_id for r in e): evaluator.extension_probability(e)
+            for e in enumerate_extensions(ppo)
+        }
+        assert len(probs) == 7
+        # Figure 4's printed Monte-Carlo values (0.418, 0.02, 0.063,
+        # 0.24, 0.01, 0.24, 0.01) match the exact values to ~0.01.
+        assert probs[("t5", "t1", "t2", "t3", "t4", "t6")] == pytest.approx(0.418, abs=0.01)
+        assert probs[("t5", "t1", "t2", "t4", "t3", "t6")] == pytest.approx(0.02, abs=0.01)
+        assert probs[("t5", "t1", "t3", "t2", "t4", "t6")] == pytest.approx(0.063, abs=0.01)
+        assert probs[("t5", "t2", "t1", "t3", "t4", "t6")] == pytest.approx(0.24, abs=0.01)
+        assert probs[("t5", "t2", "t1", "t4", "t3", "t6")] == pytest.approx(0.01, abs=0.01)
+        assert probs[("t2", "t5", "t1", "t3", "t4", "t6")] == pytest.approx(0.24, abs=0.01)
+        assert probs[("t2", "t5", "t1", "t4", "t3", "t6")] == pytest.approx(0.01, abs=0.01)
+        assert sum(probs.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_utop_rank_1_2_is_t5_with_certainty(self, paper_db):
+        engine = RankingEngine(paper_db, seed=0)
+        result = engine.utop_rank(1, 2)
+        assert result.top.record_id == "t5"
+        assert result.top.probability == pytest.approx(1.0)
+
+    def test_rank_intervals(self, paper_db):
+        ppo = ProbabilisticPartialOrder(paper_db)
+        by_id = {r.record_id: r for r in paper_db}
+        # §VI-C: "for D = {t1, t2, t3, t5} ... the rank interval of t5
+        # is [1, 2]" — in the full 6-record database t5 spans [1, 2] too.
+        assert ppo.rank_interval(by_id["t5"]) == (1, 2)
+
+
+class TestFigure5:
+    """Depth-3 prefixes with their probabilities."""
+
+    def test_prefix_probabilities(self, paper_db):
+        evaluator = ExactEvaluator(paper_db)
+        by_id = {r.record_id: r for r in paper_db}
+
+        def prob(*ids):
+            return evaluator.prefix_probability([by_id[i] for i in ids])
+
+        # Figure 5 prints 0.438 / 0.063 / 0.25 / 0.25.
+        assert prob("t5", "t1", "t2") == pytest.approx(0.438, abs=0.001)
+        assert prob("t5", "t1", "t3") == pytest.approx(0.063, abs=0.001)
+        assert prob("t5", "t2", "t1") == pytest.approx(0.25, abs=0.001)
+        assert prob("t2", "t5", "t1") == pytest.approx(0.25, abs=0.001)
+
+    def test_utop_prefix_and_set_answers(self, paper_db):
+        engine = RankingEngine(paper_db, seed=0)
+        prefix = engine.utop_prefix(3).top
+        assert prefix.prefix == ("t5", "t1", "t2")
+        assert prefix.probability == pytest.approx(0.438, abs=0.001)
+        top_set = engine.utop_set(3).top
+        assert top_set.members == frozenset({"t1", "t2", "t5"})
+        assert top_set.probability == pytest.approx(0.937, abs=0.001)
+
+
+class TestFigure6:
+    """Bipartite matching for rank aggregation."""
+
+    def test_min_cost_matching(self):
+        import numpy as np
+
+        from repro.core.rank_agg import optimal_rank_aggregation
+        from repro.core.records import certain
+
+        records = [certain("t1", 3.0), certain("t2", 2.0), certain("t3", 1.0)]
+        eta = np.array(
+            [[0.8, 0.2, 0.0], [0.2, 0.5, 0.3], [0.0, 0.3, 0.7]]
+        )
+        ranking, _cost = optimal_rank_aggregation(eta, records)
+        assert [r.record_id for r in ranking] == ["t1", "t2", "t3"]

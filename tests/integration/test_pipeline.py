@@ -1,0 +1,120 @@
+"""End-to-end pipeline tests: table -> scoring -> pruning -> queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import RankingEngine
+from repro.core.pruning import shrink_database
+from repro.datasets.apartments import apartment_scoring, generate_apartments
+from repro.datasets.sensors import generate_sensor_readings, sensor_scoring
+from repro.db.attributes import ExactValue, IntervalValue, MissingValue
+
+
+class TestApartmentPipeline:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return generate_apartments(800, seed=21)
+
+    def test_selection_then_ranking(self, table):
+        candidates = table.select(lambda row: row["rooms"] >= 2)
+        records = candidates.to_records(apartment_scoring())
+        engine = RankingEngine(records, seed=3)
+        result = engine.utop_rank(1, 5, l=5)
+        assert len(result.answers) == 5
+        assert result.pruned_size < len(records)
+        ids = {row["id"] for row in candidates}
+        assert all(a.record_id in ids for a in result.answers)
+
+    def test_cheap_certain_listing_beats_expensive(self, table):
+        records = table.to_records(apartment_scoring())
+        by_id = {r.record_id: r for r in records}
+        certain_rows = [
+            row
+            for row in table
+            if isinstance(row["rent"], ExactValue)
+        ]
+        cheapest = min(certain_rows, key=lambda r: r["rent"].value)
+        priciest = max(certain_rows, key=lambda r: r["rent"].value)
+        from repro.core.pairwise import probability_greater
+
+        assert (
+            probability_greater(
+                by_id[cheapest["id"]], by_id[priciest["id"]]
+            )
+            == 1.0
+        )
+
+    def test_missing_rent_spans_full_score_range(self, table):
+        records = table.to_records(apartment_scoring())
+        by_id = {r.record_id: r for r in records}
+        for row in table:
+            if isinstance(row["rent"], MissingValue):
+                rec = by_id[row["id"]]
+                assert (rec.lower, rec.upper) == (0.0, 10.0)
+                break
+        else:
+            pytest.skip("no missing rents in this draw")
+
+    def test_range_rent_maps_to_interval_score(self, table):
+        records = table.to_records(apartment_scoring())
+        by_id = {r.record_id: r for r in records}
+        for row in table:
+            if isinstance(row["rent"], IntervalValue):
+                rec = by_id[row["id"]]
+                assert rec.upper > rec.lower
+                break
+
+
+class TestSensorPipeline:
+    def test_top_k_hottest(self):
+        table = generate_sensor_readings(300, seed=31)
+        records = table.to_records(sensor_scoring())
+        engine = RankingEngine(records, seed=4)
+        result = engine.utop_rank(1, 5, l=5)
+        # The answers must be hot sensors: their score intervals overlap
+        # the maximum upper bound region.
+        threshold = max(r.upper for r in records) - 3.0
+        by_id = {r.record_id: r for r in records}
+        for answer in result.answers:
+            assert by_id[answer.record_id].upper >= threshold - 5.0
+
+    def test_pruning_then_query_equals_query_on_full(self):
+        table = generate_sensor_readings(200, seed=32)
+        records = table.to_records(sensor_scoring())
+        kept = shrink_database(records, 3).kept
+        full_engine = RankingEngine(records, seed=5, prune=False)
+        pruned_engine = RankingEngine(kept, seed=5, prune=False)
+        if len(kept) > 20:
+            pytest.skip("pruned set too large for exact comparison")
+        full = full_engine.utop_rank(1, 3, l=3, method="exact")
+        pruned = pruned_engine.utop_rank(1, 3, l=3, method="exact")
+        assert [a.record_id for a in full.answers] == [
+            a.record_id for a in pruned.answers
+        ]
+        for a, b in zip(full.answers, pruned.answers):
+            assert a.probability == pytest.approx(b.probability, abs=1e-9)
+
+
+class TestLemma1:
+    """Pruning must not change any UTop-Rank(i, k) answer (Lemma 1)."""
+
+    def test_pruned_and_full_rank_probabilities_agree(self):
+        rng = np.random.default_rng(41)
+        from conftest import random_interval_db
+        from repro.core.exact import ExactEvaluator
+
+        records = random_interval_db(rng, 14)
+        k = 3
+        kept = shrink_database(records, k).kept
+        if len(kept) == len(records):
+            pytest.skip("nothing pruned in this draw")
+        full = ExactEvaluator(records)
+        pruned = ExactEvaluator(kept)
+        for rec in kept:
+            for i in range(1, k + 1):
+                assert pruned.rank_probabilities(rec, max_rank=k)[
+                    i - 1
+                ] == pytest.approx(
+                    full.rank_probabilities(rec, max_rank=k)[i - 1],
+                    abs=1e-9,
+                )

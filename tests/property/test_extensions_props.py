@@ -1,0 +1,141 @@
+"""Property tests for the extension modules (parsing, membership,
+convolution, correlation)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distributions import ConvolutionScore, UniformScore
+from repro.db.attributes import ExactValue, IntervalValue
+from repro.db.parsing import parse_uncertain_number
+from repro.related.membership import MembershipRecord, MembershipTopK
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+
+@st.composite
+def money_strings(draw):
+    value = draw(st.integers(min_value=0, max_value=5_000_000))
+    comma = draw(st.booleans())
+    dollar = draw(st.booleans())
+    text = f"{value:,}" if comma else str(value)
+    return (f"${text}" if dollar else text), float(value)
+
+
+@given(money_strings())
+@settings(max_examples=80, deadline=None)
+def test_money_parses_to_exact(case):
+    text, value = case
+    assert parse_uncertain_number(text) == ExactValue(value)
+
+
+@given(money_strings(), money_strings())
+@settings(max_examples=80, deadline=None)
+def test_ranges_normalize(low_case, high_case):
+    (low_text, low), (high_text, high) = low_case, high_case
+    parsed = parse_uncertain_number(f"{low_text}-{high_text}")
+    expected_low, expected_high = min(low, high), max(low, high)
+    if expected_low == expected_high:
+        assert parsed == ExactValue(expected_low)
+    else:
+        assert parsed == IntervalValue(expected_low, expected_high)
+
+
+@given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_numbers_pass_through(value):
+    parsed = parse_uncertain_number(value)
+    assert parsed == ExactValue(float(value))
+
+
+# ----------------------------------------------------------------------
+# membership model
+# ----------------------------------------------------------------------
+
+@st.composite
+def membership_dbs(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    records = []
+    for i in range(n):
+        records.append(
+            MembershipRecord(
+                f"m{i}",
+                draw(st.floats(min_value=0.0, max_value=100.0)),
+                draw(st.floats(min_value=0.01, max_value=1.0)),
+            )
+        )
+    return records
+
+
+@given(membership_dbs())
+@settings(max_examples=60, deadline=None)
+def test_rank_mass_equals_existence_probability(records):
+    evaluator = MembershipTopK(records)
+    matrix = evaluator.rank_probability_matrix(len(records))
+    for s, rec in enumerate(evaluator.sorted_records):
+        assert abs(matrix[s].sum() - rec.probability) < 1e-9
+
+
+@given(membership_dbs())
+@settings(max_examples=60, deadline=None)
+def test_rank_columns_bounded_by_one(records):
+    evaluator = MembershipTopK(records)
+    matrix = evaluator.rank_probability_matrix(len(records))
+    # Each rank is occupied by at most one record per world.
+    assert np.all(matrix.sum(axis=0) <= 1.0 + 1e-9)
+
+
+@given(membership_dbs(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_u_topk_probability_is_feasible(records, k):
+    evaluator = MembershipTopK(records)
+    vector, prob = evaluator.u_topk(k)
+    assert 0.0 <= prob <= 1.0
+    assert len(vector) == min(k, len(records))
+    assert len(set(vector)) == len(vector)
+    # Sanity against sampling when the probability is non-trivial.
+    if prob > 0.05 and len(records) <= 6:
+        freq = evaluator.u_topk_montecarlo(
+            k, np.random.default_rng(0), 20_000
+        )
+        assert abs(freq.get(vector, 0.0) - prob) < 0.05
+
+
+# ----------------------------------------------------------------------
+# convolution
+# ----------------------------------------------------------------------
+
+@st.composite
+def uniform_pairs(draw):
+    lo1 = draw(st.floats(min_value=-50.0, max_value=50.0))
+    w1 = draw(st.floats(min_value=0.1, max_value=20.0))
+    lo2 = draw(st.floats(min_value=-50.0, max_value=50.0))
+    w2 = draw(st.floats(min_value=0.1, max_value=20.0))
+    return UniformScore(lo1, lo1 + w1), UniformScore(lo2, lo2 + w2)
+
+
+@given(uniform_pairs())
+@settings(max_examples=40, deadline=None)
+def test_convolution_mean_is_additive(pair):
+    a, b = pair
+    c = ConvolutionScore([a, b], grid_points=512)
+    # Mean of the numeric grid matches the analytic sum of means.
+    qs = np.linspace(0.0005, 0.9995, 2001)
+    numeric_mean = float(np.mean(c.ppf(qs)))
+    assert abs(numeric_mean - (a.mean() + b.mean())) < 0.05 * max(
+        1.0, a.width + b.width
+    )
+
+
+@given(uniform_pairs())
+@settings(max_examples=40, deadline=None)
+def test_convolution_cdf_properties(pair):
+    a, b = pair
+    c = ConvolutionScore([a, b], grid_points=512)
+    xs = np.linspace(c.lower - 1.0, c.upper + 1.0, 101)
+    cdf = c.cdf(xs)
+    assert np.all(np.diff(cdf) >= -1e-12)
+    assert cdf[0] == 0.0
+    assert cdf[-1] == 1.0

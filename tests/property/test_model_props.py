@@ -1,0 +1,107 @@
+"""Property-based tests on the ranking model's core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pairwise import probability_greater
+from repro.core.ppo import ProbabilisticPartialOrder, dominates
+from repro.core.pruning import naive_k_dominated, shrink_database
+from repro.core.records import certain, uniform
+
+
+@st.composite
+def record_lists(draw, min_size=2, max_size=12):
+    """Random mixed databases of point and interval records."""
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    records = []
+    for i in range(n):
+        lo = draw(st.floats(min_value=0.0, max_value=100.0))
+        width = draw(st.floats(min_value=0.0, max_value=40.0))
+        if width < 1e-9 or draw(st.booleans()) and width < 5.0:
+            records.append(certain(f"r{i:03d}", lo))
+        else:
+            records.append(uniform(f"r{i:03d}", lo, lo + width))
+    return records
+
+
+@given(record_lists())
+@settings(max_examples=60, deadline=None)
+def test_pairwise_complement(records):
+    a, b = records[0], records[1]
+    assert probability_greater(a, b) + probability_greater(
+        b, a
+    ) == np.float64(1.0) or abs(
+        probability_greater(a, b) + probability_greater(b, a) - 1.0
+    ) < 1e-9
+
+
+@given(record_lists())
+@settings(max_examples=60, deadline=None)
+def test_dominance_implies_certain_probability(records):
+    for a in records:
+        for b in records:
+            if a is not b and dominates(a, b):
+                assert probability_greater(a, b) == 1.0
+
+
+@given(record_lists())
+@settings(max_examples=60, deadline=None)
+def test_dominance_is_strict_partial_order(records):
+    # Non-reflexivity and asymmetry.
+    for a in records:
+        assert not dominates(a, a)
+        for b in records:
+            if a is not b and dominates(a, b):
+                assert not dominates(b, a)
+    # Transitivity.
+    for a in records:
+        for b in records:
+            if a is b or not dominates(a, b):
+                continue
+            for c in records:
+                if c is not b and c is not a and dominates(b, c):
+                    assert dominates(a, c)
+
+
+@given(record_lists())
+@settings(max_examples=60, deadline=None)
+def test_dominator_counts_match_naive(records):
+    ppo = ProbabilisticPartialOrder(records)
+    for rec in records:
+        naive_dominators = sum(
+            1 for other in records if dominates(other, rec)
+        )
+        naive_dominated = sum(
+            1 for other in records if dominates(rec, other)
+        )
+        assert ppo.dominator_count(rec) == naive_dominators
+        assert ppo.dominated_count(rec) == naive_dominated
+
+
+@given(record_lists())
+@settings(max_examples=60, deadline=None)
+def test_rank_intervals_are_consistent(records):
+    ppo = ProbabilisticPartialOrder(records)
+    n = len(records)
+    lower_ends = []
+    for rec in records:
+        lo, hi = ppo.rank_interval(rec)
+        assert 1 <= lo <= hi <= n
+        lower_ends.append(lo)
+    # At least one record can take rank 1 (the skyline is non-empty).
+    assert min(lower_ends) == 1
+
+
+@given(record_lists(min_size=4), st.integers(min_value=1, max_value=6))
+@settings(max_examples=60, deadline=None)
+def test_shrink_is_sound(records, k):
+    k = min(k, len(records))
+    result = shrink_database(records, k)
+    kept_ids = {r.record_id for r in result.kept}
+    pruned = [r for r in records if r.record_id not in kept_ids]
+    dominated_ids = {r.record_id for r in naive_k_dominated(records, k)}
+    for rec in pruned:
+        assert rec.record_id in dominated_ids
+    # The pivot itself always survives.
+    assert result.pivot.record_id in kept_ids

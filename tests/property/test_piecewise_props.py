@@ -1,0 +1,110 @@
+"""Property-based tests for the piecewise-polynomial algebra."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.piecewise import PiecewisePolynomial
+
+
+@st.composite
+def piecewise_functions(draw):
+    """Random compactly supported piecewise polynomials."""
+    n_breaks = draw(st.integers(min_value=2, max_value=5))
+    raw = draw(
+        st.lists(
+            st.floats(min_value=-10.0, max_value=10.0),
+            min_size=n_breaks,
+            max_size=n_breaks,
+            unique=True,
+        )
+    )
+    breaks = sorted(raw)
+    coeffs = []
+    for _ in range(len(breaks) - 1):
+        degree = draw(st.integers(min_value=0, max_value=3))
+        coeffs.append(
+            draw(
+                st.lists(
+                    st.floats(min_value=-3.0, max_value=3.0),
+                    min_size=degree + 1,
+                    max_size=degree + 1,
+                )
+            )
+        )
+    return PiecewisePolynomial(breaks, coeffs)
+
+
+GRID = np.linspace(-12.0, 12.0, 97)
+
+
+@given(piecewise_functions(), piecewise_functions())
+@settings(max_examples=60, deadline=None)
+def test_addition_is_pointwise(f, g):
+    h = f + g
+    assert np.allclose(h(GRID), f(GRID) + g(GRID), atol=1e-8)
+
+
+@given(piecewise_functions(), piecewise_functions())
+@settings(max_examples=60, deadline=None)
+def test_multiplication_is_pointwise(f, g):
+    h = f * g
+    assert np.allclose(h(GRID), f(GRID) * g(GRID), atol=1e-6)
+
+
+@given(piecewise_functions(), st.floats(min_value=-5.0, max_value=5.0))
+@settings(max_examples=60, deadline=None)
+def test_scalar_multiplication(f, c):
+    assert np.allclose((f * c)(GRID), c * f(GRID), atol=1e-8)
+
+
+@given(piecewise_functions())
+@settings(max_examples=60, deadline=None)
+def test_antiderivative_differentiates_back(f):
+    big_f = f.antiderivative()
+    # Finite-difference derivative of F matches f away from breakpoints;
+    # skip segments too narrow for the central difference to stay inside.
+    eps = 1e-6
+    widths = np.diff(f.breakpoints)
+    mids = 0.5 * (f.breakpoints[:-1] + f.breakpoints[1:])
+    xs = mids[widths > 1e-3]
+    if xs.size == 0:
+        return
+    numeric = (big_f(xs + eps) - big_f(xs - eps)) / (2 * eps)
+    assert np.allclose(numeric, f(xs), atol=1e-3, rtol=1e-3)
+
+
+@given(
+    piecewise_functions(),
+    st.floats(min_value=-11.0, max_value=11.0),
+    st.floats(min_value=-11.0, max_value=11.0),
+    st.floats(min_value=-11.0, max_value=11.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_integral_additivity(f, a, b, c):
+    lhs = f.integrate(a, b) + f.integrate(b, c)
+    rhs = f.integrate(a, c)
+    assert abs(lhs - rhs) < 1e-7 * (1 + abs(lhs) + abs(rhs))
+
+
+@given(piecewise_functions())
+@settings(max_examples=60, deadline=None)
+def test_total_integral_consistent_with_antiderivative(f):
+    total = f.integral()
+    spanned = f.integrate(f.breakpoints[0] - 1, f.breakpoints[-1] + 1)
+    assert abs(total - spanned) < 1e-7 * (1 + abs(total))
+
+
+@given(piecewise_functions())
+@settings(max_examples=40, deadline=None)
+def test_restrict_preserves_interior_values(f):
+    lo, hi = float(f.breakpoints[0]), float(f.breakpoints[-1])
+    if hi - lo < 1e-3:
+        return
+    mid_lo = lo + 0.25 * (hi - lo)
+    mid_hi = lo + 0.75 * (hi - lo)
+    g = f.restrict(mid_lo, mid_hi)
+    xs = np.linspace(mid_lo, mid_hi - 1e-9, 11)
+    assert np.allclose(g(xs), f(xs), atol=1e-8)
+    assert g(mid_lo - 1.0) == 0.0
+    assert g(mid_hi + 1.0) == 0.0

@@ -1,0 +1,106 @@
+"""Property-based tests on the probability space (Theorem 1 and friends)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import ExactEvaluator
+from repro.core.linext import (
+    count_linear_extensions,
+    enumerate_extensions,
+    enumerate_prefixes,
+    is_linear_extension,
+    random_linear_extension,
+)
+from repro.core.ppo import ProbabilisticPartialOrder
+
+
+@st.composite
+def small_exact_dbs(draw):
+    """Random databases small enough to enumerate exhaustively."""
+    from repro.core.records import certain, uniform
+
+    n = draw(st.integers(min_value=2, max_value=6))
+    records = []
+    for i in range(n):
+        lo = draw(
+            st.floats(min_value=0.0, max_value=20.0).map(
+                lambda x: round(x, 2)
+            )
+        )
+        width = draw(
+            st.floats(min_value=0.0, max_value=10.0).map(
+                lambda x: round(x, 2)
+            )
+        )
+        if width == 0.0:
+            records.append(certain(f"r{i}", lo))
+        else:
+            records.append(uniform(f"r{i}", lo, lo + width))
+    return records
+
+
+@given(small_exact_dbs())
+@settings(max_examples=40, deadline=None)
+def test_extension_probabilities_form_distribution(records):
+    """Theorem 1: Eq. 4 defines a probability distribution over Omega."""
+    evaluator = ExactEvaluator(records)
+    ppo = ProbabilisticPartialOrder(records)
+    probs = [
+        evaluator.extension_probability(ext)
+        for ext in enumerate_extensions(ppo)
+    ]
+    assert all(p >= -1e-12 for p in probs)
+    assert sum(probs) == np.float64(1.0) or abs(sum(probs) - 1.0) < 1e-6
+
+
+@given(small_exact_dbs(), st.integers(min_value=1, max_value=3))
+@settings(max_examples=40, deadline=None)
+def test_prefix_probabilities_form_distribution(records, k):
+    evaluator = ExactEvaluator(records)
+    ppo = ProbabilisticPartialOrder(records)
+    k = min(k, len(records))
+    total = sum(
+        evaluator.prefix_probability(p) for p in enumerate_prefixes(ppo, k)
+    )
+    assert abs(total - 1.0) < 1e-6
+
+
+@given(small_exact_dbs())
+@settings(max_examples=30, deadline=None)
+def test_rank_matrix_is_doubly_stochastic(records):
+    matrix = ExactEvaluator(records).rank_probability_matrix()
+    assert np.allclose(matrix.sum(axis=1), 1.0, atol=1e-6)
+    assert np.allclose(matrix.sum(axis=0), 1.0, atol=1e-6)
+    assert np.all(matrix >= -1e-12)
+
+
+@given(small_exact_dbs(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_random_extensions_are_valid(records, seed):
+    ppo = ProbabilisticPartialOrder(records)
+    rng = np.random.default_rng(seed)
+    ext = random_linear_extension(ppo, rng)
+    assert is_linear_extension(ppo, ext)
+
+
+@given(small_exact_dbs())
+@settings(max_examples=30, deadline=None)
+def test_count_matches_enumeration(records):
+    ppo = ProbabilisticPartialOrder(records)
+    assert count_linear_extensions(ppo) == sum(
+        1 for _ in enumerate_extensions(ppo)
+    )
+
+
+@given(small_exact_dbs())
+@settings(max_examples=30, deadline=None)
+def test_set_probability_bounds_prefix_probability(records):
+    """A set's probability dominates every ordering of that set."""
+    evaluator = ExactEvaluator(records)
+    ppo = ProbabilisticPartialOrder(records)
+    k = min(2, len(records))
+    for prefix in enumerate_prefixes(ppo, k):
+        prefix_prob = evaluator.prefix_probability(prefix)
+        set_prob = evaluator.top_set_probability(prefix)
+        assert set_prob >= prefix_prob - 1e-9

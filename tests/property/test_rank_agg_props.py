@@ -1,0 +1,83 @@
+"""Property-based tests for rank aggregation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rank_agg import (
+    brute_force_aggregation,
+    footrule_distance,
+    footrule_weights,
+    kendall_tau_distance,
+    optimal_rank_aggregation,
+)
+from repro.core.records import certain
+
+
+@st.composite
+def ranking_pairs(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    items = [f"x{i}" for i in range(n)]
+    a = draw(st.permutations(items))
+    b = draw(st.permutations(items))
+    return list(a), list(b)
+
+
+@given(ranking_pairs())
+@settings(max_examples=80, deadline=None)
+def test_footrule_is_a_metric(pair):
+    a, b = pair
+    assert footrule_distance(a, a) == 0
+    assert footrule_distance(a, b) == footrule_distance(b, a)
+    assert footrule_distance(a, b) >= 0
+
+
+@given(ranking_pairs())
+@settings(max_examples=80, deadline=None)
+def test_diaconis_graham(pair):
+    a, b = pair
+    k = kendall_tau_distance(a, b)
+    f = footrule_distance(a, b)
+    assert k <= f <= 2 * k
+
+
+@st.composite
+def stochastic_matrices(draw):
+    n = draw(st.integers(min_value=2, max_value=5))
+    raw = np.array(
+        [
+            [
+                draw(st.floats(min_value=0.01, max_value=1.0))
+                for _ in range(n)
+            ]
+            for _ in range(n)
+        ]
+    )
+    # Sinkhorn normalization toward a doubly stochastic matrix.
+    for _ in range(200):
+        raw /= raw.sum(axis=1, keepdims=True)
+        raw /= raw.sum(axis=0, keepdims=True)
+    return raw
+
+
+@given(stochastic_matrices())
+@settings(max_examples=40, deadline=None)
+def test_matching_is_optimal(matrix):
+    n = matrix.shape[0]
+    records = [certain(f"r{i}", float(i)) for i in range(n)]
+    _ranking, cost = optimal_rank_aggregation(matrix, records)
+    _bf, bf_cost = brute_force_aggregation(matrix, records)
+    assert abs(cost - bf_cost) < 1e-9
+
+
+@given(stochastic_matrices())
+@settings(max_examples=40, deadline=None)
+def test_weights_are_expected_displacements(matrix):
+    weights = footrule_weights(matrix)
+    n = matrix.shape[0]
+    for t in range(n):
+        for r in range(n):
+            expected = sum(
+                matrix[t, j] * abs(j - r) for j in range(n)
+            )
+            assert abs(weights[t, r] - expected) < 1e-9

@@ -1,0 +1,131 @@
+"""Unit tests for PPO analytics and the engine's plan explanation."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    comparability_ratio,
+    expected_ranks,
+    most_uncertain_pairs,
+    rank_entropies,
+    rank_variances,
+    uncertainty_summary,
+)
+from repro.core.engine import RankingEngine
+from repro.core.errors import QueryError
+from repro.core.exact import ExactEvaluator
+from repro.core.ppo import ProbabilisticPartialOrder
+from repro.core.records import certain, uniform
+
+
+class TestRankStatistics:
+    def test_expected_ranks_paper_example(self, paper_db):
+        matrix = ExactEvaluator(paper_db).rank_probability_matrix()
+        expectation = expected_ranks(matrix)
+        by_id = dict(zip((r.record_id for r in paper_db), expectation))
+        # t6 is always last; t5 averages between ranks 1 and 2.
+        assert by_id["t6"] == pytest.approx(6.0)
+        assert 1.0 < by_id["t5"] < 2.0
+        # Expected ranks over all records always sum to n(n+1)/2.
+        assert expectation.sum() == pytest.approx(21.0)
+
+    def test_variances_zero_for_certain_ranks(self, paper_db):
+        matrix = ExactEvaluator(paper_db).rank_probability_matrix()
+        variance = dict(
+            zip((r.record_id for r in paper_db), rank_variances(matrix))
+        )
+        assert variance["t6"] == pytest.approx(0.0)
+        assert variance["t2"] > 0.0
+
+    def test_entropies(self, paper_db):
+        matrix = ExactEvaluator(paper_db).rank_probability_matrix()
+        entropy = dict(
+            zip((r.record_id for r in paper_db), rank_entropies(matrix))
+        )
+        assert entropy["t6"] == pytest.approx(0.0)
+        assert entropy["t2"] > entropy["t5"]
+
+    def test_matrix_shape_validation(self):
+        with pytest.raises(QueryError):
+            expected_ranks(np.ones(3))
+
+
+class TestStructureMetrics:
+    def test_total_order_fully_comparable(self):
+        records = [certain(f"r{i}", float(i)) for i in range(5)]
+        assert comparability_ratio(
+            ProbabilisticPartialOrder(records)
+        ) == pytest.approx(1.0)
+
+    def test_antichain_incomparable(self):
+        records = [uniform(f"r{i}", 0.0, 10.0) for i in range(5)]
+        assert comparability_ratio(
+            ProbabilisticPartialOrder(records)
+        ) == pytest.approx(0.0)
+
+    def test_paper_example_ratio(self, paper_db):
+        # 15 pairs, 4 probabilistic -> 11 comparable.
+        assert comparability_ratio(
+            ProbabilisticPartialOrder(paper_db)
+        ) == pytest.approx(11 / 15)
+
+    def test_most_uncertain_pairs(self, paper_db):
+        ppo = ProbabilisticPartialOrder(paper_db)
+        pairs = most_uncertain_pairs(ppo, top=2)
+        # Pr(t1 > t2) = 0.5 exactly: the most ambiguous pair.
+        ids = {frozenset((a.record_id, b.record_id)) for a, b, _p in pairs}
+        assert frozenset({"t1", "t2"}) in ids
+        assert pairs[0][2] == pytest.approx(0.5)
+
+    def test_most_uncertain_pairs_validation(self, paper_db):
+        with pytest.raises(QueryError):
+            most_uncertain_pairs(ProbabilisticPartialOrder(paper_db), top=0)
+
+
+class TestUncertaintySummary:
+    def test_summary_fields(self, paper_db):
+        summary = uncertainty_summary(paper_db)
+        assert summary["records"] == 6.0
+        assert summary["uncertain_fraction"] == pytest.approx(0.5)
+        assert summary["max_width"] == pytest.approx(4.0)
+        assert summary["score_low"] == 1.0
+        assert summary["score_high"] == 8.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            uncertainty_summary([])
+
+
+class TestExplain:
+    def test_rank_plan(self, paper_db):
+        engine = RankingEngine(paper_db, seed=0)
+        plan = engine.explain("utop_rank", 2)
+        assert plan["method"] == "exact"
+        assert plan["pruned_size"] == 3
+        assert plan["exact_densities"] is True
+
+    def test_prefix_plan_reports_space(self, paper_db):
+        engine = RankingEngine(paper_db, seed=0)
+        plan = engine.explain("utop_prefix", 3)
+        assert plan["method"] == "exact"
+        assert plan["prefix_space"] == 4
+
+    def test_large_space_plans_mcmc(self):
+        records = [uniform(f"r{i:03d}", 0.0, 10.0) for i in range(40)]
+        engine = RankingEngine(records, seed=0, prefix_enumeration_limit=50)
+        plan = engine.explain("utop_set", 5)
+        assert plan["method"] == "mcmc"
+        assert "mcmc_chains" in plan
+
+    def test_plan_matches_execution(self, paper_db):
+        engine = RankingEngine(paper_db, seed=0)
+        plan = engine.explain("utop_prefix", 3)
+        result = engine.utop_prefix(3)
+        assert result.method == plan["method"]
+
+    def test_validation(self, paper_db):
+        engine = RankingEngine(paper_db, seed=0)
+        with pytest.raises(QueryError):
+            engine.explain("bogus", 2)
+        with pytest.raises(QueryError):
+            engine.explain("utop_rank", 0)

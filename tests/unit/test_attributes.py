@@ -1,0 +1,92 @@
+"""Unit tests for uncertain attribute values."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.db.attributes import (
+    ExactValue,
+    IntervalValue,
+    MissingValue,
+    WeightedValue,
+    wrap_value,
+)
+
+
+class TestExactValue:
+    def test_bounds(self):
+        assert ExactValue(3.0).bounds == (3.0, 3.0)
+
+    def test_not_uncertain(self):
+        assert not ExactValue(3.0).is_uncertain
+
+
+class TestIntervalValue:
+    def test_bounds(self):
+        assert IntervalValue(1.0, 4.0).bounds == (1.0, 4.0)
+
+    def test_uncertain_iff_width_positive(self):
+        assert IntervalValue(1.0, 4.0).is_uncertain
+        assert not IntervalValue(2.0, 2.0).is_uncertain
+
+    def test_invalid_interval(self):
+        with pytest.raises(ModelError):
+            IntervalValue(4.0, 1.0)
+
+
+class TestMissingValue:
+    def test_uncertain(self):
+        assert MissingValue().is_uncertain
+
+    def test_no_intrinsic_bounds(self):
+        with pytest.raises(ModelError):
+            MissingValue().bounds
+
+
+class TestWeightedValue:
+    def test_bounds(self):
+        v = WeightedValue((1.0, 5.0, 3.0), (0.2, 0.3, 0.5))
+        assert v.bounds == (1.0, 5.0)
+
+    def test_single_candidate_not_uncertain(self):
+        assert not WeightedValue((2.0,), (1.0,)).is_uncertain
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            WeightedValue((), ())
+        with pytest.raises(ModelError):
+            WeightedValue((1.0,), (1.0, 2.0))
+        with pytest.raises(ModelError):
+            WeightedValue((1.0, 2.0), (1.0, 0.0))
+        with pytest.raises(ModelError):
+            WeightedValue((1.0, 1.0), (0.5, 0.5))
+
+
+class TestWrapValue:
+    def test_number(self):
+        assert wrap_value(3) == ExactValue(3.0)
+        assert wrap_value(2.5) == ExactValue(2.5)
+
+    def test_none_is_missing(self):
+        assert wrap_value(None) == MissingValue()
+
+    def test_pair_is_interval(self):
+        assert wrap_value((1.0, 4.0)) == IntervalValue(1.0, 4.0)
+        assert wrap_value([1.0, 4.0]) == IntervalValue(1.0, 4.0)
+
+    def test_equal_pair_collapses_to_exact(self):
+        assert wrap_value((2.0, 2.0)) == ExactValue(2.0)
+
+    def test_sequences_pair_is_weighted(self):
+        v = wrap_value(([1.0, 2.0], [0.4, 0.6]))
+        assert isinstance(v, WeightedValue)
+        assert v.values == (1.0, 2.0)
+
+    def test_passthrough(self):
+        original = IntervalValue(0.0, 1.0)
+        assert wrap_value(original) is original
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ModelError):
+            wrap_value("one to four")
+        with pytest.raises(ModelError):
+            wrap_value((1.0, 2.0, 3.0))

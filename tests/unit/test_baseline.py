@@ -1,0 +1,108 @@
+"""Unit tests for the BASELINE materializing algorithm (paper §V)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import BaselineAlgorithm
+from repro.core.errors import EvaluationError, QueryError
+from repro.core.exact import ExactEvaluator
+from repro.core.records import uniform
+
+
+@pytest.fixture
+def baseline(paper_db):
+    return BaselineAlgorithm(paper_db, method="exact")
+
+
+class TestAnnotatedTree:
+    def test_leaf_probabilities_sum_to_one(self, baseline):
+        root, stats = baseline.annotated_tree(3)
+        assert root.probability == pytest.approx(1.0, abs=1e-9)
+        assert stats.leaf_integrals == 4  # Figure 5: four 3-prefixes
+
+    def test_internal_nodes_sum_children(self, baseline):
+        root, _stats = baseline.annotated_tree(3)
+        for node in root.walk():
+            if node.children:
+                assert node.probability == pytest.approx(
+                    sum(c.probability for c in node.children), abs=1e-9
+                )
+
+    def test_tree_cached_per_depth(self, baseline):
+        first = baseline.annotated_tree(3)
+        second = baseline.annotated_tree(3)
+        assert first[0] is second[0]
+
+    def test_invalid_depth(self, baseline):
+        with pytest.raises(QueryError):
+            baseline.annotated_tree(0)
+        with pytest.raises(QueryError):
+            baseline.annotated_tree(7)
+
+    def test_node_cap(self):
+        records = [uniform(f"r{i}", 0.0, 10.0) for i in range(10)]
+        algorithm = BaselineAlgorithm(records, max_nodes=20)
+        with pytest.raises(EvaluationError):
+            algorithm.annotated_tree(5)
+
+
+class TestQueries:
+    def test_utop_prefix_matches_paper(self, baseline):
+        answers = baseline.utop_prefix(3, l=4)
+        assert answers[0] == (("t5", "t1", "t2"), pytest.approx(0.4375))
+        probs = [p for _prefix, p in answers]
+        assert probs == sorted(probs, reverse=True)
+        assert sum(probs) == pytest.approx(1.0, abs=1e-9)
+
+    def test_utop_set_matches_paper(self, baseline):
+        answers = baseline.utop_set(3, l=2)
+        assert answers[0][0] == frozenset({"t1", "t2", "t5"})
+        assert answers[0][1] == pytest.approx(0.9375)
+
+    def test_utop_rank_matches_exact(self, baseline, paper_db):
+        evaluator = ExactEvaluator(paper_db)
+        answers = baseline.utop_rank(1, 2, l=6)
+        for rec, prob in answers:
+            assert prob == pytest.approx(
+                evaluator.rank_range_probability(rec, 1, 2), abs=1e-9
+            )
+        assert answers[0][0].record_id == "t5"
+        assert answers[0][1] == pytest.approx(1.0)
+
+    def test_invalid_queries(self, baseline):
+        with pytest.raises(QueryError):
+            baseline.utop_prefix(3, l=0)
+        with pytest.raises(QueryError):
+            baseline.utop_rank(2, 1)
+        with pytest.raises(QueryError):
+            baseline.utop_set(2, l=0)
+
+
+class TestMonteCarloMode:
+    def test_mc_agrees_with_exact(self, paper_db):
+        exact = BaselineAlgorithm(paper_db, method="exact")
+        sampled = BaselineAlgorithm(
+            paper_db,
+            method="montecarlo",
+            samples=40_000,
+            rng=np.random.default_rng(0),
+        )
+        e = dict(exact.utop_prefix(3, l=10))
+        s = dict(sampled.utop_prefix(3, l=10))
+        assert set(e) == set(s)
+        for prefix, prob in e.items():
+            assert s[prefix] == pytest.approx(prob, abs=0.02)
+
+    def test_auto_method_selection(self, paper_db):
+        assert BaselineAlgorithm(paper_db, method="auto").method == "exact"
+
+    def test_unknown_method(self, paper_db):
+        with pytest.raises(QueryError):
+            BaselineAlgorithm(paper_db, method="bogus")
+
+
+class TestStats:
+    def test_stats_counts(self, baseline):
+        stats = baseline.stats(3)
+        assert stats.nodes == 9  # Figure 5's tree has 9 non-root nodes
+        assert stats.elapsed >= 0.0

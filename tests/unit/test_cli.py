@@ -1,0 +1,58 @@
+"""Unit tests for the ``python -m repro`` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig07", "fig08", "fig09", "fig10",
+                     "fig11", "fig12", "fig13", "fig14"):
+            assert name in out
+
+    def test_single_sized_experiment(self, capsys):
+        assert main(["fig07", "--size", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "Syn-e-0.5" in out
+
+    def test_fig08(self, capsys):
+        assert main(["fig08", "--size", "300"]) == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_report_command_writes_file(self, tmp_path, monkeypatch):
+        import repro.experiments.report as report_module
+
+        calls = {}
+
+        def fake_write(path, size=5000, seed=20090107):
+            calls["path"] = path
+            calls["size"] = size
+            with open(path, "w") as handle:
+                handle.write("# stub")
+            return "# stub"
+
+        monkeypatch.setattr(report_module, "write_report", fake_write)
+        out = tmp_path / "report.md"
+        assert main(["report", "--size", "300", "--output", str(out)]) == 0
+        assert calls == {"path": str(out), "size": 300}
+        assert out.read_text() == "# stub"
+
+
+class TestMarkdownTable:
+    def test_rendering(self):
+        from repro.experiments.report import _markdown_table
+
+        text = _markdown_table(["a", "b"], [[1, 2.5], ["x", 0.125]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2.5 |"
+        assert lines[3] == "| x | 0.125 |"

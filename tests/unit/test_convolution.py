@@ -1,0 +1,141 @@
+"""Unit tests for score convolution and multi-attribute scoring."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import (
+    ConvolutionScore,
+    PointScore,
+    TriangularScore,
+    UniformScore,
+)
+from repro.core.errors import ModelError
+from repro.core.validation import validate_distribution
+from repro.db.scoring import (
+    AttributeScore,
+    CombinedScoring,
+    InverseAttributeScore,
+)
+from repro.db.table import UncertainTable
+
+
+class TestConvolutionScore:
+    def test_sum_of_uniforms_is_triangular(self):
+        c = ConvolutionScore([UniformScore(0, 1), UniformScore(0, 1)])
+        t = TriangularScore(0.0, 1.0, 2.0)
+        xs = np.linspace(0.01, 1.99, 99)
+        assert np.allclose(c.cdf(xs), t.cdf(xs), atol=2e-3)
+        assert c.mean() == pytest.approx(1.0)
+
+    def test_irwin_hall_midpoint(self):
+        c = ConvolutionScore([UniformScore(0, 1)] * 3)
+        assert c.cdf(1.5) == pytest.approx(0.5, abs=2e-3)
+
+    def test_deterministic_shift(self):
+        c = ConvolutionScore([UniformScore(0, 1), PointScore(5.0)])
+        assert (c.lower, c.upper) == (5.0, 6.0)
+        assert c.cdf(5.5) == pytest.approx(0.5, abs=2e-3)
+        assert c.mean() == pytest.approx(5.5)
+
+    def test_negative_weight_difference(self):
+        c = ConvolutionScore(
+            [UniformScore(0, 1), UniformScore(0, 1)], [1.0, -1.0]
+        )
+        assert (c.lower, c.upper) == (-1.0, 1.0)
+        assert c.cdf(0.0) == pytest.approx(0.5, abs=2e-3)
+        # Symmetric: Pr(|D| <= 0.5) = 0.75.
+        assert c.cdf(0.5) - c.cdf(-0.5) == pytest.approx(0.75, abs=3e-3)
+
+    def test_sampling_matches_grid_cdf(self):
+        c = ConvolutionScore(
+            [UniformScore(0, 2), TriangularScore(0, 1, 3)], [0.5, 1.0]
+        )
+        rng = np.random.default_rng(0)
+        samples = c.sample(rng, 50_000)
+        for q in (0.25, 0.5, 0.75):
+            assert np.mean(samples <= c.ppf(q)) == pytest.approx(q, abs=0.01)
+
+    def test_passes_model_validation(self):
+        c = ConvolutionScore([UniformScore(0, 1), UniformScore(2, 5)])
+        assert validate_distribution(c) == []
+
+    def test_not_exact_but_approximable(self):
+        c = ConvolutionScore([UniformScore(0, 1), UniformScore(0, 1)])
+        assert not c.supports_exact
+        approx = c.piecewise_approximation(128)
+        xs = np.linspace(0.05, 1.95, 20)
+        assert np.allclose(approx.cdf(xs), c.cdf(xs), atol=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ConvolutionScore([])
+        with pytest.raises(ModelError):
+            ConvolutionScore([UniformScore(0, 1)], [1.0, 2.0])
+        with pytest.raises(ModelError):
+            ConvolutionScore([UniformScore(0, 1)], [0.0])
+        with pytest.raises(ModelError):
+            ConvolutionScore([PointScore(1.0)])
+        with pytest.raises(ModelError):
+            ConvolutionScore([UniformScore(0, 1)], grid_points=4)
+
+
+class TestCombinedScoring:
+    RENT = InverseAttributeScore("rent", (0.0, 1000.0), scale=10.0)
+    AREA = AttributeScore("area", (0.0, 100.0), scale=10.0)
+
+    def test_attributes_and_scale(self):
+        combined = CombinedScoring([(self.RENT, 0.7), (self.AREA, 0.3)])
+        assert combined.attributes == ["rent", "area"]
+        assert combined.scale == pytest.approx(10.0)
+
+    def test_deterministic_row(self):
+        combined = CombinedScoring([(self.RENT, 0.7), (self.AREA, 0.3)])
+        dist = combined.score_row({"rent": 500.0, "area": 50.0})
+        assert isinstance(dist, PointScore)
+        assert dist.value == pytest.approx(0.7 * 5.0 + 0.3 * 5.0)
+
+    def test_uncertain_row_is_convolution(self):
+        combined = CombinedScoring([(self.RENT, 0.7), (self.AREA, 0.3)])
+        dist = combined.score_row(
+            {"rent": (400.0, 600.0), "area": 50.0}
+        )
+        assert isinstance(dist, ConvolutionScore)
+        # Mean: 0.7 * E[score(rent)] + 0.3 * 5.
+        assert dist.mean() == pytest.approx(0.7 * 5.0 + 1.5, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            CombinedScoring([])
+        with pytest.raises(ModelError):
+            CombinedScoring([(self.RENT, -1.0)])
+
+    def test_table_integration(self):
+        table = UncertainTable(
+            "apts",
+            ["id", "rent", "area"],
+            [
+                {"id": "a", "rent": 400.0, "area": 80.0},
+                {"id": "b", "rent": (300.0, 700.0), "area": 60.0},
+                {"id": "c", "rent": 900.0, "area": (20.0, 90.0)},
+            ],
+            key="id",
+            uncertain_columns=["rent", "area"],
+        )
+        combined = CombinedScoring([(self.RENT, 0.5), (self.AREA, 0.5)])
+        records = table.to_records(combined)
+        assert len(records) == 3
+        assert records[0].is_deterministic
+        assert not records[1].is_deterministic
+        # End-to-end ranking over the combined score.
+        from repro.core.engine import RankingEngine
+
+        result = RankingEngine(records, seed=1).utop_rank(1, 1, l=3)
+        assert result.top.record_id == "a"
+
+    def test_missing_attribute_column(self):
+        table = UncertainTable(
+            "t", ["id", "rent"], [{"id": "a", "rent": 1.0}], key="id"
+        )
+        combined = CombinedScoring([(self.RENT, 0.5), (self.AREA, 0.5)])
+        with pytest.raises(ModelError):
+            table.to_records(combined)

@@ -1,0 +1,184 @@
+"""Unit tests for the dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError
+from repro.datasets.apartments import (
+    RENT_DOMAIN,
+    apartment_records,
+    generate_apartments,
+)
+from repro.datasets.cars import PRICE_DOMAIN, car_records, generate_cars
+from repro.datasets.sensors import generate_sensor_readings, sensor_records
+from repro.datasets.synthetic import paper_dataset_suite, synthetic_records
+
+
+class TestSynthetic:
+    @pytest.mark.parametrize("kind", ["uniform", "gaussian", "exponential"])
+    def test_size_and_uncertainty_fraction(self, kind):
+        records = synthetic_records(kind, 2000, seed=0)
+        assert len(records) == 2000
+        uncertain = sum(1 for r in records if not r.is_deterministic)
+        assert uncertain / 2000 == pytest.approx(0.5, abs=0.05)
+
+    def test_bounds_within_range(self):
+        for kind in ("uniform", "gaussian", "exponential"):
+            for rec in synthetic_records(kind, 500, seed=1):
+                assert 0.0 <= rec.lower <= rec.upper <= 100.0
+
+    def test_seed_determinism(self):
+        a = synthetic_records("uniform", 100, seed=7)
+        b = synthetic_records("uniform", 100, seed=7)
+        assert [(r.lower, r.upper) for r in a] == [
+            (r.lower, r.upper) for r in b
+        ]
+
+    def test_exponential_is_skewed_low(self):
+        records = synthetic_records("exponential", 5000, seed=2)
+        mids = [0.5 * (r.lower + r.upper) for r in records]
+        assert np.median(mids) < 30.0
+
+    def test_unknown_kind(self):
+        with pytest.raises(ModelError):
+            synthetic_records("weibull", 10)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ModelError):
+            synthetic_records("uniform", 0)
+        with pytest.raises(ModelError):
+            synthetic_records("uniform", 10, uncertain_fraction=1.5)
+
+    def test_unique_ids(self):
+        records = synthetic_records("uniform", 300, seed=3)
+        assert len({r.record_id for r in records}) == 300
+
+
+class TestApartments:
+    def test_uncertainty_rate_matches_paper(self):
+        table = generate_apartments(3000, seed=0)
+        assert table.uncertainty_rate("rent") == pytest.approx(0.65, abs=0.03)
+
+    def test_records_scored_on_unit_scale(self):
+        records = apartment_records(500, seed=1)
+        for rec in records:
+            assert 0.0 <= rec.lower <= rec.upper <= 10.0
+
+    def test_rents_inside_domain(self):
+        table = generate_apartments(500, seed=2)
+        from repro.db.attributes import IntervalValue, ExactValue
+
+        for row in table:
+            cell = row["rent"]
+            if isinstance(cell, ExactValue):
+                assert RENT_DOMAIN[0] <= cell.value <= RENT_DOMAIN[1]
+            elif isinstance(cell, IntervalValue):
+                assert RENT_DOMAIN[0] <= cell.low < cell.high <= RENT_DOMAIN[1]
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            generate_apartments(0)
+        with pytest.raises(ModelError):
+            generate_apartments(10, uncertain_fraction=0.1, missing_fraction=0.5)
+
+    def test_seed_determinism(self):
+        a = apartment_records(100, seed=4)
+        b = apartment_records(100, seed=4)
+        assert [(r.lower, r.upper) for r in a] == [
+            (r.lower, r.upper) for r in b
+        ]
+
+
+class TestCars:
+    def test_uncertainty_rate_matches_paper(self):
+        table = generate_cars(5000, seed=0)
+        assert table.uncertainty_rate("price") == pytest.approx(0.10, abs=0.02)
+
+    def test_records_scored_on_unit_scale(self):
+        for rec in car_records(500, seed=1):
+            assert 0.0 <= rec.lower <= rec.upper <= 10.0
+
+    def test_prices_inside_domain(self):
+        from repro.db.attributes import ExactValue
+
+        table = generate_cars(500, seed=2)
+        for row in table:
+            cell = row["price"]
+            if isinstance(cell, ExactValue):
+                assert PRICE_DOMAIN[0] <= cell.value <= PRICE_DOMAIN[1]
+
+
+class TestSensors:
+    def test_hot_sensors_have_wider_intervals(self):
+        from repro.db.attributes import IntervalValue
+
+        table = generate_sensor_readings(500, seed=0)
+        hot_widths, cool_widths = [], []
+        for row in table:
+            cell = row["temperature"]
+            if isinstance(cell, IntervalValue):
+                mid = 0.5 * (cell.low + cell.high)
+                width = cell.high - cell.low
+                (hot_widths if mid > 40 else cool_widths).append(width)
+        assert hot_widths and cool_widths
+        assert np.mean(hot_widths) > np.mean(cool_widths)
+
+    def test_records_have_coordinates(self):
+        records = sensor_records(50, seed=1)
+        assert all(
+            "x" in rec.payload and "y" in rec.payload for rec in records
+        )
+
+
+class TestScrapedCsv:
+    def test_parses_cleanly_end_to_end(self):
+        from repro.datasets.scraped import generate_scraped_csv
+        from repro.db.parsing import table_from_csv
+
+        csv_text = generate_scraped_csv(400, seed=5)
+        table = table_from_csv(
+            csv_text, "listings", key="id",
+            uncertain_columns=["rent", "area"],
+        )
+        assert len(table) == 400
+        assert table.uncertainty_rate("rent") == pytest.approx(
+            0.65, abs=0.08
+        )
+
+    def test_deterministic_with_seed(self):
+        from repro.datasets.scraped import generate_scraped_csv
+
+        assert generate_scraped_csv(50, seed=9) == generate_scraped_csv(
+            50, seed=9
+        )
+
+    def test_contains_messy_formats(self):
+        from repro.datasets.scraped import generate_scraped_csv
+
+        text = generate_scraped_csv(500, seed=6)
+        assert "negotiable" in text
+        assert "-$" in text  # ranges
+        assert "~" in text  # approximations
+        assert "+" in text  # open-ended
+
+    def test_validation(self):
+        from repro.core.errors import ModelError
+        from repro.datasets.scraped import generate_scraped_csv
+
+        with pytest.raises(ModelError):
+            generate_scraped_csv(0)
+
+
+class TestSuite:
+    def test_contains_paper_dataset_names(self):
+        suite = paper_dataset_suite(size=300)
+        assert set(suite) == {
+            "Apts", "Cars", "Syn-u-0.5", "Syn-g-0.5", "Syn-e-0.5"
+        }
+
+    def test_cars_to_apts_ratio(self):
+        suite = paper_dataset_suite(size=330)
+        # The paper's 33k:10k ratio is preserved.
+        assert len(suite["Cars"]) == pytest.approx(
+            len(suite["Apts"]) * 10 / 33, abs=2
+        )

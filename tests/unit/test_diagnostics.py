@@ -1,0 +1,72 @@
+"""Unit tests for Gelman-Rubin convergence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import ConvergenceTrace, gelman_rubin
+from repro.core.errors import EvaluationError
+
+
+class TestGelmanRubin:
+    def test_identical_chains_give_one(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=200)
+        psrf = gelman_rubin([base, base.copy(), base.copy()])
+        # B = 0, so PSRF = sqrt((n-1)/n), marginally below 1.
+        assert psrf == pytest.approx(1.0, abs=0.01)
+        assert psrf <= 1.0
+
+    def test_same_distribution_approaches_one(self):
+        rng = np.random.default_rng(1)
+        chains = [rng.normal(size=5000) for _ in range(6)]
+        assert gelman_rubin(chains) == pytest.approx(1.0, abs=0.02)
+
+    def test_shifted_chains_exceed_one(self):
+        rng = np.random.default_rng(2)
+        chains = [
+            rng.normal(loc=0.0, size=500),
+            rng.normal(loc=5.0, size=500),
+            rng.normal(loc=-5.0, size=500),
+        ]
+        assert gelman_rubin(chains) > 2.0
+
+    def test_constant_identical_chains(self):
+        chains = [[1.0] * 10, [1.0] * 10]
+        assert gelman_rubin(chains) == 1.0
+
+    def test_constant_divergent_chains(self):
+        chains = [[1.0] * 10, [2.0] * 10]
+        assert gelman_rubin(chains) == float("inf")
+
+    def test_uses_second_half_only(self):
+        # Chains that disagree early but agree late should look mixed.
+        rng = np.random.default_rng(3)
+        late = rng.normal(size=500)
+        chain_a = np.concatenate([np.full(500, 50.0), late])
+        chain_b = np.concatenate([np.full(500, -50.0), late + 1e-3 * rng.normal(size=500)])
+        assert gelman_rubin([chain_a, chain_b]) < 1.2
+
+    def test_truncates_to_shortest_chain(self):
+        rng = np.random.default_rng(4)
+        chains = [rng.normal(size=100), rng.normal(size=150)]
+        assert gelman_rubin(chains) > 0.0
+
+    def test_needs_two_chains(self):
+        with pytest.raises(EvaluationError):
+            gelman_rubin([[1.0, 2.0, 3.0, 4.0]])
+
+    def test_needs_four_samples(self):
+        with pytest.raises(EvaluationError):
+            gelman_rubin([[1.0, 2.0], [1.0, 2.0]])
+
+
+class TestConvergenceTrace:
+    def test_converged_at(self):
+        trace = ConvergenceTrace(
+            steps=[100, 200, 300],
+            psrf=[2.0, 1.2, 1.01],
+            elapsed=[0.1, 0.2, 0.3],
+        )
+        assert trace.converged_at(1.5) == 200
+        assert trace.converged_at(1.05) == 300
+        assert trace.converged_at(1.0) is None

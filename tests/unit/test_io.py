@@ -1,0 +1,81 @@
+"""Unit tests for JSON persistence of uncertain tables."""
+
+import io
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.datasets.apartments import generate_apartments
+from repro.db.attributes import (
+    ExactValue,
+    IntervalValue,
+    MissingValue,
+    WeightedValue,
+)
+from repro.db.io import dump_table, dumps_table, load_table, loads_table
+from repro.db.table import UncertainTable
+
+
+@pytest.fixture
+def table():
+    rows = [
+        {"id": "a", "rent": 600.0, "note": "plain"},
+        {"id": "b", "rent": (650.0, 1100.0), "note": "range"},
+        {"id": "c", "rent": None, "note": "missing"},
+        {"id": "d", "rent": ([700.0, 900.0], [0.5, 0.5]), "note": "imputed"},
+    ]
+    return UncertainTable(
+        "apts", ["id", "rent", "note"], rows, key="id",
+        uncertain_columns=["rent"],
+    )
+
+
+class TestRoundTrip:
+    def test_cells_survive(self, table):
+        restored = loads_table(dumps_table(table))
+        assert restored.name == table.name
+        assert restored.columns == table.columns
+        assert restored.key == table.key
+        assert isinstance(restored.rows[0]["rent"], ExactValue)
+        assert isinstance(restored.rows[1]["rent"], IntervalValue)
+        assert isinstance(restored.rows[2]["rent"], MissingValue)
+        assert isinstance(restored.rows[3]["rent"], WeightedValue)
+        assert restored.rows[1]["rent"] == table.rows[1]["rent"]
+        assert restored.rows[3]["rent"].weights == (0.5, 0.5)
+
+    def test_payload_columns_stay_plain(self, table):
+        restored = loads_table(dumps_table(table))
+        assert restored.rows[0]["note"] == "plain"
+        assert restored.uncertain_columns == {"rent"}
+
+    def test_file_interface(self, table):
+        buffer = io.StringIO()
+        dump_table(table, buffer)
+        buffer.seek(0)
+        restored = load_table(buffer)
+        assert len(restored) == len(table)
+
+    def test_generated_dataset_round_trip(self):
+        original = generate_apartments(50, seed=3)
+        restored = loads_table(dumps_table(original))
+        assert len(restored) == 50
+        assert restored.uncertainty_rate("rent") == pytest.approx(
+            original.uncertainty_rate("rent")
+        )
+        for a, b in zip(original.rows, restored.rows):
+            assert a["rent"] == b["rent"]
+
+
+class TestValidation:
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ModelError):
+            loads_table('{"name": "x"}')
+
+    def test_unknown_cell_tag_rejected(self):
+        bad = (
+            '{"name": "t", "key": "id", "columns": ["id", "x"],'
+            ' "uncertain_columns": ["x"],'
+            ' "rows": [{"id": "a", "x": {"fuzzy": 1}}]}'
+        )
+        with pytest.raises(ModelError):
+            loads_table(bad)

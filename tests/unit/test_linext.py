@@ -1,0 +1,189 @@
+"""Unit tests for linear-extension machinery (Algorithm 1 and friends)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import EvaluationError
+from repro.core.linext import (
+    build_tree,
+    count_linear_extensions,
+    count_prefix_nodes,
+    count_prefixes,
+    enumerate_extensions,
+    enumerate_prefixes,
+    is_linear_extension,
+    random_linear_extension,
+)
+from repro.core.ppo import ProbabilisticPartialOrder
+from repro.core.records import certain, uniform
+
+from conftest import random_interval_db
+
+
+class TestEnumeration:
+    def test_paper_example_has_seven_extensions(self, paper_db):
+        ppo = ProbabilisticPartialOrder(paper_db)
+        extensions = list(enumerate_extensions(ppo))
+        assert len(extensions) == 7
+        as_ids = {tuple(r.record_id for r in e) for e in extensions}
+        # The paper's Figure 4 lists exactly these seven.
+        assert as_ids == {
+            ("t5", "t1", "t2", "t3", "t4", "t6"),
+            ("t5", "t1", "t2", "t4", "t3", "t6"),
+            ("t5", "t1", "t3", "t2", "t4", "t6"),
+            ("t5", "t2", "t1", "t3", "t4", "t6"),
+            ("t5", "t2", "t1", "t4", "t3", "t6"),
+            ("t2", "t5", "t1", "t3", "t4", "t6"),
+            ("t2", "t5", "t1", "t4", "t3", "t6"),
+        }
+
+    def test_all_enumerated_are_valid(self, paper_db):
+        ppo = ProbabilisticPartialOrder(paper_db)
+        for ext in enumerate_extensions(ppo):
+            assert is_linear_extension(ppo, ext)
+
+    def test_limit_stops_enumeration(self):
+        records = [uniform(f"r{i}", 0.0, 10.0) for i in range(8)]
+        ppo = ProbabilisticPartialOrder(records)
+        assert len(list(enumerate_extensions(ppo, limit=10))) == 10
+
+    def test_total_order_has_single_extension(self):
+        records = [certain(f"r{i}", float(i)) for i in range(6)]
+        ppo = ProbabilisticPartialOrder(records)
+        exts = list(enumerate_extensions(ppo))
+        assert len(exts) == 1
+        assert [r.record_id for r in exts[0]] == [
+            "r5", "r4", "r3", "r2", "r1", "r0"
+        ]
+
+    def test_antichain_has_factorial_extensions(self):
+        records = [uniform(f"r{i}", 0.0, 10.0) for i in range(5)]
+        ppo = ProbabilisticPartialOrder(records)
+        assert len(list(enumerate_extensions(ppo))) == 120
+
+
+class TestPrefixes:
+    def test_paper_prefixes_at_depth_three(self, paper_db):
+        ppo = ProbabilisticPartialOrder(paper_db)
+        prefixes = {
+            tuple(r.record_id for r in p)
+            for p in enumerate_prefixes(ppo, 3)
+        }
+        # Figure 5 shows exactly four distinct 3-prefixes.
+        assert prefixes == {
+            ("t5", "t1", "t2"),
+            ("t5", "t1", "t3"),
+            ("t5", "t2", "t1"),
+            ("t2", "t5", "t1"),
+        }
+
+    def test_prefix_counts_match_enumeration(self, paper_db):
+        ppo = ProbabilisticPartialOrder(paper_db)
+        for k in range(1, 7):
+            enumerated = len(list(enumerate_prefixes(ppo, k)))
+            assert count_prefixes(ppo, k) == enumerated
+
+    def test_depth_capped_at_database_size(self, paper_db):
+        ppo = ProbabilisticPartialOrder(paper_db)
+        assert count_prefixes(ppo, 100) == count_prefixes(ppo, 6)
+
+
+class TestCounting:
+    def test_count_matches_enumeration_random(self):
+        rng = np.random.default_rng(11)
+        for _ in range(5):
+            records = random_interval_db(rng, 8)
+            ppo = ProbabilisticPartialOrder(records)
+            assert count_linear_extensions(ppo) == len(
+                list(enumerate_extensions(ppo))
+            )
+
+    def test_antichain_count_formula(self):
+        import math
+
+        records = [uniform(f"r{i}", 0.0, 10.0) for i in range(6)]
+        ppo = ProbabilisticPartialOrder(records)
+        assert count_linear_extensions(ppo) == 720
+        # Prefix-tree node count for an antichain: sum_i m!/(m-i)!
+        # (the counting argument in the paper's §V).
+        expected_nodes = sum(
+            math.factorial(6) // math.factorial(6 - i) for i in range(1, 7)
+        )
+        assert count_prefix_nodes(ppo, 6) == expected_nodes
+
+    def test_count_cap_raises(self):
+        records = [uniform(f"r{i}", 0.0, 10.0) for i in range(30)]
+        ppo = ProbabilisticPartialOrder(records)
+        with pytest.raises(EvaluationError):
+            count_linear_extensions(ppo, max_states=100)
+
+
+class TestTree:
+    def test_tree_structure_matches_paper(self, paper_db):
+        ppo = ProbabilisticPartialOrder(paper_db)
+        root = build_tree(ppo)
+        paths = {tuple(r.record_id for r in p) for p in root.paths()}
+        assert len(paths) == 7
+        # Node count of the full tree (Figure 4 shows the shape).
+        assert root.node_count() == count_prefix_nodes(ppo, 6)
+
+    def test_truncated_tree(self, paper_db):
+        ppo = ProbabilisticPartialOrder(paper_db)
+        root = build_tree(ppo, depth=3)
+        leaves = [p for p in root.paths()]
+        assert all(len(p) == 3 for p in leaves)
+        assert len(leaves) == 4
+
+    def test_tree_cap(self):
+        records = [uniform(f"r{i}", 0.0, 10.0) for i in range(10)]
+        ppo = ProbabilisticPartialOrder(records)
+        with pytest.raises(EvaluationError):
+            build_tree(ppo, max_nodes=50)
+
+    def test_walk_visits_every_node(self, paper_db):
+        ppo = ProbabilisticPartialOrder(paper_db)
+        root = build_tree(ppo, depth=2)
+        visited = sum(1 for n in root.walk() if n.record is not None)
+        assert visited == root.node_count()
+
+
+class TestRandomExtension:
+    def test_random_extensions_are_valid(self, paper_db):
+        ppo = ProbabilisticPartialOrder(paper_db)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            ext = random_linear_extension(ppo, rng)
+            assert is_linear_extension(ppo, ext)
+
+    def test_distribution_matches_exact(self, intro_db):
+        from repro.core.exact import ExactEvaluator
+
+        ppo = ProbabilisticPartialOrder(intro_db)
+        rng = np.random.default_rng(1)
+        counts = {}
+        trials = 30000
+        for _ in range(trials):
+            ext = random_linear_extension(ppo, rng)
+            key = tuple(r.record_id for r in ext)
+            counts[key] = counts.get(key, 0) + 1
+        evaluator = ExactEvaluator(intro_db)
+        import itertools
+
+        for perm in itertools.permutations(intro_db):
+            key = tuple(r.record_id for r in perm)
+            expected = evaluator.extension_probability(perm)
+            assert counts.get(key, 0) / trials == pytest.approx(
+                expected, abs=0.015
+            )
+
+
+class TestIsLinearExtension:
+    def test_rejects_wrong_length(self, paper_db):
+        ppo = ProbabilisticPartialOrder(paper_db)
+        assert not is_linear_extension(ppo, paper_db[:3])
+
+    def test_rejects_violations(self, paper_db):
+        ppo = ProbabilisticPartialOrder(paper_db)
+        by_id = {r.record_id: r for r in paper_db}
+        bad = [by_id[i] for i in ("t6", "t5", "t1", "t2", "t3", "t4")]
+        assert not is_linear_extension(ppo, bad)

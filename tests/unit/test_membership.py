@@ -1,0 +1,225 @@
+"""Unit tests for the membership-uncertainty comparator (related work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError, QueryError
+from repro.related.membership import (
+    MembershipRecord,
+    MembershipTopK,
+    sample_worlds,
+)
+
+
+@pytest.fixture
+def records():
+    # Scores descending: a (0.9), b (0.5), c (0.8), d (1.0).
+    return [
+        MembershipRecord("a", 10.0, 0.9),
+        MembershipRecord("b", 8.0, 0.5),
+        MembershipRecord("c", 6.0, 0.8),
+        MembershipRecord("d", 4.0, 1.0),
+    ]
+
+
+class TestModel:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            MembershipRecord("", 1.0, 0.5)
+        with pytest.raises(ModelError):
+            MembershipRecord("a", 1.0, 0.0)
+        with pytest.raises(ModelError):
+            MembershipRecord("a", 1.0, 1.5)
+        with pytest.raises(ModelError):
+            MembershipRecord("a", float("nan"), 0.5)
+        with pytest.raises(ModelError):
+            MembershipTopK([])
+        with pytest.raises(ModelError):
+            MembershipTopK(
+                [MembershipRecord("a", 1.0, 0.5)] * 2
+            )
+
+    def test_world_sampling_frequencies(self, records):
+        rng = np.random.default_rng(0)
+        worlds = sample_worlds(records, rng, 50_000)
+        freq = worlds.mean(axis=0)
+        for rec, f in zip(records, freq):
+            assert f == pytest.approx(rec.probability, abs=0.01)
+
+
+class TestRankProbabilities:
+    def test_hand_computed_values(self, records):
+        evaluator = MembershipTopK(records)
+        matrix = evaluator.rank_probability_matrix(4)
+        # Sorted order: a, b, c, d. Pr(a at rank 1) = 0.9.
+        assert matrix[0, 0] == pytest.approx(0.9)
+        # Pr(b at rank 1) = (1-0.9) * 0.5.
+        assert matrix[1, 0] == pytest.approx(0.05)
+        # Pr(c at rank 2) = 0.8 * Pr(exactly one of a,b exists)
+        #                = 0.8 * (0.9*0.5 + 0.1*0.5) = 0.8 * 0.5.
+        assert matrix[2, 1] == pytest.approx(0.4)
+        # d always exists: Pr(d at rank 4) = 0.9*0.5*0.8.
+        assert matrix[3, 3] == pytest.approx(0.36)
+
+    def test_matches_world_sampling(self, records):
+        evaluator = MembershipTopK(records)
+        matrix = evaluator.rank_probability_matrix(4)
+        rng = np.random.default_rng(1)
+        worlds = sample_worlds(evaluator.sorted_records, rng, 100_000)
+        for s in range(4):
+            exists = worlds[:, s]
+            predecessors = worlds[:, :s].sum(axis=1)
+            for j in range(4):
+                empirical = np.mean(exists & (predecessors == j))
+                assert matrix[s, j] == pytest.approx(empirical, abs=0.01)
+
+    def test_rows_sum_to_existence_probability(self, records):
+        evaluator = MembershipTopK(records)
+        matrix = evaluator.rank_probability_matrix(4)
+        for s, rec in enumerate(evaluator.sorted_records):
+            assert matrix[s].sum() == pytest.approx(rec.probability)
+
+    def test_invalid_rank(self, records):
+        with pytest.raises(QueryError):
+            MembershipTopK(records).rank_probability_matrix(0)
+
+
+class TestUKRanks:
+    def test_answers(self, records):
+        answers = MembershipTopK(records).u_kranks(2)
+        assert answers[0][0].record_id == "a"
+        assert answers[0][1] == pytest.approx(0.9)
+        # Rank 2: b with 0.45, c with 0.4, a with 0 -> b wins.
+        assert answers[1][0].record_id == "b"
+        assert answers[1][1] == pytest.approx(0.45)
+
+    def test_same_record_can_win_multiple_ranks(self):
+        # The known quirk of U-kRanks the paper's UTop-Prefix avoids.
+        records = [
+            MembershipRecord("big", 10.0, 0.9),
+            MembershipRecord("tiny1", 5.0, 0.05),
+            MembershipRecord("tiny2", 4.0, 0.05),
+        ]
+        answers = MembershipTopK(records).u_kranks(2)
+        assert answers[0][0].record_id == "big"
+        # Rank 2 is most often *unoccupied-by-anything-likely*; among
+        # records, each tiny has ~0.045; big has 0 at rank 2.
+        assert answers[1][0].record_id in ("tiny1", "tiny2")
+
+
+class TestUTopk:
+    def test_certain_records_trivial_vector(self):
+        records = [
+            MembershipRecord("x", 3.0, 1.0),
+            MembershipRecord("y", 2.0, 1.0),
+            MembershipRecord("z", 1.0, 1.0),
+        ]
+        vector, prob = MembershipTopK(records).u_topk(2)
+        assert vector == ("x", "y")
+        assert prob == pytest.approx(1.0)
+
+    def test_hand_computed_example(self, records):
+        vector, prob = MembershipTopK(records).u_topk(2)
+        # Candidates (sorted a,b,c,d): (a,b): .9*.5=.45; (a,c): .9*.5*.8=.36;
+        # (b,c) needs a absent: .1*.5*.8=.04; (a,d)=.9*.5*.2*1=.09 ...
+        assert vector == ("a", "b")
+        assert prob == pytest.approx(0.45)
+
+    def test_matches_montecarlo(self, records):
+        evaluator = MembershipTopK(records)
+        vector, prob = evaluator.u_topk(2)
+        freq = evaluator.u_topk_montecarlo(
+            2, np.random.default_rng(2), 100_000
+        )
+        assert freq.get(vector, 0.0) == pytest.approx(prob, abs=0.01)
+        # No length-2 vector is more frequent than the DP answer.
+        best_len2 = max(
+            (p for v, p in freq.items() if len(v) == 2), default=0.0
+        )
+        assert prob >= best_len2 - 0.01
+
+    def test_skipping_unlikely_record_is_optimal(self):
+        records = [
+            MembershipRecord("rare", 10.0, 0.01),
+            MembershipRecord("sure1", 9.0, 0.99),
+            MembershipRecord("sure2", 8.0, 0.99),
+        ]
+        vector, prob = MembershipTopK(records).u_topk(2)
+        assert vector == ("sure1", "sure2")
+        assert prob == pytest.approx(0.99 * 0.99 * 0.99, abs=1e-9)
+
+    def test_invalid_k(self, records):
+        with pytest.raises(QueryError):
+            MembershipTopK(records).u_topk(0)
+
+
+class TestGlobalTopkAndPTk:
+    def test_global_topk(self, records):
+        answers = MembershipTopK(records).global_topk(2)
+        assert len(answers) == 2
+        # Pr(in top-2): a=0.9; b=0.5; c = 0.8*(1 - 0.9*0.5) = 0.44;
+        # d = Pr(at most 1 of a,b,c exists) = 0.9*0.5*0.2 excluded...
+        by_id = dict(
+            (rec.record_id, p) for rec, p in answers
+        )
+        assert by_id["a"] == pytest.approx(0.9)
+        assert by_id["b"] == pytest.approx(0.5)
+
+    def test_pt_k_thresholding(self, records):
+        evaluator = MembershipTopK(records)
+        high = evaluator.pt_k(2, 0.85)
+        assert [rec.record_id for rec, _p in high] == ["a"]
+        low = evaluator.pt_k(2, 0.05)
+        assert len(low) >= 3
+
+    def test_pt_k_validation(self, records):
+        evaluator = MembershipTopK(records)
+        with pytest.raises(QueryError):
+            evaluator.pt_k(0, 0.5)
+        with pytest.raises(QueryError):
+            evaluator.pt_k(2, 0.0)
+        with pytest.raises(QueryError):
+            evaluator.global_topk(0)
+
+
+class TestEngineRelatedSemantics:
+    def test_global_topk_engine(self, paper_db):
+        from repro.core.engine import RankingEngine
+
+        engine = RankingEngine(paper_db, seed=0)
+        result = engine.global_topk(2)
+        assert len(result.answers) == 2
+        assert result.answers[0].record_id == "t5"
+        assert result.answers[0].probability == pytest.approx(1.0)
+
+    def test_threshold_topk_engine(self, paper_db):
+        from repro.core.engine import RankingEngine
+
+        engine = RankingEngine(paper_db, seed=0)
+        strict = engine.threshold_topk(2, 0.9)
+        assert {a.record_id for a in strict.answers} == {"t5"}
+        loose = engine.threshold_topk(2, 0.2)
+        assert {a.record_id for a in loose.answers} == {"t5", "t1", "t2"}
+        with pytest.raises(Exception):
+            engine.threshold_topk(2, 1.5)
+
+
+class TestModelContrast:
+    """The paper's claim: membership semantics cannot express ranges."""
+
+    def test_interval_scores_have_no_membership_encoding(self, paper_db):
+        # Every membership record requires one float score; an interval
+        # like t2 = [4, 8] admits no faithful single value: whichever
+        # point you pick, some pairwise probability is wrong.
+        from repro.core.pairwise import probability_greater
+
+        by_id = {r.record_id: r for r in paper_db}
+        t1, t2 = by_id["t1"], by_id["t2"]
+        # Under the score-uncertainty model Pr(t1 > t2) = 0.5 with both
+        # records always existing. A membership encoding with certain
+        # existence gives Pr in {0, 1} for any fixed scores — never 0.5.
+        assert probability_greater(t1, t2) == pytest.approx(0.5)
+        for s2 in (4.0, 6.0, 8.0):
+            fixed = 1.0 if 6.0 > s2 else 0.0
+            assert fixed in (0.0, 1.0)
+            assert fixed != pytest.approx(0.5)

@@ -1,0 +1,208 @@
+"""Unit tests for the Monte-Carlo evaluation engine (paper §VI-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.exact import ExactEvaluator
+from repro.core.montecarlo import MonteCarloEvaluator
+from repro.core.records import certain, uniform
+
+SAMPLES = 60_000
+TOL = 0.02
+
+
+@pytest.fixture
+def sampler(paper_db):
+    return MonteCarloEvaluator(paper_db, rng=np.random.default_rng(777))
+
+
+@pytest.fixture
+def exact(paper_db):
+    return ExactEvaluator(paper_db)
+
+
+class TestSampling:
+    def test_sample_scores_shape_and_support(self, sampler, paper_db):
+        scores = sampler.sample_scores(500)
+        assert scores.shape == (500, len(paper_db))
+        for i, rec in enumerate(paper_db):
+            assert scores[:, i].min() >= rec.lower - 1e-9
+            assert scores[:, i].max() <= rec.upper + 1e-9
+
+    def test_sample_rankings_are_permutations(self, sampler, paper_db):
+        rankings = sampler.sample_rankings(200)
+        n = len(paper_db)
+        for row in rankings:
+            assert sorted(row) == list(range(n))
+
+    def test_seeded_reproducibility(self, paper_db):
+        a = MonteCarloEvaluator(paper_db, rng=np.random.default_rng(5))
+        b = MonteCarloEvaluator(paper_db, rng=np.random.default_rng(5))
+        assert np.array_equal(a.sample_scores(100), b.sample_scores(100))
+
+    def test_zero_samples_rejected(self, sampler):
+        with pytest.raises(QueryError):
+            sampler.sample_scores(0)
+
+
+class TestRankProbabilities:
+    def test_matrix_matches_exact(self, sampler, exact):
+        estimate = sampler.rank_probability_matrix(SAMPLES)
+        truth = exact.rank_probability_matrix()
+        assert np.allclose(estimate, truth, atol=TOL)
+
+    def test_matrix_rows_sum_to_one(self, sampler):
+        matrix = sampler.rank_probability_matrix(5000)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_rank_range_matches_exact(self, sampler, exact, paper_db):
+        for rec in paper_db:
+            est = sampler.rank_range_probability(rec, 1, 2, SAMPLES)
+            truth = exact.rank_range_probability(rec, 1, 2)
+            assert est == pytest.approx(truth, abs=TOL)
+
+    def test_invalid_rank_range(self, sampler):
+        with pytest.raises(QueryError):
+            sampler.rank_range_probability("t1", 2, 1, 100)
+
+    def test_top_rank_candidates_order(self, sampler):
+        answers = sampler.top_rank_candidates(1, 2, 3, SAMPLES)
+        assert answers[0][0].record_id == "t5"
+        assert answers[0][1] == pytest.approx(1.0, abs=TOL)
+        probs = [p for _r, p in answers]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_top_rank_requires_positive_l(self, sampler):
+        with pytest.raises(QueryError):
+            sampler.top_rank_candidates(1, 2, 0, 100)
+
+
+class TestPrefixEstimators:
+    PREFIX = ["t5", "t1", "t2"]
+    TRUTH = 0.4375
+
+    def test_indicator_estimator(self, sampler):
+        assert sampler.prefix_probability(
+            self.PREFIX, SAMPLES
+        ) == pytest.approx(self.TRUTH, abs=TOL)
+
+    def test_cdf_estimator(self, sampler):
+        assert sampler.prefix_probability_cdf(
+            self.PREFIX, SAMPLES
+        ) == pytest.approx(self.TRUTH, abs=TOL)
+
+    def test_sis_estimator(self, sampler):
+        assert sampler.prefix_probability_sis(
+            self.PREFIX, SAMPLES
+        ) == pytest.approx(self.TRUTH, abs=TOL)
+
+    def test_sis_handles_full_extension(self, sampler, exact, paper_db):
+        order = ["t5", "t1", "t2", "t3", "t4", "t6"]
+        truth = exact.extension_probability(order)
+        assert sampler.prefix_probability_sis(
+            order, SAMPLES
+        ) == pytest.approx(truth, abs=TOL)
+
+    def test_estimators_agree_on_low_probability_prefix(self, paper_db):
+        exact = ExactEvaluator(paper_db)
+        prefix = ["t2", "t5", "t1"]
+        truth = exact.prefix_probability(prefix)
+        sampler = MonteCarloEvaluator(
+            paper_db, rng=np.random.default_rng(123)
+        )
+        sis = sampler.prefix_probability_sis(prefix, SAMPLES)
+        cdf = sampler.prefix_probability_cdf(prefix, SAMPLES)
+        assert sis == pytest.approx(truth, abs=TOL)
+        assert cdf == pytest.approx(truth, abs=TOL)
+
+    def test_sis_variance_lower_than_indicator(self, paper_db):
+        # For a fixed small sample budget, SIS should deviate less from
+        # the truth than indicator counting, averaged over repetitions.
+        truth = ExactEvaluator(paper_db).prefix_probability(
+            ["t5", "t1", "t2"]
+        )
+        errors_ind, errors_sis = [], []
+        for seed in range(20):
+            s = MonteCarloEvaluator(paper_db, rng=np.random.default_rng(seed))
+            errors_ind.append(
+                abs(s.prefix_probability(["t5", "t1", "t2"], 300) - truth)
+            )
+            s = MonteCarloEvaluator(paper_db, rng=np.random.default_rng(seed))
+            errors_sis.append(
+                abs(s.prefix_probability_sis(["t5", "t1", "t2"], 300) - truth)
+            )
+        assert np.mean(errors_sis) <= np.mean(errors_ind)
+
+    def test_empty_prefix(self, sampler):
+        assert sampler.prefix_probability([], 100) == 1.0
+        assert sampler.prefix_probability_sis([], 100) == 1.0
+
+    def test_duplicates_rejected(self, sampler):
+        with pytest.raises(QueryError):
+            sampler.prefix_probability(["t1", "t1"], 100)
+        with pytest.raises(QueryError):
+            sampler.prefix_probability_sis(["t1", "t1"], 100)
+        with pytest.raises(QueryError):
+            sampler.prefix_probability_cdf(["t1", "t1"], 100)
+
+
+class TestSetEstimators:
+    MEMBERS = ["t1", "t2", "t5"]
+    TRUTH = 0.9375
+
+    def test_indicator_estimator(self, sampler):
+        assert sampler.top_set_probability(
+            self.MEMBERS, SAMPLES
+        ) == pytest.approx(self.TRUTH, abs=TOL)
+
+    def test_cdf_estimator(self, sampler):
+        assert sampler.top_set_probability_cdf(
+            self.MEMBERS, SAMPLES
+        ) == pytest.approx(self.TRUTH, abs=TOL)
+
+    def test_whole_database(self, sampler, paper_db):
+        ids = [r.record_id for r in paper_db]
+        assert sampler.top_set_probability(ids, 1000) == 1.0
+
+    def test_duplicates_rejected(self, sampler):
+        with pytest.raises(QueryError):
+            sampler.top_set_probability(["t1", "t1"], 100)
+
+
+class TestExtensionProbability:
+    def test_matches_exact(self, sampler, exact):
+        order = ["t5", "t1", "t2", "t3", "t4", "t6"]
+        truth = exact.extension_probability(order)
+        assert sampler.extension_probability(
+            order, SAMPLES
+        ) == pytest.approx(truth, abs=TOL)
+
+    def test_requires_permutation(self, sampler):
+        with pytest.raises(QueryError):
+            sampler.extension_probability(["t1", "t2"], 100)
+
+
+class TestEmpiricalStateDistributions:
+    def test_prefix_frequencies_sum_to_one(self, sampler):
+        freq = sampler.empirical_top_prefixes(3, 5000)
+        assert sum(freq.values()) == pytest.approx(1.0)
+
+    def test_prefix_frequencies_match_exact(self, sampler, exact):
+        freq = sampler.empirical_top_prefixes(3, SAMPLES)
+        best = max(freq, key=freq.get)
+        assert best == ("t5", "t1", "t2")
+        assert freq[best] == pytest.approx(0.4375, abs=TOL)
+
+    def test_set_frequencies_match_exact(self, sampler):
+        freq = sampler.empirical_top_sets(3, SAMPLES)
+        best = max(freq, key=freq.get)
+        assert best == frozenset({"t1", "t2", "t5"})
+        assert freq[best] == pytest.approx(0.9375, abs=TOL)
+
+    def test_deterministic_tie_handling(self):
+        records = [certain("a", 5.0), certain("b", 5.0), uniform("u", 0, 1)]
+        sampler = MonteCarloEvaluator(records, rng=np.random.default_rng(0))
+        freq = sampler.empirical_top_prefixes(2, 1000)
+        # Tie-break puts 'a' above 'b' in every sample.
+        assert freq == {("a", "b"): 1.0}

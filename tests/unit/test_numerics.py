@@ -1,0 +1,117 @@
+"""Numerical stress tests for the exact engine.
+
+The piecewise-polynomial recursion grows polynomial degree with the
+number of records (the Poisson-binomial DP reaches degree ~n). These
+tests push the degree and segment counts well past the sizes the other
+tests use and check the invariants that expose conditioning problems
+(sums to one, agreement with Monte-Carlo, stability under translation
+and scaling of the score axis).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import ExactEvaluator
+from repro.core.montecarlo import MonteCarloEvaluator
+from repro.core.piecewise import PiecewisePolynomial
+from repro.core.records import certain, uniform
+
+
+def _overlapping_db(n, lo=0.0, width=10.0, prefix="r"):
+    """n uniform records with heavily overlapping staggered intervals."""
+    records = []
+    for i in range(n):
+        a = lo + width * i / (2 * n)
+        b = a + width * 0.75
+        records.append(uniform(f"{prefix}{i:02d}", a, b))
+    return records
+
+
+class TestHighDegreeStability:
+    def test_rank_matrix_doubly_stochastic_at_n30(self):
+        records = _overlapping_db(30)
+        matrix = ExactEvaluator(records).rank_probability_matrix(max_rank=5)
+        # Column sums of a truncated matrix equal 1 per rank.
+        assert np.allclose(matrix[:, :5].sum(axis=0), 1.0, atol=1e-7)
+        assert np.all(matrix >= -1e-10)
+
+    def test_prefix_probability_stable_at_n40(self):
+        records = _overlapping_db(40)
+        evaluator = ExactEvaluator(records)
+        top = sorted(records, key=lambda r: -r.upper)[:5]
+        value = evaluator.prefix_probability(top)
+        assert 0.0 <= value <= 1.0
+        sampler = MonteCarloEvaluator(records, rng=np.random.default_rng(0))
+        estimate = sampler.prefix_probability_sis(
+            [r.record_id for r in top], 40_000
+        )
+        assert estimate == pytest.approx(value, rel=0.2, abs=1e-4)
+
+    def test_deep_cdf_product_degree(self):
+        # Product of 50 ramps: degree-50 polynomial; its value must stay
+        # within [0, 1] everywhere and be monotone.
+        product = PiecewisePolynomial.constant(1.0)
+        for i in range(50):
+            product = product * PiecewisePolynomial.ramp(
+                i * 0.1, i * 0.1 + 5.0
+            )
+        xs = np.linspace(-1.0, 11.0, 400)
+        values = product(xs)
+        assert np.all(values >= -1e-9)
+        assert np.all(values <= 1.0 + 1e-9)
+        assert np.all(np.diff(values) >= -1e-7)
+
+
+class TestAxisInvariance:
+    """Probabilities are invariant under shifting/scaling all scores."""
+
+    def _probabilities(self, records):
+        evaluator = ExactEvaluator(records)
+        top = sorted(records, key=lambda r: -r.upper)[:3]
+        return (
+            evaluator.prefix_probability(top),
+            evaluator.top_set_probability(top),
+            evaluator.rank_probabilities(records[0], max_rank=4),
+        )
+
+    @pytest.mark.parametrize("shift,scale", [(1000.0, 1.0), (0.0, 1e-3),
+                                             (-500.0, 100.0)])
+    def test_shift_and_scale(self, shift, scale):
+        base = _overlapping_db(10)
+        moved = [
+            certain(r.record_id, r.lower * scale + shift)
+            if r.is_deterministic
+            else uniform(
+                r.record_id, r.lower * scale + shift, r.upper * scale + shift
+            )
+            for r in base
+        ]
+        p0 = self._probabilities(base)
+        p1 = self._probabilities(moved)
+        assert p1[0] == pytest.approx(p0[0], rel=1e-6, abs=1e-12)
+        assert p1[1] == pytest.approx(p0[1], rel=1e-6, abs=1e-12)
+        assert np.allclose(p1[2], p0[2], rtol=1e-6, atol=1e-12)
+
+
+class TestExtremeIntervals:
+    def test_tiny_and_huge_widths_coexist(self):
+        records = [
+            uniform("narrow", 4.9999, 5.0001),
+            uniform("wide", 0.0, 10.0),
+            certain("point", 5.0),
+        ]
+        evaluator = ExactEvaluator(records)
+        matrix = evaluator.rank_probability_matrix()
+        assert np.allclose(matrix.sum(axis=1), 1.0, atol=1e-8)
+        # The narrow interval behaves almost like the point at 5.
+        p = evaluator.probability_greater("narrow", "wide")
+        assert p == pytest.approx(0.5, abs=1e-3)
+
+    def test_many_identical_intervals(self):
+        records = [uniform(f"r{i:02d}", 0.0, 1.0) for i in range(12)]
+        evaluator = ExactEvaluator(records)
+        eta1 = [
+            evaluator.rank_probabilities(rec, max_rank=1)[0]
+            for rec in records
+        ]
+        assert np.allclose(eta1, 1.0 / 12.0, atol=1e-9)

@@ -1,0 +1,129 @@
+"""Unit tests for scraped-text parsing into uncertain values."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.db.attributes import ExactValue, IntervalValue, MissingValue
+from repro.db.parsing import parse_uncertain_number, table_from_csv
+
+
+class TestParseUncertainNumber:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("1200", ExactValue(1200.0)),
+            ("$1,200.50", ExactValue(1200.5)),
+            ("  950  ", ExactValue(950.0)),
+            (1200, ExactValue(1200.0)),
+            (12.5, ExactValue(12.5)),
+            ("-15", ExactValue(-15.0)),
+        ],
+    )
+    def test_exact_values(self, raw, expected):
+        assert parse_uncertain_number(raw) == expected
+
+    @pytest.mark.parametrize(
+        "raw,low,high",
+        [
+            ("650-1100", 650.0, 1100.0),
+            ("$650-$1,100", 650.0, 1100.0),
+            ("650 – 1100", 650.0, 1100.0),
+            ("650 to 1100", 650.0, 1100.0),
+            ("1100-650", 650.0, 1100.0),  # reversed bounds normalized
+            ("600/900", 600.0, 900.0),
+        ],
+    )
+    def test_ranges(self, raw, low, high):
+        value = parse_uncertain_number(raw)
+        assert value == IntervalValue(low, high)
+
+    @pytest.mark.parametrize(
+        "raw",
+        ["", "   ", "N/A", "negotiable", "NEGOTIABLE", "unknown", "?",
+         "call for price", None],
+    )
+    def test_missing(self, raw):
+        assert parse_uncertain_number(raw) == MissingValue()
+
+    def test_open_ended(self):
+        value = parse_uncertain_number("700+", open_fraction=0.5)
+        assert value == IntervalValue(700.0, 1050.0)
+
+    def test_approximate(self):
+        value = parse_uncertain_number("~950", approx_fraction=0.1)
+        assert value == IntervalValue(855.0, 1045.0)
+        assert parse_uncertain_number("about 100") == IntervalValue(90.0, 110.0)
+        assert parse_uncertain_number("approx. 100") == IntervalValue(90.0, 110.0)
+
+    def test_currency_and_units_stripped(self):
+        assert parse_uncertain_number("€700") == ExactValue(700.0)
+        assert parse_uncertain_number("850 sq ft") == ExactValue(850.0)
+        assert parse_uncertain_number("850 sqft") == ExactValue(850.0)
+
+    def test_degenerate_range_collapses(self):
+        assert parse_uncertain_number("500-500") == ExactValue(500.0)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ModelError):
+            parse_uncertain_number("cheap!!")
+        with pytest.raises(ModelError):
+            parse_uncertain_number(["x"])
+
+
+class TestTableFromCsv:
+    CSV = (
+        "id,rent,area,city\n"
+        "a1,\"$600\",750,Waterloo\n"
+        "a2,\"$650-$1,100\",\"~800\",Kitchener\n"
+        "a3,negotiable,\"600-900\",Waterloo\n"
+        "a4,\"900+\",,Guelph\n"
+    )
+
+    def test_parse_and_structure(self):
+        table = table_from_csv(
+            self.CSV, "apts", key="id", uncertain_columns=["rent", "area"]
+        )
+        assert len(table) == 4
+        assert isinstance(table.rows[0]["rent"], ExactValue)
+        assert table.rows[1]["rent"] == IntervalValue(650.0, 1100.0)
+        assert isinstance(table.rows[2]["rent"], MissingValue)
+        assert table.rows[3]["rent"] == IntervalValue(900.0, 1350.0)
+        assert isinstance(table.rows[3]["area"], MissingValue)
+        assert table.rows[0]["city"] == "Waterloo"
+
+    def test_end_to_end_ranking(self):
+        from repro.core.engine import RankingEngine
+        from repro.db.scoring import InverseAttributeScore
+
+        table = table_from_csv(
+            self.CSV, "apts", key="id", uncertain_columns=["rent", "area"]
+        )
+        scoring = InverseAttributeScore("rent", (300.0, 2000.0))
+        records = table.to_records(scoring)
+        result = RankingEngine(records, seed=0).utop_rank(1, 1, l=2)
+        assert result.top.record_id == "a1"
+
+    def test_error_reports_location(self):
+        bad = "id,rent\nx1,furnished\n"
+        with pytest.raises(ModelError, match="line 2.*rent"):
+            table_from_csv(bad, "t", key="id", uncertain_columns=["rent"])
+
+    def test_header_validation(self):
+        with pytest.raises(ModelError):
+            table_from_csv(
+                "id,rent\n", "t", key="zz", uncertain_columns=["rent"]
+            )
+        with pytest.raises(ModelError):
+            table_from_csv(
+                "id,rent\n", "t", key="id", uncertain_columns=["zz"]
+            )
+
+    def test_payload_columns_parsed_as_floats(self):
+        table = table_from_csv(
+            "id,rent,area\na,600,\"1,200\"\n",
+            "t",
+            key="id",
+            uncertain_columns=["rent"],
+            payload_columns=["area"],
+        )
+        assert table.rows[0]["area"] == 1200.0

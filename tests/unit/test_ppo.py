@@ -1,0 +1,159 @@
+"""Unit tests for the probabilistic partial order."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.ppo import ProbabilisticPartialOrder, dominates
+from repro.core.records import certain, uniform
+
+from conftest import random_interval_db
+
+
+class TestDominates:
+    def test_interval_dominance(self):
+        assert dominates(uniform("a", 5, 8), uniform("b", 1, 4))
+        assert dominates(uniform("a", 4, 8), uniform("b", 1, 4))
+        assert not dominates(uniform("a", 3, 8), uniform("b", 1, 4))
+
+    def test_non_reflexive(self):
+        rec = certain("a", 3.0)
+        assert not dominates(rec, rec)
+
+    def test_asymmetric(self):
+        a, b = uniform("a", 5, 8), uniform("b", 1, 4)
+        assert dominates(a, b) and not dominates(b, a)
+
+    def test_deterministic_tie_oriented_by_tau(self):
+        a, b = certain("a", 2.0), certain("b", 2.0)
+        assert dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_transitive_on_random_data(self):
+        records = random_interval_db(np.random.default_rng(2), 20)
+        for a in records:
+            for b in records:
+                for c in records:
+                    if dominates(a, b) and dominates(b, c):
+                        assert dominates(a, c)
+
+
+class TestCounts:
+    def test_counts_match_explicit_scan(self, paper_db):
+        ppo = ProbabilisticPartialOrder(paper_db)
+        for rec in paper_db:
+            assert ppo.dominator_count(rec) == len(ppo.dominators(rec))
+            assert ppo.dominated_count(rec) == len(ppo.dominated(rec))
+
+    def test_counts_match_on_random_data(self):
+        records = random_interval_db(np.random.default_rng(7), 40)
+        ppo = ProbabilisticPartialOrder(records)
+        for rec in records:
+            assert ppo.dominator_count(rec) == len(ppo.dominators(rec))
+            assert ppo.dominated_count(rec) == len(ppo.dominated(rec))
+
+    def test_counts_with_deterministic_ties(self):
+        records = [certain("a", 5.0), certain("b", 5.0), certain("c", 5.0),
+                   uniform("d", 4.0, 6.0), certain("e", 7.0)]
+        ppo = ProbabilisticPartialOrder(records)
+        for rec in records:
+            assert ppo.dominator_count(rec) == len(ppo.dominators(rec))
+            assert ppo.dominated_count(rec) == len(ppo.dominated(rec))
+
+
+class TestRankIntervals:
+    def test_paper_example(self, paper_db):
+        ppo = ProbabilisticPartialOrder(paper_db)
+        by_id = {r.record_id: r for r in paper_db}
+        # t5=[7,7] is dominated by nobody and dominates t1, t3, t4, t6.
+        assert ppo.rank_interval(by_id["t5"]) == (1, 2)
+        # t6=[1,1] is dominated by everyone else.
+        assert ppo.rank_interval(by_id["t6"]) == (6, 6)
+        # t2=[4,8] can rank anywhere from 1 to 4.
+        lo, hi = ppo.rank_interval(by_id["t2"])
+        assert lo == 1 and hi == 4
+
+    def test_intervals_bounded_by_database_size(self):
+        records = random_interval_db(np.random.default_rng(3), 25)
+        ppo = ProbabilisticPartialOrder(records)
+        n = len(records)
+        for rec in records:
+            lo, hi = ppo.rank_interval(rec)
+            assert 1 <= lo <= hi <= n
+
+
+class TestSkyline:
+    def test_figure2_skyline(self, figure2_db):
+        ppo = ProbabilisticPartialOrder(figure2_db)
+        assert {r.record_id for r in ppo.skyline()} == {"a1", "a4"}
+
+    def test_skyline_never_empty(self):
+        records = random_interval_db(np.random.default_rng(4), 15)
+        assert ProbabilisticPartialOrder(records).skyline()
+
+
+class TestHasse:
+    def test_paper_hasse_edges(self, paper_db):
+        ppo = ProbabilisticPartialOrder(paper_db)
+        edges = {
+            (a.record_id, b.record_id) for a, b in ppo.hasse_edges()
+        }
+        # Figure 4's diagram: t3/t4 overlap (they are a probabilistic
+        # pair), so the Hasse edges are exactly these six; transitive
+        # edges like t5->t3 must be absent.
+        assert edges == {
+            ("t5", "t1"),
+            ("t1", "t3"),
+            ("t1", "t4"),
+            ("t2", "t4"),
+            ("t3", "t6"),
+            ("t4", "t6"),
+        }
+
+    def test_networkx_dag(self, paper_db):
+        import networkx as nx
+
+        ppo = ProbabilisticPartialOrder(paper_db)
+        graph = ppo.to_networkx(reduced=False)
+        assert nx.is_directed_acyclic_graph(graph)
+        reduced = ppo.to_networkx(reduced=True)
+        assert set(reduced.edges()) <= set(graph.edges())
+
+    def test_hasse_guard(self):
+        records = random_interval_db(np.random.default_rng(5), 30)
+        ppo = ProbabilisticPartialOrder(records)
+        with pytest.raises(ModelError):
+            ppo.hasse_edges(max_records=10)
+
+
+class TestProbabilisticPairs:
+    def test_pairs_are_exactly_the_overlaps(self, paper_db):
+        ppo = ProbabilisticPartialOrder(paper_db)
+        pairs = {
+            frozenset((a.record_id, b.record_id))
+            for a, b in ppo.probabilistic_pairs()
+        }
+        assert pairs == {
+            frozenset({"t1", "t2"}),
+            frozenset({"t2", "t3"}),
+            frozenset({"t3", "t4"}),
+            frozenset({"t2", "t5"}),
+        }
+
+    def test_pair_probabilities_strictly_inside_unit(self, paper_db):
+        ppo = ProbabilisticPartialOrder(paper_db)
+        for a, b in ppo.probabilistic_pairs():
+            p = ppo.probability_greater(a, b)
+            assert 0.0 < p < 1.0
+
+
+class TestValidation:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ModelError):
+            ProbabilisticPartialOrder([certain("a", 1.0), certain("a", 2.0)])
+
+    def test_record_lookup(self, paper_db):
+        ppo = ProbabilisticPartialOrder(paper_db)
+        assert ppo.record("t5").upper == 7.0
+        with pytest.raises(KeyError):
+            ppo.record("nope")

@@ -1,0 +1,128 @@
+"""Unit tests for k-dominance pruning (Algorithm 2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.pruning import (
+    k_dominated,
+    naive_k_dominated,
+    shrink_database,
+    upper_bound_list,
+)
+from repro.core.records import certain, uniform
+
+from conftest import random_interval_db
+
+
+class TestUpperBoundList:
+    def test_descending_upper_order(self):
+        records = random_interval_db(np.random.default_rng(0), 30)
+        u = upper_bound_list(records)
+        uppers = [r.upper for r in u]
+        assert uppers == sorted(uppers, reverse=True)
+
+    def test_ties_resolved_deterministically(self):
+        records = [certain("b", 5.0), certain("a", 5.0)]
+        u = upper_bound_list(records)
+        assert [r.record_id for r in u] == ["a", "b"]
+
+
+class TestKDominatedReference:
+    def test_fast_matches_naive(self):
+        records = random_interval_db(np.random.default_rng(1), 50)
+        for k in (1, 3, 10):
+            fast = {r.record_id for r in k_dominated(records, k)}
+            naive = {r.record_id for r in naive_k_dominated(records, k)}
+            assert fast == naive
+
+    def test_paper_example(self, paper_db):
+        # t4 and t6 are 3-dominated in the Figure 4 example.
+        dominated = {r.record_id for r in k_dominated(paper_db, 3)}
+        assert dominated == {"t4", "t6"}
+
+
+class TestShrinkDatabase:
+    def test_soundness_every_pruned_record_is_k_dominated(self):
+        rng = np.random.default_rng(2)
+        for trial in range(10):
+            records = random_interval_db(rng, 60)
+            k = int(rng.integers(1, 12))
+            result = shrink_database(records, k)
+            kept_ids = {r.record_id for r in result.kept}
+            dominated_ids = {r.record_id for r in k_dominated(records, k)}
+            pruned_ids = {r.record_id for r in records} - kept_ids
+            assert pruned_ids <= dominated_ids
+
+    def test_completeness_wrt_pivot(self):
+        # Every record dominated by t(k) must be pruned.
+        rng = np.random.default_rng(3)
+        records = random_interval_db(rng, 80)
+        result = shrink_database(records, 5)
+        from repro.core.ppo import dominates
+
+        for rec in result.kept:
+            assert not dominates(result.pivot, rec)
+
+    def test_preserves_original_order(self):
+        records = random_interval_db(np.random.default_rng(4), 40)
+        result = shrink_database(records, 3)
+        positions = {r.record_id: i for i, r in enumerate(records)}
+        kept_positions = [positions[r.record_id] for r in result.kept]
+        assert kept_positions == sorted(kept_positions)
+
+    def test_logarithmic_record_accesses(self):
+        records = random_interval_db(np.random.default_rng(5), 5000)
+        result = shrink_database(records, 10)
+        assert result.record_accesses <= math.ceil(math.log2(5001)) + 1
+
+    def test_shrinkage_property(self):
+        records = random_interval_db(np.random.default_rng(6), 100)
+        result = shrink_database(records, 5)
+        assert 0.0 <= result.shrinkage <= 1.0
+        assert result.removed + len(result.kept) == 100
+
+    def test_k_equal_to_size_keeps_everything_dominable(self):
+        records = random_interval_db(np.random.default_rng(7), 20)
+        result = shrink_database(records, 20)
+        # With k = n, t(k) has the smallest lower bound; pruning is
+        # minimal but still sound.
+        assert len(result.kept) >= 1
+
+    def test_precomputed_upper_list_reused(self):
+        records = random_interval_db(np.random.default_rng(8), 50)
+        u = upper_bound_list(records)
+        direct = shrink_database(records, 4)
+        via_index = shrink_database(records, 4, upper_list=u)
+        assert {r.record_id for r in direct.kept} == {
+            r.record_id for r in via_index.kept
+        }
+
+    def test_all_certain_distinct_scores(self):
+        records = [certain(f"r{i}", float(i)) for i in range(50)]
+        result = shrink_database(records, 10)
+        kept_scores = sorted((r.lower for r in result.kept), reverse=True)
+        # The 10 highest-scoring records must survive.
+        assert kept_scores[:10] == [float(i) for i in range(49, 39, -1)]
+
+    def test_deterministic_tie_block(self):
+        records = [certain(f"r{i}", 5.0) for i in range(10)]
+        result = shrink_database(records, 3)
+        kept_ids = {r.record_id for r in result.kept}
+        # Tie-break order r0 > r1 > ...; r3..r9 are 3-dominated.
+        assert kept_ids == {"r0", "r1", "r2"}
+
+    def test_invalid_k(self):
+        records = [certain("a", 1.0)]
+        with pytest.raises(QueryError):
+            shrink_database(records, 0)
+        with pytest.raises(QueryError):
+            shrink_database(records, 2)
+
+    def test_no_pruning_when_all_overlap(self):
+        records = [uniform(f"r{i}", 0.0, 10.0) for i in range(8)]
+        result = shrink_database(records, 3)
+        assert result.removed == 0
+        assert result.pos_star == len(records) + 1

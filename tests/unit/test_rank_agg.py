@@ -1,0 +1,251 @@
+"""Unit tests for rank aggregation (paper §VI-E, Theorem 2)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.exact import ExactEvaluator
+from repro.core.rank_agg import (
+    brute_force_aggregation,
+    empirical_rank_matrix,
+    footrule_distance,
+    footrule_weights,
+    kemeny_optimal,
+    kendall_tau_distance,
+    optimal_rank_aggregation,
+)
+from repro.core.records import certain
+
+from conftest import random_interval_db
+
+
+class TestDistances:
+    def test_footrule_identity(self):
+        assert footrule_distance(["a", "b", "c"], ["a", "b", "c"]) == 0
+
+    def test_footrule_known_value(self):
+        assert footrule_distance(["a", "b", "c"], ["c", "b", "a"]) == 4
+
+    def test_footrule_symmetry(self):
+        a, b = ["a", "b", "c", "d"], ["b", "d", "a", "c"]
+        assert footrule_distance(a, b) == footrule_distance(b, a)
+
+    def test_footrule_triangle_inequality(self):
+        items = ["a", "b", "c", "d"]
+        perms = list(itertools.permutations(items))
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            x, y, z = (list(perms[i]) for i in rng.integers(0, len(perms), 3))
+            assert footrule_distance(x, z) <= footrule_distance(
+                x, y
+            ) + footrule_distance(y, z)
+
+    def test_kendall_tau_known_value(self):
+        assert kendall_tau_distance(["a", "b", "c"], ["c", "b", "a"]) == 3
+        assert kendall_tau_distance(["a", "b", "c"], ["a", "c", "b"]) == 1
+
+    def test_diaconis_graham_inequality(self):
+        # K <= F <= 2K for all ranking pairs.
+        items = ["a", "b", "c", "d", "e"]
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            x = list(items)
+            y = list(items)
+            rng.shuffle(x)
+            rng.shuffle(y)
+            k = kendall_tau_distance(x, y)
+            f = footrule_distance(x, y)
+            assert k <= f <= 2 * k
+
+    def test_mismatched_items_rejected(self):
+        with pytest.raises(QueryError):
+            footrule_distance(["a", "b"], ["a", "c"])
+        with pytest.raises(QueryError):
+            kendall_tau_distance(["a", "b"], ["a", "c"])
+        with pytest.raises(QueryError):
+            footrule_distance(["a", "a"], ["a", "a"])
+
+
+class TestFigure6:
+    """The paper's worked bipartite-matching example."""
+
+    RECORDS = [certain("t1", 3.0), certain("t2", 2.0), certain("t3", 1.0)]
+    ETA = np.array(
+        [
+            [0.8, 0.2, 0.0],  # t1
+            [0.2, 0.5, 0.3],  # t2
+            [0.0, 0.3, 0.7],  # t3
+        ]
+    )
+
+    def test_edge_weights(self):
+        weights = footrule_weights(self.ETA)
+        # w(t1, rank1) = 0.8*0 + 0.2*1 + 0*2 = 0.2
+        assert weights[0, 0] == pytest.approx(0.2)
+        # w(t1, rank3) = 0.8*2 + 0.2*1 = 1.8
+        assert weights[0, 2] == pytest.approx(1.8)
+        # w(t2, rank2) = 0.2*1 + 0.5*0 + 0.3*1 = 0.5
+        assert weights[1, 1] == pytest.approx(0.5)
+
+    def test_matching_result(self):
+        ranking, cost = optimal_rank_aggregation(self.ETA, self.RECORDS)
+        assert [r.record_id for r in ranking] == ["t1", "t2", "t3"]
+        # Min-cost matching: 0.2 + 0.5 + 0.3 = 1.0.
+        assert cost == pytest.approx(1.0)
+
+
+class TestOptimality:
+    def test_matches_brute_force_on_random_matrices(self):
+        rng = np.random.default_rng(2)
+        records = [certain(f"r{i}", float(i)) for i in range(5)]
+        for _ in range(10):
+            raw = rng.random((5, 5))
+            # Make it doubly stochastic-ish via Sinkhorn steps.
+            for _ in range(50):
+                raw /= raw.sum(axis=1, keepdims=True)
+                raw /= raw.sum(axis=0, keepdims=True)
+            _ranking, cost = optimal_rank_aggregation(raw, records)
+            _bf_ranking, bf_cost = brute_force_aggregation(raw, records)
+            assert cost == pytest.approx(bf_cost, abs=1e-9)
+
+    def test_consensus_minimizes_expected_footrule(self, paper_db):
+        # Theorem 2 end-to-end: the matching solution's expected
+        # footrule distance to the extension distribution is minimal
+        # among all candidate rankings.
+        from repro.core.linext import enumerate_extensions
+        from repro.core.ppo import ProbabilisticPartialOrder
+
+        evaluator = ExactEvaluator(paper_db)
+        matrix = evaluator.rank_probability_matrix()
+        ranking, cost = optimal_rank_aggregation(matrix, paper_db)
+        consensus = [r.record_id for r in ranking]
+
+        ppo = ProbabilisticPartialOrder(paper_db)
+        extensions = list(enumerate_extensions(ppo))
+        probs = [evaluator.extension_probability(e) for e in extensions]
+
+        def expected_distance(candidate):
+            return sum(
+                p * footrule_distance(candidate, [r.record_id for r in ext])
+                for ext, p in zip(extensions, probs)
+            )
+
+        consensus_cost = expected_distance(consensus)
+        assert consensus_cost == pytest.approx(cost, abs=1e-9)
+        for ext in extensions:
+            assert consensus_cost <= expected_distance(
+                [r.record_id for r in ext]
+            ) + 1e-9
+
+    def test_shape_validation(self):
+        records = [certain("a", 1.0), certain("b", 2.0)]
+        with pytest.raises(QueryError):
+            optimal_rank_aggregation(np.ones((2, 3)), records)
+
+
+class TestKemenyOptimal:
+    def test_unanimous_voters(self):
+        rankings = [["a", "b", "c"]] * 3
+        consensus, cost = kemeny_optimal(rankings)
+        assert consensus == ["a", "b", "c"]
+        assert cost == 0.0
+
+    def test_majority_wins(self):
+        rankings = [["a", "b", "c"], ["a", "b", "c"], ["b", "a", "c"]]
+        consensus, _cost = kemeny_optimal(rankings)
+        assert consensus == ["a", "b", "c"]
+
+    def test_weighted_voters(self):
+        rankings = [["a", "b"], ["b", "a"]]
+        consensus, _cost = kemeny_optimal(rankings, weights=[1.0, 3.0])
+        assert consensus == ["b", "a"]
+
+    def test_footrule_is_2_approximation(self, paper_db):
+        # Diaconis-Graham end-to-end: the footrule-optimal consensus's
+        # Kendall cost is within 2x of the Kemeny optimum.
+        from repro.core.linext import enumerate_extensions
+        from repro.core.ppo import ProbabilisticPartialOrder
+
+        evaluator = ExactEvaluator(paper_db)
+        ppo = ProbabilisticPartialOrder(paper_db)
+        extensions = [
+            [r.record_id for r in e] for e in enumerate_extensions(ppo)
+        ]
+        weights = [
+            evaluator.extension_probability(e)
+            for e in enumerate_extensions(ppo)
+        ]
+        kemeny_rank, kemeny_cost = kemeny_optimal(extensions, weights)
+        matrix = evaluator.rank_probability_matrix()
+        footrule_rank, _ = optimal_rank_aggregation(matrix, paper_db)
+        footrule_ids = [r.record_id for r in footrule_rank]
+        footrule_kendall_cost = sum(
+            w * kendall_tau_distance(footrule_ids, e)
+            for e, w in zip(extensions, weights)
+        ) / sum(weights)
+        assert footrule_kendall_cost <= 2 * kemeny_cost + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            kemeny_optimal([])
+        with pytest.raises(QueryError):
+            kemeny_optimal([["a", "b"], ["a", "c"]])
+        with pytest.raises(QueryError):
+            kemeny_optimal([["a", "b"]], weights=[1.0, 2.0])
+        with pytest.raises(QueryError):
+            kemeny_optimal([["a", "b"]], weights=[0.0])
+
+
+class TestEmpiricalMatrix:
+    def test_counts_normalized(self):
+        records = [certain("a", 1.0), certain("b", 2.0)]
+        matrix = empirical_rank_matrix(
+            [["a", "b"], ["b", "a"]], records
+        )
+        assert np.allclose(matrix, 0.5)
+
+    def test_weighted(self):
+        records = [certain("a", 1.0), certain("b", 2.0)]
+        matrix = empirical_rank_matrix(
+            [["a", "b"], ["b", "a"]], records, weights=[3.0, 1.0]
+        )
+        assert matrix[0, 0] == pytest.approx(0.75)
+
+    def test_validation(self):
+        records = [certain("a", 1.0), certain("b", 2.0)]
+        with pytest.raises(QueryError):
+            empirical_rank_matrix([["a"]], records)
+        with pytest.raises(QueryError):
+            empirical_rank_matrix([["a", "z"]], records)
+        with pytest.raises(QueryError):
+            empirical_rank_matrix([["a", "b"]], records, weights=[1.0, 2.0])
+        with pytest.raises(QueryError):
+            empirical_rank_matrix([["a", "b"]], records, weights=[-1.0])
+
+
+class TestConsistencyWithMonteCarlo:
+    def test_exact_and_mc_matrices_agree_on_consensus(self):
+        from repro.core.montecarlo import MonteCarloEvaluator
+
+        records = random_interval_db(np.random.default_rng(3), 8)
+        exact_matrix = ExactEvaluator(records).rank_probability_matrix()
+        mc_matrix = MonteCarloEvaluator(
+            records, rng=np.random.default_rng(4)
+        ).rank_probability_matrix(60_000)
+        exact_rank, _ = optimal_rank_aggregation(exact_matrix, records)
+        mc_rank, _ = optimal_rank_aggregation(mc_matrix, records)
+        # The consensus ranking is a discrete object; with 60k samples
+        # the two orderings should agree except possibly on near-ties,
+        # so compare costs under the exact weights instead.
+        weights = footrule_weights(exact_matrix)
+        index = {rec.record_id: i for i, rec in enumerate(records)}
+
+        def cost(ranking):
+            return sum(
+                weights[index[rec.record_id], pos]
+                for pos, rec in enumerate(ranking)
+            )
+
+        assert cost(mc_rank) == pytest.approx(cost(exact_rank), abs=0.05)

@@ -1,0 +1,61 @@
+"""Unit tests for records and the deterministic tie-breaker."""
+
+import pytest
+
+from repro.core.distributions import PointScore, UniformScore
+from repro.core.errors import ModelError
+from repro.core.records import UncertainRecord, certain, tie_break, uniform
+
+
+class TestConstructors:
+    def test_certain(self):
+        rec = certain("a", 5.0)
+        assert rec.is_deterministic
+        assert rec.lower == rec.upper == 5.0
+        assert isinstance(rec.score, PointScore)
+
+    def test_uniform(self):
+        rec = uniform("a", 1.0, 4.0)
+        assert not rec.is_deterministic
+        assert (rec.lower, rec.upper) == (1.0, 4.0)
+        assert isinstance(rec.score, UniformScore)
+
+    def test_uniform_degenerates_to_certain(self):
+        rec = uniform("a", 2.0, 2.0)
+        assert rec.is_deterministic
+        assert isinstance(rec.score, PointScore)
+
+    def test_payload_attached(self):
+        rec = certain("a", 5.0, rent="$600", rooms=2)
+        assert rec.payload == {"rent": "$600", "rooms": 2}
+
+    def test_no_payload_is_none(self):
+        assert certain("a", 5.0).payload is None
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ModelError):
+            UncertainRecord("", PointScore(1.0))
+
+
+class TestTieBreaker:
+    def test_orders_by_id(self):
+        a, b = certain("a", 1.0), certain("b", 1.0)
+        assert tie_break(a, b)
+        assert not tie_break(b, a)
+
+    def test_transitive(self):
+        a, b, c = certain("a", 1.0), certain("b", 1.0), certain("c", 1.0)
+        assert tie_break(a, b) and tie_break(b, c) and tie_break(a, c)
+
+
+class TestEquality:
+    def test_payload_excluded_from_equality(self):
+        a1 = certain("a", 5.0, note="x")
+        a2 = certain("a", 5.0, note="y")
+        # Same id and (equal-valued) distributions compare equal only if
+        # the distribution objects compare equal; payload never matters.
+        assert a1.record_id == a2.record_id
+        assert a1.payload != a2.payload
+
+    def test_repr_contains_bounds(self):
+        assert "[1.0, 4.0]" in repr(uniform("a", 1.0, 4.0))

@@ -1,0 +1,80 @@
+"""Unit tests for scoring functions."""
+
+import pytest
+
+from repro.core.distributions import DiscreteScore, PointScore, UniformScore
+from repro.core.errors import ModelError
+from repro.db.attributes import MissingValue
+from repro.db.scoring import AttributeScore, InverseAttributeScore
+
+
+class TestValidation:
+    def test_invalid_domain(self):
+        with pytest.raises(ModelError):
+            AttributeScore("x", (5.0, 5.0))
+        with pytest.raises(ModelError):
+            AttributeScore("x", (5.0, 1.0))
+
+    def test_invalid_scale(self):
+        with pytest.raises(ModelError):
+            AttributeScore("x", (0.0, 1.0), scale=0.0)
+
+
+class TestAttributeScore:
+    SCORE = AttributeScore("temp", (0.0, 100.0), scale=10.0)
+
+    def test_exact_value(self):
+        dist = self.SCORE(50.0)
+        assert isinstance(dist, PointScore)
+        assert dist.value == pytest.approx(5.0)
+
+    def test_monotone_increasing(self):
+        assert self.SCORE(80.0).value > self.SCORE(20.0).value
+
+    def test_interval_maps_to_uniform(self):
+        dist = self.SCORE((20.0, 60.0))
+        assert isinstance(dist, UniformScore)
+        assert (dist.lower, dist.upper) == (pytest.approx(2.0), pytest.approx(6.0))
+
+    def test_missing_maps_to_full_range(self):
+        dist = self.SCORE(None)
+        assert isinstance(dist, UniformScore)
+        assert (dist.lower, dist.upper) == (0.0, 10.0)
+
+    def test_values_clipped_to_domain(self):
+        assert self.SCORE(150.0).value == pytest.approx(10.0)
+        assert self.SCORE(-10.0).value == pytest.approx(0.0)
+
+    def test_weighted_maps_to_discrete(self):
+        dist = self.SCORE(([10.0, 30.0], [0.5, 0.5]))
+        assert isinstance(dist, DiscreteScore)
+        assert set(dist.values.tolist()) == {1.0, 3.0}
+
+    def test_weighted_single_effective_value(self):
+        # Candidates that clip to the same score collapse to a point.
+        dist = self.SCORE(([120.0, 150.0], [0.5, 0.5]))
+        assert isinstance(dist, PointScore)
+        assert dist.value == pytest.approx(10.0)
+
+
+class TestInverseAttributeScore:
+    SCORE = InverseAttributeScore("rent", (300.0, 3500.0), scale=10.0)
+
+    def test_cheaper_scores_higher(self):
+        assert self.SCORE(600.0).value > self.SCORE(1200.0).value
+
+    def test_interval_orientation_flipped(self):
+        dist = self.SCORE((650.0, 1100.0))
+        assert isinstance(dist, UniformScore)
+        # Low rent maps to the high end of the score interval.
+        assert dist.upper == pytest.approx(10.0 * (3500 - 650) / 3200)
+        assert dist.lower == pytest.approx(10.0 * (3500 - 1100) / 3200)
+
+    def test_extremes(self):
+        assert self.SCORE(300.0).value == pytest.approx(10.0)
+        assert self.SCORE(3500.0).value == pytest.approx(0.0)
+
+    def test_paper_figure2_style_mapping(self):
+        # The unknown-rent apartment gets the full score range.
+        dist = self.SCORE(MissingValue())
+        assert (dist.lower, dist.upper) == (0.0, 10.0)

@@ -1,0 +1,111 @@
+"""Unit tests for the uncertain-table substrate."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.db.attributes import ExactValue, IntervalValue, MissingValue
+from repro.db.scoring import InverseAttributeScore
+from repro.db.table import UncertainTable
+
+
+@pytest.fixture
+def table():
+    rows = [
+        {"id": "a", "rent": 600.0, "rooms": 1},
+        {"id": "b", "rent": (650.0, 1100.0), "rooms": 2},
+        {"id": "c", "rent": None, "rooms": 3},
+    ]
+    return UncertainTable(
+        "apts", ["id", "rent", "rooms"], rows, key="id",
+        uncertain_columns=["rent"],
+    )
+
+
+class TestConstruction:
+    def test_cells_coerced(self, table):
+        assert isinstance(table.rows[0]["rent"], ExactValue)
+        assert isinstance(table.rows[1]["rent"], IntervalValue)
+        assert isinstance(table.rows[2]["rent"], MissingValue)
+
+    def test_payload_columns_stay_plain(self, table):
+        assert table.rows[0]["rooms"] == 1
+
+    def test_default_wraps_all_numeric(self):
+        t = UncertainTable(
+            "t", ["id", "x"], [{"id": "a", "x": 1.0}], key="id"
+        )
+        assert isinstance(t.rows[0]["x"], ExactValue)
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ModelError):
+            UncertainTable(
+                "t", ["id"], [{"id": "a"}, {"id": "a"}], key="id"
+            )
+
+    def test_missing_key_column(self):
+        with pytest.raises(ModelError):
+            UncertainTable("t", ["x"], [], key="id")
+
+    def test_missing_cell_rejected(self):
+        with pytest.raises(ModelError):
+            UncertainTable("t", ["id", "x"], [{"id": "a"}], key="id")
+
+    def test_unknown_uncertain_column(self):
+        with pytest.raises(ModelError):
+            UncertainTable(
+                "t", ["id"], [], key="id", uncertain_columns=["zz"]
+            )
+
+
+class TestRelationalOperations:
+    def test_select(self, table):
+        narrow = table.select(lambda row: row["rooms"] >= 2)
+        assert len(narrow) == 2
+        assert len(table) == 3  # original untouched
+
+    def test_project(self, table):
+        projected = table.project(["rent"])
+        assert projected.columns == ["id", "rent"]
+        assert "rooms" not in projected.rows[0]
+
+    def test_project_unknown_column(self, table):
+        with pytest.raises(ModelError):
+            table.project(["zz"])
+
+    def test_head(self, table):
+        assert len(table.head(2)) == 2
+
+    def test_column(self, table):
+        assert table.column("rooms") == [1, 2, 3]
+        with pytest.raises(ModelError):
+            table.column("zz")
+
+    def test_iteration(self, table):
+        assert [row["id"] for row in table] == ["a", "b", "c"]
+
+
+class TestBridging:
+    def test_to_records(self, table):
+        scoring = InverseAttributeScore("rent", (300.0, 3500.0))
+        records = table.to_records(scoring, payload_columns=["rooms"])
+        assert [r.record_id for r in records] == ["a", "b", "c"]
+        assert records[0].is_deterministic
+        assert not records[1].is_deterministic
+        assert records[2].lower == 0.0 and records[2].upper == 10.0
+        assert records[0].payload == {"rooms": 1}
+
+    def test_scoring_attribute_must_exist(self, table):
+        scoring = InverseAttributeScore("price", (0.0, 1.0))
+        with pytest.raises(ModelError):
+            table.to_records(scoring)
+
+    def test_uncertainty_rate(self, table):
+        assert table.uncertainty_rate("rent") == pytest.approx(2 / 3)
+
+    def test_rank_convenience(self, table):
+        scoring = InverseAttributeScore("rent", (300.0, 3500.0))
+        result = table.rank(scoring, k=2, seed=5)
+        assert len(result.answers) == 2
+        # The exact $600 listing is the strongest top-2 candidate.
+        assert result.answers[0].record_id == "a"
+        assert result.answers[0].probability > 0.5

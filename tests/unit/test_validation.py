@@ -1,0 +1,117 @@
+"""Unit tests for model validation (failure injection)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import (
+    HistogramScore,
+    PointScore,
+    ScoreDistribution,
+    TriangularScore,
+    TruncatedGaussianScore,
+    UniformScore,
+)
+from repro.core.errors import ModelError
+from repro.core.records import UncertainRecord, certain, uniform
+from repro.core.validation import validate_distribution, validate_records
+
+
+class _BrokenDistribution(ScoreDistribution):
+    """A configurable malicious distribution for failure injection."""
+
+    def __init__(self, bug: str) -> None:
+        self.bug = bug
+        self.lower, self.upper = 0.0, 1.0
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        if self.bug == "negative-pdf":
+            return np.where((x >= 0) & (x <= 1), -1.0, 0.0)
+        if self.bug == "wrong-mass":
+            return np.where((x >= 0) & (x <= 1), 3.0, 0.0)
+        return np.where((x >= 0) & (x <= 1), 1.0, 0.0)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        if self.bug == "non-monotone":
+            return np.clip(np.sin(4.0 * np.pi * x) * 0.5 + x, 0.0, 1.0)
+        if self.bug == "bad-left":
+            return np.clip(x + 0.3, 0.0, 1.0)
+        if self.bug == "bad-right":
+            return np.clip(x * 0.5, 0.0, 1.0)
+        return np.clip(x, 0.0, 1.0)
+
+    def ppf(self, q):
+        q = np.asarray(q, dtype=float)
+        if self.bug == "ppf-outside":
+            return q + 5.0
+        return np.clip(q, 0.0, 1.0)
+
+    def sample(self, rng, size=None):
+        if self.bug == "sample-outside":
+            return rng.uniform(2.0, 3.0, size)
+        return rng.uniform(0.0, 1.0, size)
+
+    def mean(self):
+        return 0.5
+
+
+class TestValidateDistribution:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            PointScore(2.0),
+            UniformScore(0.0, 5.0),
+            HistogramScore([0, 1, 2], [0.5, 0.5]),
+            TriangularScore(0.0, 1.0, 3.0),
+            TruncatedGaussianScore(0.0, 1.0, -2.0, 2.0),
+        ],
+        ids=lambda d: type(d).__name__,
+    )
+    def test_library_families_are_clean(self, dist):
+        assert validate_distribution(dist) == []
+
+    @pytest.mark.parametrize(
+        "bug,expected_code",
+        [
+            ("non-monotone", "cdf-monotone"),
+            ("bad-left", "cdf-left"),
+            ("bad-right", "cdf-right"),
+            ("negative-pdf", "pdf-negative"),
+            ("wrong-mass", "pdf-mass"),
+            ("ppf-outside", "ppf-range"),
+            ("sample-outside", "sample-support"),
+        ],
+    )
+    def test_injected_failures_detected(self, bug, expected_code):
+        issues = validate_distribution(_BrokenDistribution(bug))
+        codes = {issue.code for issue in issues}
+        assert expected_code in codes
+
+    def test_issue_rendering(self):
+        issues = validate_distribution(_BrokenDistribution("bad-left"))
+        assert "[cdf-left]" in str(issues[0])
+
+
+class TestValidateRecords:
+    def test_clean_database(self, paper_db):
+        assert validate_records(paper_db) == {}
+
+    def test_duplicate_ids_reported(self):
+        records = [certain("a", 1.0), certain("a", 2.0)]
+        report = validate_records(records)
+        assert "*" in report
+        assert report["*"][0].code == "duplicate-ids"
+
+    def test_issues_keyed_by_record(self):
+        records = [
+            uniform("good", 0.0, 1.0),
+            UncertainRecord("bad", _BrokenDistribution("non-monotone")),
+        ]
+        report = validate_records(records)
+        assert set(report) == {"bad"}
+
+    def test_raise_on_issue(self):
+        records = [UncertainRecord("bad", _BrokenDistribution("bad-left"))]
+        with pytest.raises(ModelError):
+            validate_records(records, raise_on_issue=True)
