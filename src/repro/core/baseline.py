@@ -59,6 +59,10 @@ class BaselineAlgorithm:
     samples:
         Monte-Carlo sample count per integral when
         ``method="montecarlo"``.
+    rng / seed:
+        Generator (or seed for a fresh one; default ``0``) driving the
+        Monte-Carlo integrals, so BASELINE runs are reproducible by
+        default.
     max_nodes:
         Safety cap on materialized tree nodes.
     """
@@ -69,6 +73,7 @@ class BaselineAlgorithm:
         method: str = "auto",
         samples: int = 10_000,
         rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
         max_nodes: int = 2_000_000,
     ) -> None:
         if method == "auto":
@@ -86,7 +91,7 @@ class BaselineAlgorithm:
         else:
             self._exact = None
             self._sampler = MonteCarloEvaluator(
-                self.records, rng=rng or np.random.default_rng()
+                self.records, rng=rng, seed=seed
             )
         self._trees: Dict[int, Tuple[ExtensionTreeNode, BaselineStats]] = {}
 

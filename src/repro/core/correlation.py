@@ -21,7 +21,7 @@ refuses the CDF-product and sequential-importance shortcuts.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import Iterable, NoReturn, Optional, Sequence
 
 import numpy as np
 from scipy import special
@@ -130,17 +130,23 @@ class CorrelatedMonteCarloEvaluator(MonteCarloEvaluator):
                 out[:, i] = np.asarray(rec.score.ppf(uniforms[:, i]))
         return out
 
-    def _independence_only(self, name: str):
+    def _independence_only(self, name: str) -> NoReturn:
         raise QueryError(
             f"{name} exploits score independence and is invalid under a "
             "copula; use the indicator-based estimators instead"
         )
 
-    def prefix_probability_cdf(self, prefix, samples):  # noqa: D102
+    def prefix_probability_cdf(
+        self, prefix: Sequence, samples: int
+    ) -> NoReturn:  # noqa: D102
         self._independence_only("prefix_probability_cdf")
 
-    def prefix_probability_sis(self, prefix, samples):  # noqa: D102
+    def prefix_probability_sis(
+        self, prefix: Sequence, samples: int
+    ) -> NoReturn:  # noqa: D102
         self._independence_only("prefix_probability_sis")
 
-    def top_set_probability_cdf(self, record_set, samples):  # noqa: D102
+    def top_set_probability_cdf(
+        self, record_set: Iterable, samples: int
+    ) -> NoReturn:  # noqa: D102
         self._independence_only("top_set_probability_cdf")

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy import special
@@ -33,8 +33,17 @@ from scipy import special
 from .errors import EvaluationError, ModelError
 from .piecewise import PiecewisePolynomial
 
+#: Scalar-or-array input accepted by the vectorized distribution methods.
+ArrayLike = Union[float, Sequence[float], np.ndarray]
+#: Scalar-in/scalar-out, array-in/array-out result of those methods.
+FloatOrArray = Union[float, np.ndarray]
+#: numpy-style ``size`` argument for ``sample``.
+SizeArg = Optional[Union[int, Tuple[int, ...]]]
+
 __all__ = [
     "ScoreDistribution",
+    "ArrayLike",
+    "FloatOrArray",
     "PointScore",
     "UniformScore",
     "HistogramScore",
@@ -66,22 +75,24 @@ class ScoreDistribution(ABC):
         return self.upper - self.lower
 
     @abstractmethod
-    def pdf(self, x):
+    def pdf(self, x: ArrayLike) -> FloatOrArray:
         """Probability density at ``x`` (vectorized)."""
 
     @abstractmethod
-    def cdf(self, x):
+    def cdf(self, x: ArrayLike) -> FloatOrArray:
         """Cumulative probability ``Pr(score <= x)`` (vectorized)."""
 
     @abstractmethod
-    def ppf(self, q):
+    def ppf(self, q: ArrayLike) -> FloatOrArray:
         """Quantile function: smallest ``x`` with ``cdf(x) >= q``."""
 
     @abstractmethod
     def mean(self) -> float:
         """Expected score."""
 
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SizeArg = None
+    ) -> FloatOrArray:
         """Draw samples via inverse-transform sampling."""
         return self.ppf(rng.random(size))
 
@@ -134,19 +145,19 @@ class PointScore(ScoreDistribution):
         """The deterministic score."""
         return self.lower
 
-    def pdf(self, x):
+    def pdf(self, x: ArrayLike) -> FloatOrArray:
         # The density is a Dirac impulse; by convention we report +inf at
         # the point and 0 elsewhere. Exact algorithms special-case points.
         x = np.asarray(x, dtype=float)
         out = np.where(x == self.value, np.inf, 0.0)
         return float(out) if out.ndim == 0 else out
 
-    def cdf(self, x):
+    def cdf(self, x: ArrayLike) -> FloatOrArray:
         x = np.asarray(x, dtype=float)
         out = np.where(x >= self.value, 1.0, 0.0)
         return float(out) if out.ndim == 0 else out
 
-    def ppf(self, q):
+    def ppf(self, q: ArrayLike) -> FloatOrArray:
         q = np.asarray(q, dtype=float)
         out = np.full_like(q, self.value)
         return float(out) if out.ndim == 0 else out
@@ -184,22 +195,24 @@ class UniformScore(ScoreDistribution):
             )
         self._density = 1.0 / (self.upper - self.lower)
 
-    def pdf(self, x):
+    def pdf(self, x: ArrayLike) -> FloatOrArray:
         x = np.asarray(x, dtype=float)
         out = np.where((x >= self.lower) & (x <= self.upper), self._density, 0.0)
         return float(out) if out.ndim == 0 else out
 
-    def cdf(self, x):
+    def cdf(self, x: ArrayLike) -> FloatOrArray:
         x = np.asarray(x, dtype=float)
         out = np.clip((x - self.lower) * self._density, 0.0, 1.0)
         return float(out) if out.ndim == 0 else out
 
-    def ppf(self, q):
+    def ppf(self, q: ArrayLike) -> FloatOrArray:
         q = np.asarray(q, dtype=float)
         out = self.lower + q * (self.upper - self.lower)
         return float(out) if out.ndim == 0 else out
 
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SizeArg = None
+    ) -> FloatOrArray:
         return rng.uniform(self.lower, self.upper, size)
 
     def mean(self) -> float:
@@ -247,7 +260,7 @@ class HistogramScore(ScoreDistribution):
         # Guard against floating drift in the final cumulative value.
         self._cum[-1] = 1.0
 
-    def pdf(self, x):
+    def pdf(self, x: ArrayLike) -> FloatOrArray:
         x = np.asarray(x, dtype=float)
         idx = np.clip(
             np.searchsorted(self.edges, x, side="right") - 1,
@@ -259,7 +272,7 @@ class HistogramScore(ScoreDistribution):
         )
         return float(out) if out.ndim == 0 else out
 
-    def cdf(self, x):
+    def cdf(self, x: ArrayLike) -> FloatOrArray:
         x = np.asarray(x, dtype=float)
         idx = np.clip(
             np.searchsorted(self.edges, x, side="right") - 1,
@@ -271,7 +284,7 @@ class HistogramScore(ScoreDistribution):
         out = np.where(x < self.lower, 0.0, np.where(x > self.upper, 1.0, out))
         return float(out) if out.ndim == 0 else out
 
-    def ppf(self, q):
+    def ppf(self, q: ArrayLike) -> FloatOrArray:
         q = np.asarray(q, dtype=float)
         idx = np.clip(
             np.searchsorted(self._cum, q, side="right") - 1,
@@ -301,11 +314,11 @@ class HistogramScore(ScoreDistribution):
         return f"HistogramScore({self.masses.size} bins on [{self.lower}, {self.upper}])"
 
 
-def _norm_cdf(z):
+def _norm_cdf(z: ArrayLike) -> np.ndarray:
     return 0.5 * (1.0 + special.erf(np.asarray(z, dtype=float) / math.sqrt(2.0)))
 
 
-def _norm_ppf(q):
+def _norm_ppf(q: ArrayLike) -> np.ndarray:
     return math.sqrt(2.0) * special.erfinv(2.0 * np.asarray(q, dtype=float) - 1.0)
 
 
@@ -330,14 +343,14 @@ class TruncatedGaussianScore(ScoreDistribution):
         if self._z <= 0:
             raise ModelError("truncation interval carries no Gaussian mass")
 
-    def pdf(self, x):
+    def pdf(self, x: ArrayLike) -> FloatOrArray:
         x = np.asarray(x, dtype=float)
         z = (x - self.mu) / self.sigma
         phi = np.exp(-0.5 * z * z) / (self.sigma * math.sqrt(2.0 * math.pi))
         out = np.where((x >= self.lower) & (x <= self.upper), phi / self._z, 0.0)
         return float(out) if out.ndim == 0 else out
 
-    def cdf(self, x):
+    def cdf(self, x: ArrayLike) -> FloatOrArray:
         x = np.asarray(x, dtype=float)
         z = (x - self.mu) / self.sigma
         raw = (_norm_cdf(z) - _norm_cdf(self._alpha)) / self._z
@@ -345,7 +358,7 @@ class TruncatedGaussianScore(ScoreDistribution):
         out = np.where(x < self.lower, 0.0, np.where(x > self.upper, 1.0, out))
         return float(out) if out.ndim == 0 else out
 
-    def ppf(self, q):
+    def ppf(self, q: ArrayLike) -> FloatOrArray:
         q = np.asarray(q, dtype=float)
         base = _norm_cdf(self._alpha) + q * self._z
         out = self.mu + self.sigma * _norm_ppf(base)
@@ -380,20 +393,20 @@ class TruncatedExponentialScore(ScoreDistribution):
             )
         self._z = 1.0 - math.exp(-self.rate * (self.upper - self.lower))
 
-    def pdf(self, x):
+    def pdf(self, x: ArrayLike) -> FloatOrArray:
         x = np.asarray(x, dtype=float)
         raw = self.rate * np.exp(-self.rate * (x - self.lower)) / self._z
         out = np.where((x >= self.lower) & (x <= self.upper), raw, 0.0)
         return float(out) if out.ndim == 0 else out
 
-    def cdf(self, x):
+    def cdf(self, x: ArrayLike) -> FloatOrArray:
         x = np.asarray(x, dtype=float)
         raw = (1.0 - np.exp(-self.rate * (x - self.lower))) / self._z
         out = np.clip(raw, 0.0, 1.0)
         out = np.where(x < self.lower, 0.0, np.where(x > self.upper, 1.0, out))
         return float(out) if out.ndim == 0 else out
 
-    def ppf(self, q):
+    def ppf(self, q: ArrayLike) -> FloatOrArray:
         q = np.asarray(q, dtype=float)
         out = self.lower - np.log1p(-q * self._z) / self.rate
         out = np.clip(out, self.lower, self.upper)
@@ -434,7 +447,7 @@ class TriangularScore(ScoreDistribution):
             )
         self._peak = 2.0 / (self.upper - self.lower)
 
-    def pdf(self, x):
+    def pdf(self, x: ArrayLike) -> FloatOrArray:
         x = np.asarray(x, dtype=float)
         lo, mo, up = self.lower, self.mode, self.upper
         left = np.zeros_like(x)
@@ -452,7 +465,7 @@ class TriangularScore(ScoreDistribution):
             out = np.where((x >= lo) & (x <= up), right, 0.0)
         return float(out) if out.ndim == 0 else out
 
-    def cdf(self, x):
+    def cdf(self, x: ArrayLike) -> FloatOrArray:
         x = np.asarray(x, dtype=float)
         lo, mo, up = self.lower, self.mode, self.upper
         out = np.zeros_like(x)
@@ -472,7 +485,7 @@ class TriangularScore(ScoreDistribution):
             )
         return float(out) if out.ndim == 0 else out
 
-    def ppf(self, q):
+    def ppf(self, q: ArrayLike) -> FloatOrArray:
         q = np.asarray(q, dtype=float)
         lo, mo, up = self.lower, self.mode, self.upper
         split = (mo - lo) / (up - lo)
@@ -554,19 +567,19 @@ class DiscreteScore(ScoreDistribution):
     def is_deterministic(self) -> bool:
         return self.values.size == 1
 
-    def pdf(self, x):
+    def pdf(self, x: ArrayLike) -> FloatOrArray:
         x = np.asarray(x, dtype=float)
         out = np.where(np.isin(x, self.values), np.inf, 0.0)
         return float(out) if out.ndim == 0 else out
 
-    def cdf(self, x):
+    def cdf(self, x: ArrayLike) -> FloatOrArray:
         x = np.asarray(x, dtype=float)
         idx = np.searchsorted(self.values, x, side="right")
         cum = np.concatenate(([0.0], self._cum))
         out = cum[idx]
         return float(out) if out.ndim == 0 else out
 
-    def ppf(self, q):
+    def ppf(self, q: ArrayLike) -> FloatOrArray:
         q = np.asarray(q, dtype=float)
         idx = np.clip(
             np.searchsorted(self._cum, q, side="left"), 0, self.values.size - 1
@@ -574,7 +587,9 @@ class DiscreteScore(ScoreDistribution):
         out = self.values[idx]
         return float(out) if out.ndim == 0 else out
 
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SizeArg = None
+    ) -> FloatOrArray:
         return rng.choice(self.values, size=size, p=self.weights)
 
     def mean(self) -> float:
@@ -624,7 +639,7 @@ class ConvolutionScore(ScoreDistribution):
         if len(weights) != len(components):
             raise ModelError("need one weight per component")
         w = np.asarray(weights, dtype=float)
-        if np.any(w == 0.0):
+        if np.any(w == 0.0):  # reprolint: disable=NUM001 -- exact zero-weight sentinel
             raise ModelError("convolution weights must be non-zero")
         if grid_points < 16:
             raise ModelError("grid_points must be at least 16")
@@ -684,27 +699,29 @@ class ConvolutionScore(ScoreDistribution):
         self._grid_cdf = cum
         self._step = step
 
-    def pdf(self, x):
+    def pdf(self, x: ArrayLike) -> FloatOrArray:
         x = np.asarray(x, dtype=float)
         eps = self._step
         out = (self.cdf(x + eps / 2) - self.cdf(x - eps / 2)) / eps
         out = np.where((x >= self.lower) & (x <= self.upper), out, 0.0)
         return float(out) if out.ndim == 0 else out
 
-    def cdf(self, x):
+    def cdf(self, x: ArrayLike) -> FloatOrArray:
         x = np.asarray(x, dtype=float)
         out = np.interp(
             x, self._grid_x, self._grid_cdf, left=0.0, right=1.0
         )
         return float(out) if out.ndim == 0 else out
 
-    def ppf(self, q):
+    def ppf(self, q: ArrayLike) -> FloatOrArray:
         q = np.asarray(q, dtype=float)
         out = np.interp(q, self._grid_cdf, self._grid_x)
         out = np.clip(out, self.lower, self.upper)
         return float(out) if out.ndim == 0 else out
 
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SizeArg = None
+    ) -> FloatOrArray:
         total = None
         for comp, weight in zip(self.components, self.weights):
             draw = np.asarray(comp.sample(rng, size), dtype=float) * weight
@@ -744,21 +761,21 @@ class MixtureScore(ScoreDistribution):
         self.upper = max(c.upper for c in components)
         self._check_interval()
 
-    def pdf(self, x):
+    def pdf(self, x: ArrayLike) -> FloatOrArray:
         x = np.asarray(x, dtype=float)
         out = sum(
             w * c.pdf(x) for w, c in zip(self.weights, self.components)
         )
         return float(out) if np.ndim(out) == 0 else np.asarray(out)
 
-    def cdf(self, x):
+    def cdf(self, x: ArrayLike) -> FloatOrArray:
         x = np.asarray(x, dtype=float)
         out = sum(
             w * c.cdf(x) for w, c in zip(self.weights, self.components)
         )
         return float(out) if np.ndim(out) == 0 else np.asarray(out)
 
-    def ppf(self, q):
+    def ppf(self, q: ArrayLike) -> FloatOrArray:
         q_arr = np.atleast_1d(np.asarray(q, dtype=float))
         out = np.empty_like(q_arr)
         for i, qi in enumerate(q_arr):
@@ -774,7 +791,9 @@ class MixtureScore(ScoreDistribution):
             out[i] = 0.5 * (lo + hi)
         return float(out[0]) if np.ndim(q) == 0 else out
 
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SizeArg = None
+    ) -> FloatOrArray:
         if size is None:
             idx = rng.choice(len(self.components), p=self.weights)
             return self.components[idx].sample(rng)

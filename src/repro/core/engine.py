@@ -57,8 +57,9 @@ class RankingEngine:
     records:
         The database ``D`` of :class:`UncertainRecord`.
     seed:
-        Seed for all randomized evaluation (Monte-Carlo, MCMC); a fixed
-        seed makes results reproducible.
+        Seed for all randomized evaluation (Monte-Carlo, MCMC). The
+        default ``0`` makes every run reproducible out of the box; pass
+        ``None`` to opt into OS entropy explicitly.
     prune:
         Whether to apply k-dominance pruning ahead of evaluation.
     exact_record_limit:
@@ -87,7 +88,7 @@ class RankingEngine:
     def __init__(
         self,
         records: Sequence[UncertainRecord],
-        seed: Optional[int] = None,
+        seed: Optional[int] = 0,
         prune: bool = True,
         exact_record_limit: int = 20,
         prefix_enumeration_limit: int = 20_000,

@@ -25,7 +25,7 @@ semantics as a limit.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -272,7 +272,9 @@ class ExactEvaluator:
     # ------------------------------------------------------------------
 
     def rank_probabilities(
-        self, record, max_rank: Optional[int] = None
+        self,
+        record: Union[UncertainRecord, str],
+        max_rank: Optional[int] = None,
     ) -> np.ndarray:
         """``eta_r(t)`` for ``r = 1 .. max_rank`` (default: all ranks).
 
@@ -326,7 +328,9 @@ class ExactEvaluator:
             out[m] = max((pdf * c_m).integral(), 0.0)
         return out
 
-    def rank_range_probability(self, record, i: int, j: int) -> float:
+    def rank_range_probability(
+        self, record: Union[UncertainRecord, str], i: int, j: int
+    ) -> float:
         """``Pr(t at rank in [i, j])`` — the exact Eq. 7 quantity."""
         if i < 1 or j < i:
             raise QueryError(f"invalid rank range [{i}, {j}]")
@@ -352,7 +356,11 @@ class ExactEvaluator:
     # pairwise probability (consistency entry point)
     # ------------------------------------------------------------------
 
-    def probability_greater(self, a, b) -> float:
+    def probability_greater(
+        self,
+        a: Union[UncertainRecord, str],
+        b: Union[UncertainRecord, str],
+    ) -> float:
         """Exact ``Pr(a > b)`` via the piecewise algebra (Eq. 1)."""
         rec_a = self._resolve(a)
         rec_b = self._resolve(b)

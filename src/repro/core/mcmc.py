@@ -26,6 +26,7 @@ report an approximation-error estimate for the best state found.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
@@ -33,11 +34,13 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .diagnostics import ConvergenceTrace, gelman_rubin
-from .errors import QueryError
+from .errors import EvaluationError, QueryError
 from .exact import ExactEvaluator, supports_exact
 from .montecarlo import MonteCarloEvaluator
 from .pairwise import PairwiseCache, probability_greater
 from .records import UncertainRecord
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "ProposalResult",
@@ -289,6 +292,9 @@ class TopKSimulation:
         Fig. 14 sweeps 20-80).
     rng:
         Seed generator; chains receive independent child generators.
+    seed:
+        Seed used to build the generator when ``rng`` is not given;
+        defaults to ``0`` so simulations are reproducible by default.
     state_probability:
         Optional override for the state-probability oracle.
     oracle:
@@ -312,6 +318,7 @@ class TopKSimulation:
         target: str = "prefix",
         n_chains: int = 10,
         rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
         state_probability: Optional[Callable[[Hashable], float]] = None,
         oracle: str = "auto",
         pi_samples: int = 5000,
@@ -328,7 +335,7 @@ class TopKSimulation:
         self.k = k
         self.target = target
         self.n_chains = n_chains
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
         self._by_id = {rec.record_id: rec for rec in self.records}
         self._state_cache: Dict[Hashable, float] = {}
         self._oracle = state_probability or self._build_oracle(
@@ -460,7 +467,12 @@ class TopKSimulation:
                     for c in chains
                 ]
                 psrf = gelman_rubin(summaries)
-            except Exception:
+            except EvaluationError as exc:
+                # Chains too short for a PSRF yet (tiny epoch budgets);
+                # keep running and try again next epoch.
+                logger.warning(
+                    "Gelman-Rubin unavailable at step %d: %s", done, exc
+                )
                 psrf = float("inf")
             trace.steps.append(done)
             trace.psrf.append(psrf)

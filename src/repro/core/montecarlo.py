@@ -19,12 +19,22 @@ evaluation and reused across records.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from .errors import QueryError
 from .exact import _tie_perturbations
+from .numeric import clamp_probability
 from .records import UncertainRecord
 
 __all__ = ["MonteCarloEvaluator"]
@@ -40,6 +50,9 @@ class MonteCarloEvaluator:
     rng:
         Numpy random generator; pass a seeded generator for reproducible
         estimates.
+    seed:
+        Seed used to build the generator when ``rng`` is not given;
+        defaults to ``0`` so estimates are reproducible by default.
 
     Notes
     -----
@@ -52,9 +65,10 @@ class MonteCarloEvaluator:
         self,
         records: Sequence[UncertainRecord],
         rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
     ) -> None:
         self.records = list(records)
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
         self._index: Dict[str, int] = {
             rec.record_id: i for i, rec in enumerate(self.records)
         }
@@ -133,7 +147,7 @@ class MonteCarloEvaluator:
         return counts / samples
 
     def rank_range_probability(
-        self, record, i: int, j: int, samples: int
+        self, record: Union[UncertainRecord, str], i: int, j: int, samples: int
     ) -> float:
         """Estimate ``Pr(t at rank in [i, j])`` (Eq. 7)."""
         if i < 1 or j < i:
@@ -143,7 +157,7 @@ class MonteCarloEvaluator:
         target = scores[:, idx]
         better = (scores > target[:, None]).sum(axis=1)
         hits = (better >= i - 1) & (better <= j - 1)
-        return float(hits.mean())
+        return clamp_probability(float(hits.mean()))
 
     def top_rank_candidates(
         self, i: int, j: int, l: int, samples: int
@@ -180,7 +194,7 @@ class MonteCarloEvaluator:
         rest = np.setdiff1d(np.arange(len(self.records)), idxs)
         if rest.size:
             ok &= scores[:, rest].max(axis=1) < ordered[:, -1]
-        return float(ok.mean())
+        return clamp_probability(float(ok.mean()))
 
     def top_set_probability(self, record_set: Iterable, samples: int) -> float:
         """Estimate the top-k set probability by sampling."""
@@ -195,7 +209,7 @@ class MonteCarloEvaluator:
         if rest.size == 0:
             return 1.0
         ok = scores[:, rest].max(axis=1) < inside_min
-        return float(ok.mean())
+        return clamp_probability(float(ok.mean()))
 
     def prefix_probability_cdf(self, prefix: Sequence, samples: int) -> float:
         """Low-variance Eq. 6 estimator with the CDF-product shortcut.
@@ -233,7 +247,7 @@ class MonteCarloEvaluator:
             if j in chosen:
                 continue
             weights *= rec.score.cdf(last)
-        return float(weights.mean())
+        return clamp_probability(float(weights.mean()))
 
     def prefix_probability_sis(self, prefix: Sequence, samples: int) -> float:
         """Sequential-importance-sampling estimator for Eq. 6.
@@ -276,7 +290,7 @@ class MonteCarloEvaluator:
             if j in chosen:
                 continue
             weights = weights * np.asarray(rec.score.cdf(last))
-        return float(weights.mean())
+        return clamp_probability(float(weights.mean()))
 
     def top_set_probability_cdf(self, record_set: Iterable, samples: int) -> float:
         """Low-variance top-k set estimator via the CDF product.
@@ -305,7 +319,7 @@ class MonteCarloEvaluator:
             if j in chosen:
                 continue
             weights *= rec.score.cdf(inside_min)
-        return float(weights.mean())
+        return clamp_probability(float(weights.mean()))
 
     def extension_probability(self, order: Sequence, samples: int) -> float:
         """Estimate a complete linear extension's probability (Eq. 4)."""
@@ -317,7 +331,7 @@ class MonteCarloEvaluator:
         scores = self.sample_scores(samples)
         ordered = scores[:, idxs]
         ok = np.all(ordered[:, :-1] > ordered[:, 1:], axis=1)
-        return float(ok.mean())
+        return clamp_probability(float(ok.mean()))
 
     # ------------------------------------------------------------------
     # empirical top-k state distributions (used by Fig. 14 and tests)

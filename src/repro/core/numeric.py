@@ -1,0 +1,41 @@
+"""Shared numeric helpers for probability safety.
+
+Centralizes the ``min(max(x, 0.0), 1.0)`` clamping idiom that every
+probability-returning function must apply (see ``docs/DEVELOPMENT.md``,
+"Numerical conventions"): nested integration and sampling legitimately
+produce values like ``1.0000000000000002``, and letting those escape
+corrupts downstream comparisons and aggregates. The ``PRB001`` lint
+rule (:mod:`repro.lint`) recognizes these helpers as valid clamps.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["clamp_probability", "close_to"]
+
+
+def clamp_probability(value: float, tolerance: float = 1e-9) -> float:
+    """Clamp ``value`` into ``[0, 1]``, rejecting genuine nonsense.
+
+    Values inside ``[-tolerance, 1 + tolerance]`` are treated as
+    round-off and clamped silently; anything further out (or NaN)
+    raises ``ValueError`` — that is an estimator bug, not float noise.
+    """
+    if math.isnan(value):
+        raise ValueError("probability is NaN")
+    if value < -tolerance or value > 1.0 + tolerance:
+        raise ValueError(
+            f"value {value!r} is outside [0, 1] by more than the "
+            f"tolerance {tolerance!r}; upstream computation is broken"
+        )
+    return min(max(float(value), 0.0), 1.0)
+
+
+def close_to(a: float, b: float, tolerance: float = 1e-12) -> bool:
+    """Tolerant float equality for the ``NUM001`` lint rule's rewrites.
+
+    ``math.isclose`` with an absolute tolerance floor, so comparisons
+    against ``0.0`` (where relative tolerance degenerates) behave.
+    """
+    return math.isclose(a, b, rel_tol=tolerance, abs_tol=tolerance)

@@ -28,7 +28,7 @@ from .records import UncertainRecord, tie_break
 __all__ = ["probability_greater", "PairwiseCache"]
 
 
-def _uniform_uniform(x: UniformScore, y: UniformScore) -> float:
+def _uniform_uniform_probability(x: UniformScore, y: UniformScore) -> float:
     """Closed-form ``Pr(X > Y)`` for independent uniforms.
 
     Integrates ``F_Y`` against the constant density of ``X`` segment by
@@ -51,7 +51,7 @@ def _uniform_uniform(x: UniformScore, y: UniformScore) -> float:
     return min(max(total, 0.0), 1.0)
 
 
-def _generic(a: UncertainRecord, b: UncertainRecord) -> float:
+def _generic_probability(a: UncertainRecord, b: UncertainRecord) -> float:
     """Numeric quadrature fallback for arbitrary continuous densities."""
     lo = max(a.lower, b.lower)
     up = a.upper
@@ -100,11 +100,11 @@ def probability_greater(a: UncertainRecord, b: UncertainRecord) -> float:
     if isinstance(sb, PointScore):
         return float(min(max(1.0 - sa.cdf(sb.value), 0.0), 1.0))
     if isinstance(sa, UniformScore) and isinstance(sb, UniformScore):
-        return _uniform_uniform(sa, sb)
+        return _uniform_uniform_probability(sa, sb)
     if sa.supports_exact and sb.supports_exact:
         product = sa.pdf_piecewise() * sb.cdf_piecewise()
         return min(max(product.integral(), 0.0), 1.0)
-    return _generic(a, b)
+    return _generic_probability(a, b)
 
 
 class PairwiseCache:
@@ -126,7 +126,9 @@ class PairwiseCache:
         cached = self._store.get(key)
         if cached is not None:
             self.hits += 1
-            return cached
+            # The store only ever holds already-clamped probabilities;
+            # re-clamping on the cache-hit hot path is wasted work.
+            return cached  # reprolint: disable=PRB001
         value = probability_greater(a, b)
         self.misses += 1
         self._store[key] = value

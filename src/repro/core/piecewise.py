@@ -76,7 +76,9 @@ def _shift(coeffs: np.ndarray, delta: float) -> np.ndarray:
     """
     coeffs = np.asarray(coeffs, dtype=float)
     n = coeffs.size
-    if n == 1 or delta == 0.0:
+    # IEEE-exact sentinel: a zero shift means coefficients are already
+    # anchored; any nonzero delta must go through the expansion.
+    if n == 1 or delta == 0.0:  # reprolint: disable=NUM001
         return coeffs.copy()
     out = np.zeros(n)
     # Binomial expansion of sum_e c_e (u + delta)^e.
@@ -85,7 +87,9 @@ def _shift(coeffs: np.ndarray, delta: float) -> np.ndarray:
         powers[e] = powers[e - 1] * delta
     for e in range(n):
         c = coeffs[e]
-        if c == 0.0:
+        # Exact-zero coefficients contribute nothing; skipping them is
+        # a pure optimization, never a tolerance decision.
+        if c == 0.0:  # reprolint: disable=NUM001
             continue
         for d in range(e + 1):
             out[d] += c * comb(e, d) * powers[e - d]
@@ -303,7 +307,9 @@ class PiecewisePolynomial:
         :class:`EvaluationError` is raised. The result is continuous, zero
         to the left, and constant (the total integral) to the right.
         """
-        if self.left != 0.0 or self.right != 0.0:
+        # Compact support is a structural property set at construction
+        # (exactly 0.0), not a computed float.
+        if self.left != 0.0 or self.right != 0.0:  # reprolint: disable=NUM001
             raise EvaluationError(
                 "antiderivative requires a compactly supported function "
                 f"(left={self.left}, right={self.right})"

@@ -19,13 +19,16 @@ Dominator/dominated counts are computed with sorted-array binary searches
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .errors import ModelError
 from .pairwise import PairwiseCache
 from .records import UncertainRecord, tie_break
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    import networkx as nx
 
 __all__ = ["dominates", "ProbabilisticPartialOrder"]
 
@@ -221,7 +224,7 @@ class ProbabilisticPartialOrder:
             edges.append((a, b))
         return edges
 
-    def to_networkx(self, reduced: bool = True):
+    def to_networkx(self, reduced: bool = True) -> "nx.DiGraph":
         """The dominance DAG as a :class:`networkx.DiGraph`.
 
         Nodes are record identifiers. ``reduced`` selects the Hasse

@@ -16,7 +16,7 @@ the paper's probability-upper-bound error estimate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Tuple
+from typing import Any, FrozenSet, List, Optional, Tuple
 
 from .errors import QueryError
 
@@ -152,8 +152,13 @@ class QueryResult:
     diagnostics: dict = field(default_factory=dict)
 
     @property
-    def top(self):
-        """The single best answer (or ``None`` when empty)."""
+    def top(self) -> Any:
+        """The single best answer (or ``None`` when empty).
+
+        The concrete type follows the query family:
+        :class:`RecordAnswer`, :class:`PrefixAnswer`, :class:`SetAnswer`,
+        or :class:`RankAggAnswer`.
+        """
         return self.answers[0] if self.answers else None
 
     def to_dict(self) -> dict:

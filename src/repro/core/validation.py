@@ -165,7 +165,7 @@ def validate_distribution(
 def validate_records(
     records: Sequence[UncertainRecord],
     raise_on_issue: bool = False,
-    **kwargs,
+    **kwargs: object,
 ) -> dict[str, List[ValidationIssue]]:
     """Validate a whole database; returns issues keyed by record id.
 

@@ -114,7 +114,7 @@ class WeightedValue:
 UncertainValue = Union[ExactValue, IntervalValue, MissingValue, WeightedValue]
 
 
-def wrap_value(raw) -> UncertainValue:
+def wrap_value(raw: object) -> UncertainValue:
     """Coerce a raw cell into an :data:`UncertainValue`.
 
     Accepts numbers (exact), ``None`` (missing), 2-tuples/lists

@@ -64,7 +64,7 @@ def _to_float(token: str) -> float:
 
 
 def parse_uncertain_number(
-    raw,
+    raw: object,
     missing_tokens: Iterable[str] = DEFAULT_MISSING_TOKENS,
     open_fraction: float = 0.5,
     approx_fraction: float = 0.1,
@@ -112,7 +112,8 @@ def parse_uncertain_number(
     if match:
         base = _to_float(match.group(1))
         spread = abs(base) * open_fraction
-        if spread == 0.0:
+        # IEEE-exact sentinel: spread is 0.0 iff base is exactly 0.0.
+        if spread == 0.0:  # reprolint: disable=NUM001
             return ExactValue(base)
         return IntervalValue(base, base + spread)
 
@@ -120,7 +121,8 @@ def parse_uncertain_number(
     if match:
         center = _to_float(match.group(1))
         spread = abs(center) * approx_fraction
-        if spread == 0.0:
+        # IEEE-exact sentinel: spread is 0.0 iff center is exactly 0.0.
+        if spread == 0.0:  # reprolint: disable=NUM001
             return ExactValue(center)
         return IntervalValue(center - spread, center + spread)
 

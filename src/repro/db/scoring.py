@@ -16,7 +16,7 @@ value to a :class:`~repro.core.distributions.ScoreDistribution` on
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Sequence, Tuple
+from typing import List, Mapping, Sequence, Tuple
 
 from ..core.distributions import (
     ConvolutionScore,
@@ -78,7 +78,7 @@ class ScoringFunction(ABC):
         """Columns this function reads (one for single-attribute rules)."""
         return [self.attribute]
 
-    def score_row(self, row) -> ScoreDistribution:
+    def score_row(self, row: Mapping[str, object]) -> ScoreDistribution:
         """Score distribution for a whole table row."""
         return self(row[self.attribute])
 
@@ -86,7 +86,7 @@ class ScoringFunction(ABC):
         low, high = self.domain
         return min(max(value, low), high)
 
-    def __call__(self, raw) -> ScoreDistribution:
+    def __call__(self, raw: object) -> ScoreDistribution:
         """Score distribution for an (uncertain) attribute value."""
         value: UncertainValue = wrap_value(raw)
         if isinstance(value, MissingValue):
@@ -172,7 +172,7 @@ class CombinedScoring:
         """Upper end of the combined score range."""
         return float(sum(fn.scale * w for fn, w in self.terms))
 
-    def score_row(self, row) -> ScoreDistribution:
+    def score_row(self, row: Mapping[str, object]) -> ScoreDistribution:
         """Score distribution of one row: the weighted-sum convolution."""
         distributions = [fn(row[fn.attribute]) for fn, _w in self.terms]
         weights = [w for _fn, w in self.terms]

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from ..core.errors import ModelError
+from ..core.queries import QueryResult
 from ..core.records import UncertainRecord
 from .attributes import (
     ExactValue,
@@ -197,15 +198,17 @@ class UncertainTable:
         scoring: ScoringFunction,
         k: int = 10,
         l: Optional[int] = None,
-        seed: Optional[int] = None,
-        **engine_kwargs,
-    ):
+        seed: Optional[int] = 0,
+        **engine_kwargs: object,
+    ) -> QueryResult:
         """One-call ranking: score the table and run UTop-Rank(1, k).
 
         Returns the :class:`~repro.core.queries.QueryResult` of
         ``l``-UTop-Rank(1, k) (``l`` defaults to ``k``) over this
-        table's rows. Additional keyword arguments configure the
-        underlying :class:`~repro.core.engine.RankingEngine`.
+        table's rows. The fixed default ``seed`` keeps repeated calls
+        reproducible; pass ``None`` for OS entropy. Additional keyword
+        arguments configure the underlying
+        :class:`~repro.core.engine.RankingEngine`.
         """
         from ..core.engine import RankingEngine
 

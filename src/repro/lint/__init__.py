@@ -1,0 +1,57 @@
+"""`reprolint` — project-specific static analysis for the engine.
+
+The evaluators compute probabilities via nested integration, Monte-Carlo
+sampling, and MCMC, where silent numeric bugs — an unclamped
+probability, a float ``==``, an unseeded RNG — corrupt results without
+failing any test. This package mechanically enforces the project's
+probability-safety, determinism, and typing invariants (documented in
+``docs/DEVELOPMENT.md``) over the source tree:
+
+========  ==============================================================
+Code      Invariant
+========  ==============================================================
+PRB001    probability-returning functions clamp/validate into ``[0, 1]``
+DET001    no unseeded ``default_rng()`` / stdlib ``random`` usage
+NUM001    no ``==`` / ``!=`` against float expressions
+EXC001    no bare or silent broad ``except`` handlers
+TYP001    public functions in typed packages carry full annotations
+ARG001    no mutable default arguments
+========  ==============================================================
+
+Run it as ``python -m repro.lint src/``; suppress individual findings
+with ``# reprolint: disable=CODE`` (line) or
+``# reprolint: disable-file=CODE`` (whole file). Configuration lives in
+``[tool.reprolint]`` in ``pyproject.toml``.
+
+The framework is pure stdlib (``ast`` + ``tokenize``): rules subclass
+:class:`~repro.lint.rules.Rule`, register themselves via
+:func:`~repro.lint.rules.register`, and receive a parsed
+:class:`~repro.lint.rules.FileContext` per file.
+"""
+
+from __future__ import annotations
+
+from .config import DEFAULT_CONFIG, LintConfig, load_config
+from .findings import Finding, Severity
+from .reporters import json_report, text_report
+from .rules import FileContext, Rule, all_rules, get_rule, register
+from .runner import LintResult, lint_file, lint_paths, lint_source
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "json_report",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "register",
+    "text_report",
+]

@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro.lint [paths...]``.
+
+Exit codes: ``0`` clean, ``1`` error-severity findings, ``2`` usage or
+configuration problems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .config import load_config
+from .reporters import json_report, text_report
+from .rules import all_rules
+from .runner import lint_paths
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "reprolint: project-specific static analysis enforcing "
+            "probability-safety, determinism, and typing invariants"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PYPROJECT",
+        help="explicit pyproject.toml (default: discovered from cwd)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="report even when the tree is clean",
+    )
+    return parser
+
+
+def _split_codes(raw: Optional[str]) -> List[str]:
+    if not raw:
+        return []
+    return [code.strip() for code in raw.split(",") if code.strip()]
+
+
+def _rule_catalog() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.code}  {rule.name}")
+        lines.append(f"    {rule.description}")
+        if rule.rationale:
+            lines.append(f"    why: {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_rule_catalog())
+        return 0
+
+    try:
+        config = load_config(
+            Path(args.config) if args.config else None
+        )
+    except (ValueError, OSError) as exc:
+        print(f"reprolint: configuration error: {exc}", file=sys.stderr)
+        return 2
+
+    select = _split_codes(args.select)
+    ignore = _split_codes(args.ignore)
+    known = {rule.code for rule in all_rules()}
+    unknown = [code for code in (*select, *ignore) if code not in known]
+    if unknown:
+        # A typo'd --select would otherwise deselect every rule and
+        # report a clean tree — fail loudly instead.
+        print(
+            f"reprolint: unknown rule code(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})",
+            file=sys.stderr,
+        )
+        return 2
+    if select or ignore:
+        from dataclasses import replace
+
+        config = replace(
+            config,
+            select=config.select | frozenset(select)
+            if select
+            else config.select,
+            ignore=config.ignore | frozenset(ignore),
+        )
+
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(
+            f"reprolint: no such file or directory: {missing}",
+            file=sys.stderr,
+        )
+        return 2
+
+    result = lint_paths(args.paths, config)
+    report = (
+        json_report(result)
+        if args.format == "json"
+        else text_report(result, verbose=args.verbose)
+    )
+    if report:
+        try:
+            print(report)
+        except BrokenPipeError:
+            # `... | head` closed our stdout; suppress the interpreter's
+            # own flush-on-exit complaint and keep the lint verdict.
+            devnull = open(os.devnull, "w")
+            os.dup2(devnull.fileno(), sys.stdout.fileno())
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

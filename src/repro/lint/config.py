@@ -1,0 +1,155 @@
+"""Configuration: defaults plus the ``[tool.reprolint]`` pyproject table.
+
+All options have safe defaults so the linter runs with no config file
+at all; ``pyproject.toml`` (parsed with stdlib ``tomllib``) can narrow
+or widen the rule set per project. Keys accept both ``dash-case`` and
+``snake_case`` spellings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
+
+from .findings import Severity
+
+try:  # Python >= 3.11; gated so 3.10 still imports (config just stays default)
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - 3.10 fallback
+    tomllib = None  # type: ignore[assignment]
+
+__all__ = ["LintConfig", "DEFAULT_CONFIG", "load_config", "find_pyproject"]
+
+#: Directory names never descended into when collecting files.
+_SKIP_DIRS = frozenset(
+    {".git", "__pycache__", ".venv", "venv", "build", "dist", ".eggs"}
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Immutable, resolved linter configuration.
+
+    Attributes
+    ----------
+    select:
+        If non-empty, only these rule codes run.
+    ignore:
+        Rule codes disabled entirely.
+    exclude:
+        Path fragments; files whose path contains one are skipped.
+    typed_paths:
+        Path fragments in which TYP001 requires full public annotations.
+    rng_allow:
+        Path fragments where DET001 permits unseeded generators (RNG
+        plumbing that deliberately draws OS entropy).
+    severity:
+        Per-code severity overrides.
+    """
+
+    select: FrozenSet[str] = frozenset()
+    ignore: FrozenSet[str] = frozenset()
+    exclude: Tuple[str, ...] = ()
+    typed_paths: Tuple[str, ...] = ("repro/core", "repro/db")
+    rng_allow: Tuple[str, ...] = ()
+    severity: Dict[str, Severity] = field(default_factory=dict)
+
+    def rule_enabled(self, code: str) -> bool:
+        if code in self.ignore:
+            return False
+        if self.select:
+            return code in self.select
+        return True
+
+    def severity_for(self, code: str, default: Severity) -> Severity:
+        return self.severity.get(code, default)
+
+    def path_excluded(self, path: str) -> bool:
+        norm = path.replace("\\", "/")
+        if any(part in _SKIP_DIRS for part in norm.split("/")):
+            return True
+        return any(fragment in norm for fragment in self.exclude)
+
+
+DEFAULT_CONFIG = LintConfig()
+
+
+def find_pyproject(start: Optional[Path] = None) -> Optional[Path]:
+    """Nearest ``pyproject.toml`` at or above ``start`` (default: cwd)."""
+    here = (start or Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def _get(table: Mapping[str, object], key: str) -> object:
+    """Fetch ``key`` accepting dash-case and snake_case spellings."""
+    if key in table:
+        return table[key]
+    return table.get(key.replace("-", "_"))
+
+
+def _str_tuple(value: object, key: str) -> Tuple[str, ...]:
+    if value is None:
+        return ()
+    if isinstance(value, str):
+        return (value,)
+    if isinstance(value, Sequence) and all(
+        isinstance(item, str) for item in value
+    ):
+        return tuple(value)
+    raise ValueError(f"[tool.reprolint] {key} must be a list of strings")
+
+
+def load_config(pyproject: Optional[Path] = None) -> LintConfig:
+    """Resolve configuration from ``pyproject`` (auto-discovered if None).
+
+    Missing file, missing table, or a Python without ``tomllib`` all
+    yield :data:`DEFAULT_CONFIG` — the linter never hard-requires
+    configuration.
+    """
+    if tomllib is None:
+        return DEFAULT_CONFIG
+    path = pyproject if pyproject is not None else find_pyproject()
+    if path is None or not Path(path).is_file():
+        return DEFAULT_CONFIG
+    with open(path, "rb") as handle:
+        data = tomllib.load(handle)
+    table = data.get("tool", {}).get("reprolint")
+    if not isinstance(table, Mapping):
+        return DEFAULT_CONFIG
+
+    config = DEFAULT_CONFIG
+    select = _get(table, "select")
+    if select is not None:
+        config = replace(config, select=frozenset(_str_tuple(select, "select")))
+    ignore = _get(table, "ignore")
+    if ignore is not None:
+        config = replace(config, ignore=frozenset(_str_tuple(ignore, "ignore")))
+    exclude = _get(table, "exclude")
+    if exclude is not None:
+        config = replace(config, exclude=_str_tuple(exclude, "exclude"))
+    typed = _get(table, "typed-paths")
+    if typed is not None:
+        config = replace(config, typed_paths=_str_tuple(typed, "typed-paths"))
+    rng_allow = _get(table, "rng-allow")
+    if rng_allow is not None:
+        config = replace(config, rng_allow=_str_tuple(rng_allow, "rng-allow"))
+    severity = _get(table, "severity")
+    if severity is not None:
+        if not isinstance(severity, Mapping):
+            raise ValueError(
+                "[tool.reprolint.severity] must map rule codes to "
+                "error/warning/info"
+            )
+        config = replace(
+            config,
+            severity={
+                str(code): Severity.parse(str(level))
+                for code, level in severity.items()
+            },
+        )
+    return config

@@ -1,0 +1,61 @@
+"""Finding and severity model shared by rules, runner, and reporters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Union
+
+
+class Severity(str, Enum):
+    """How serious a finding is; only errors affect the exit code."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @classmethod
+    def parse(cls, value: Union[str, "Severity"]) -> "Severity":
+        if isinstance(value, Severity):
+            return value
+        try:
+            return cls(value.strip().lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown severity {value!r}; expected one of "
+                f"{[s.value for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Ordered by ``(path, line, column, code)`` so reports are stable
+    regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    column: int
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def format_text(self) -> str:
+        """``path:line:col: CODE message`` — the text-reporter line."""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.code} {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation for the JSON reporter."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "code": self.code,
+            "message": self.message,
+            "severity": self.severity.value,
+        }

@@ -1,0 +1,44 @@
+"""Text and JSON reporters over a :class:`~repro.lint.runner.LintResult`."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from .runner import LintResult
+
+__all__ = ["text_report", "json_report"]
+
+
+def text_report(result: LintResult, verbose: bool = False) -> str:
+    """Human-oriented report: one line per finding plus a summary."""
+    lines = [finding.format_text() for finding in result.findings]
+    if result.findings:
+        by_code = Counter(finding.code for finding in result.findings)
+        breakdown = ", ".join(
+            f"{code}: {count}" for code, count in sorted(by_code.items())
+        )
+        lines.append("")
+        lines.append(
+            f"{len(result.findings)} finding(s) in "
+            f"{result.files_checked} file(s) ({breakdown}); "
+            f"{result.suppressed} suppressed by pragma"
+        )
+    elif verbose:
+        lines.append(
+            f"clean: {result.files_checked} file(s), "
+            f"{result.suppressed} finding(s) suppressed by pragma"
+        )
+    return "\n".join(lines)
+
+
+def json_report(result: LintResult) -> str:
+    """Machine-readable report for CI annotation tooling."""
+    payload = {
+        "version": 1,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "error_count": len(result.errors),
+        "findings": [finding.to_dict() for finding in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

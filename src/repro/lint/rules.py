@@ -1,0 +1,134 @@
+"""Rule base class, per-file context, and the rule registry.
+
+A rule is a stateless object with a unique ``code`` (``ABC123``), a
+human-oriented ``description``, and a :meth:`Rule.check` generator that
+yields :class:`~repro.lint.findings.Finding` objects for one parsed
+file. Rules self-register at import time via :func:`register`, so
+adding a rule is one class in :mod:`repro.lint.builtin` (or any module
+imported before the runner executes).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, List, Type
+
+from .findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from .config import LintConfig
+
+_CODE_PATTERN = re.compile(r"^[A-Z]{3}\d{3}$")
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one source file.
+
+    Attributes
+    ----------
+    path:
+        Path as given on the command line (used in findings verbatim).
+    source:
+        Raw file text.
+    tree:
+        Parsed ``ast.Module``.
+    config:
+        The active :class:`~repro.lint.config.LintConfig`; rules read
+        their options (typed paths, RNG allowlist, ...) from here.
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    config: "LintConfig"
+    _lines: List[str] = field(default_factory=list, repr=False)
+
+    @property
+    def lines(self) -> List[str]:
+        if not self._lines:
+            self._lines = self.source.splitlines()
+        return self._lines
+
+    def norm_path(self) -> str:
+        """Forward-slash path for matching config path fragments."""
+        return self.path.replace("\\", "/")
+
+
+class Rule:
+    """Base class for all reprolint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``default_severity`` may be overridden per-project via the
+    ``[tool.reprolint.severity]`` table.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    rationale: str = ""
+    default_severity: Severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for ``ctx``; must not mutate the context."""
+        raise NotImplementedError
+        yield  # pragma: no cover - generator typing aid
+
+    def finding(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        message: str,
+    ) -> Finding:
+        """Build a finding anchored at ``node`` with this rule's code."""
+        severity = ctx.config.severity_for(self.code, self.default_severity)
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+            severity=severity,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and index a rule by its code."""
+    code = rule_cls.code
+    if not _CODE_PATTERN.match(code):
+        raise ValueError(
+            f"rule code {code!r} must match AAA000 (three letters, "
+            "three digits)"
+        )
+    if code in _REGISTRY and type(_REGISTRY[code]) is not rule_cls:
+        raise ValueError(f"duplicate rule code {code!r}")
+    _REGISTRY[code] = rule_cls()
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by code."""
+    _ensure_builtin_loaded()
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    """Look up one rule; raises ``KeyError`` with the known codes."""
+    _ensure_builtin_loaded()
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {code!r}; known rules: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def _ensure_builtin_loaded() -> None:
+    # Imported lazily so `rules` has no import-time dependency on the
+    # rule implementations (which import this module).
+    from . import builtin  # noqa: F401

@@ -1,0 +1,136 @@
+"""File collection, rule dispatch, and suppression filtering."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from .config import DEFAULT_CONFIG, LintConfig
+from .findings import Finding, Severity
+from .rules import FileContext, Rule, all_rules
+from .suppressions import parse_suppressions
+
+__all__ = ["LintResult", "iter_python_files", "lint_source", "lint_file", "lint_paths"]
+
+
+@dataclass
+class LintResult:
+    """Aggregate outcome of a lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def exit_code(self) -> int:
+        """0 when no error-severity findings remain, 1 otherwise."""
+        return 1 if self.errors else 0
+
+    def extend(self, other: "LintResult") -> None:
+        self.findings.extend(other.findings)
+        self.files_checked += other.files_checked
+        self.suppressed += other.suppressed
+
+
+def iter_python_files(
+    paths: Sequence[str], config: LintConfig
+) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            if config.path_excluded(str(candidate)):
+                continue
+            yield candidate
+
+
+def _active_rules(config: LintConfig) -> List[Rule]:
+    return [rule for rule in all_rules() if config.rule_enabled(rule.code)]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: Optional[LintConfig] = None,
+) -> LintResult:
+    """Lint raw source text — the entry point tests and tools use.
+
+    Syntax errors surface as a single ``SYN001`` error finding rather
+    than an exception, so one broken file cannot abort a tree-wide run.
+    """
+    config = config or DEFAULT_CONFIG
+    result = LintResult(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                column=(exc.offset or 0) + 1,
+                code="SYN001",
+                message=f"file does not parse: {exc.msg}",
+                severity=Severity.ERROR,
+            )
+        )
+        return result
+    ctx = FileContext(path=path, source=source, tree=tree, config=config)
+    suppressions = parse_suppressions(source)
+    collected: List[Finding] = []
+    for rule in _active_rules(config):
+        collected.extend(rule.check(ctx))
+    for finding in sorted(collected):
+        if suppressions.is_suppressed(finding.code, finding.line):
+            result.suppressed += 1
+        else:
+            result.findings.append(finding)
+    return result
+
+
+def lint_file(
+    path: Path, config: Optional[LintConfig] = None
+) -> LintResult:
+    """Lint one file from disk."""
+    try:
+        source = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        return LintResult(
+            findings=[
+                Finding(
+                    path=str(path),
+                    line=1,
+                    column=1,
+                    code="IOE001",
+                    message=f"cannot read file: {exc}",
+                    severity=Severity.ERROR,
+                )
+            ],
+            files_checked=1,
+        )
+    return lint_source(source, path=str(path), config=config)
+
+
+def lint_paths(
+    paths: Sequence[str], config: Optional[LintConfig] = None
+) -> LintResult:
+    """Lint every Python file under ``paths``; findings come back sorted."""
+    config = config or DEFAULT_CONFIG
+    result = LintResult()
+    for path in iter_python_files(paths, config):
+        result.extend(lint_file(path, config))
+    result.findings.sort()
+    return result

@@ -1,0 +1,91 @@
+"""Suppression pragmas: ``# reprolint: disable=CODE`` comments.
+
+Two forms, both comma-tolerant and case-preserving for codes:
+
+- ``# reprolint: disable=PRB001[,NUM001]`` — suppresses matching
+  findings *on that physical line* (trailing comment or a comment line
+  immediately above a statement does NOT apply; the pragma must share
+  the finding's line).
+- ``# reprolint: disable-file=DET001`` — suppresses matching findings
+  anywhere in the file; conventionally placed near the top.
+
+``disable=all`` / ``disable-file=all`` suppress every rule. Comments
+are located with :mod:`tokenize` so pragma-looking *strings* never
+suppress anything; files that fail tokenization fall back to a
+line-regex scan (they will usually fail ``ast.parse`` anyway).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, Set, Tuple
+
+__all__ = ["SuppressionTable", "parse_suppressions"]
+
+_PRAGMA = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+_ALL = "all"
+
+
+@dataclass
+class SuppressionTable:
+    """Resolved pragmas for one file."""
+
+    file_codes: FrozenSet[str] = frozenset()
+    line_codes: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """Whether a finding with ``code`` on ``line`` is silenced."""
+        if _ALL in self.file_codes or code in self.file_codes:
+            return True
+        at_line = self.line_codes.get(line)
+        if at_line is None:
+            return False
+        return _ALL in at_line or code in at_line
+
+
+def _comments(source: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line, text)`` for every comment token in ``source``."""
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Fall back to a plain scan; over-matching inside string
+        # literals is acceptable for a file that cannot tokenize.
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if "#" in text:
+                yield lineno, text
+
+
+def parse_suppressions(source: str) -> SuppressionTable:
+    """Extract the suppression table from a file's source text."""
+    file_codes: Set[str] = set()
+    line_codes: Dict[int, Set[str]] = {}
+    for lineno, text in _comments(source):
+        match = _PRAGMA.search(text)
+        if match is None:
+            continue
+        codes = {
+            part.strip().lower() if part.strip().lower() == _ALL
+            else part.strip()
+            for part in match.group("codes").split(",")
+            if part.strip()
+        }
+        if match.group("kind") == "disable-file":
+            file_codes.update(codes)
+        else:
+            line_codes.setdefault(lineno, set()).update(codes)
+    return SuppressionTable(
+        file_codes=frozenset(file_codes),
+        line_codes={
+            line: frozenset(codes) for line, codes in line_codes.items()
+        },
+    )

@@ -142,7 +142,95 @@ class TestMethodSelection:
         assert len(result.top.prefix) == 6
 
 
+class TestThresholdTopK:
+    def test_threshold_filters_answers(self, engine):
+        full = engine.utop_rank(1, 2, l=6)
+        expected = {
+            a.record_id for a in full.answers if a.probability >= 0.5
+        }
+        result = engine.threshold_topk(2, threshold=0.5)
+        assert {a.record_id for a in result.answers} == expected
+        assert "t5" in expected  # t5 is in the top 2 with certainty
+        assert all(a.probability >= 0.5 for a in result.answers)
+
+    def test_low_threshold_returns_everything_in_range(self, engine):
+        result = engine.threshold_topk(2, threshold=1e-9)
+        assert {a.record_id for a in result.answers} == {"t5", "t1", "t2"}
+
+    def test_answer_size_is_data_dependent(self, engine):
+        # Tightening the threshold can only shrink the answer set.
+        sizes = [
+            len(engine.threshold_topk(2, threshold=t).answers)
+            for t in (1e-9, 0.5, 1.0)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_invalid_k(self, engine):
+        with pytest.raises(QueryError):
+            engine.threshold_topk(0, threshold=0.5)
+        with pytest.raises(QueryError):
+            engine.threshold_topk(-3, threshold=0.5)
+
+    def test_threshold_out_of_range(self, engine):
+        with pytest.raises(QueryError):
+            engine.threshold_topk(2, threshold=0.0)
+        with pytest.raises(QueryError):
+            engine.threshold_topk(2, threshold=1.5)
+        with pytest.raises(QueryError):
+            engine.threshold_topk(2, threshold=-0.1)
+
+    def test_unknown_method(self, engine):
+        with pytest.raises(QueryError):
+            engine.threshold_topk(2, threshold=0.5, method="bogus")
+
+
+class TestExplain:
+    def test_plan_for_rank_query(self, engine):
+        plan = engine.explain("utop_rank", 2)
+        assert plan["query"] == "utop_rank"
+        assert plan["database_size"] == 6
+        assert plan["pruned_size"] == 3
+        assert plan["exact_densities"] is True
+        assert plan["method"] == "exact"
+
+    def test_plan_for_prefix_query(self, engine):
+        plan = engine.explain("utop_prefix", 3)
+        assert plan["method"] in ("exact", "mcmc")
+        assert plan["prefix_space"] is not None
+        assert plan["prefix_space"] >= 1
+
+    def test_plan_respects_exact_limit(self, paper_db):
+        engine = RankingEngine(paper_db, seed=0, exact_record_limit=2)
+        plan = engine.explain("utop_rank", 2)
+        assert plan["method"] == "montecarlo"
+
+    def test_unknown_query_kind(self, engine):
+        with pytest.raises(QueryError):
+            engine.explain("bogus", 2)
+        with pytest.raises(QueryError):
+            engine.explain("", 2)
+
+    def test_invalid_k(self, engine):
+        with pytest.raises(QueryError):
+            engine.explain("utop_rank", 0)
+        with pytest.raises(QueryError):
+            engine.explain("utop_prefix", -1)
+
+    def test_empty_record_set_rejected_at_construction(self):
+        with pytest.raises(QueryError):
+            RankingEngine([])
+
+
 class TestReproducibility:
+    def test_reproducible_by_default(self, paper_db):
+        # No seed argument at all: two runs must still agree (seed
+        # defaults to 0 rather than OS entropy).
+        a = RankingEngine(paper_db).utop_rank(1, 3, l=4, method="montecarlo")
+        b = RankingEngine(paper_db).utop_rank(1, 3, l=4, method="montecarlo")
+        assert [
+            (x.record_id, x.probability) for x in a.answers
+        ] == [(x.record_id, x.probability) for x in b.answers]
+
     def test_same_seed_same_answers(self, paper_db):
         a = RankingEngine(paper_db, seed=42).utop_rank(
             1, 3, l=4, method="montecarlo"

@@ -1,0 +1,540 @@
+"""Unit tests for the reprolint framework and every built-in rule.
+
+Each rule gets at least one firing fixture and one suppressed fixture
+(acceptance criterion of the lint subsystem); framework tests cover
+pragmas, config filtering, reporters, and the CLI surface.
+"""
+
+import json
+import textwrap
+from dataclasses import replace
+
+import pytest
+
+from repro.lint import (
+    DEFAULT_CONFIG,
+    LintConfig,
+    Severity,
+    all_rules,
+    get_rule,
+    json_report,
+    lint_source,
+    text_report,
+)
+from repro.lint.cli import main as lint_main
+from repro.lint.suppressions import parse_suppressions
+
+
+def codes(result):
+    return [finding.code for finding in result.findings]
+
+
+def run(snippet, path="src/repro/core/fake.py", config=None):
+    return lint_source(
+        textwrap.dedent(snippet), path=path, config=config or DEFAULT_CONFIG
+    )
+
+
+class TestPRB001:
+    def test_fires_on_unclamped_return(self):
+        result = run(
+            """
+            def prefix_probability(x: float) -> float:
+                return x * 2.0
+            """
+        )
+        assert "PRB001" in codes(result)
+
+    def test_clamped_returns_pass(self):
+        result = run(
+            """
+            import numpy as np
+            from repro.core.numeric import clamp_probability
+
+            def prefix_probability(x: float) -> float:
+                return clamp_probability(x)
+
+            def set_probability(x: float) -> float:
+                return min(max(x, 0.0), 1.0)
+
+            def rank_probability(x: float) -> float:
+                return float(np.clip(x, 0.0, 1.0))
+            """
+        )
+        assert "PRB001" not in codes(result)
+
+    def test_constant_and_delegation_pass(self):
+        result = run(
+            """
+            def inner_probability(x: float) -> float:
+                return min(x, 1.0)
+
+            def outer_probability(x: float) -> float:
+                if x < 0:
+                    return 0.0
+                return inner_probability(x)
+            """
+        )
+        assert "PRB001" not in codes(result)
+
+    def test_clamped_local_name_passes(self):
+        result = run(
+            """
+            def top_probability(x: float) -> float:
+                value = min(max(x, 0.0), 1.0)
+                return value
+            """
+        )
+        assert "PRB001" not in codes(result)
+
+    def test_non_probability_function_ignored(self):
+        result = run(
+            """
+            def score(x: float) -> float:
+                return x * 2.0
+            """
+        )
+        assert "PRB001" not in codes(result)
+
+    def test_non_float_return_annotation_ignored(self):
+        result = run(
+            """
+            import numpy as np
+
+            def rank_probability_matrix(n: int) -> np.ndarray:
+                return np.zeros(n)
+            """
+        )
+        assert "PRB001" not in codes(result)
+
+    def test_suppressed_by_line_pragma(self):
+        result = run(
+            """
+            def prefix_probability(x: float) -> float:
+                return x * 2.0  # reprolint: disable=PRB001
+            """
+        )
+        assert "PRB001" not in codes(result)
+        assert result.suppressed == 1
+
+
+class TestDET001:
+    def test_fires_on_unseeded_default_rng(self):
+        result = run(
+            """
+            import numpy as np
+            rng = np.random.default_rng()
+            """
+        )
+        assert "DET001" in codes(result)
+
+    def test_fires_on_none_seed(self):
+        result = run(
+            """
+            import numpy as np
+            rng = np.random.default_rng(None)
+            """
+        )
+        assert "DET001" in codes(result)
+
+    def test_seeded_default_rng_passes(self):
+        result = run(
+            """
+            import numpy as np
+            rng = np.random.default_rng(42)
+            derived = np.random.default_rng(rng.integers(2**63))
+            maybe = np.random.default_rng(seed)
+            """
+        )
+        assert "DET001" not in codes(result)
+
+    def test_fires_on_stdlib_random(self):
+        result = run(
+            """
+            import random
+            x = random.random()
+            """
+        )
+        assert "DET001" in codes(result)
+
+    def test_fires_on_from_random_import(self):
+        result = run("from random import choice\n")
+        assert "DET001" in codes(result)
+
+    def test_fires_on_legacy_numpy_global(self):
+        result = run(
+            """
+            import numpy as np
+            x = np.random.rand(3)
+            """
+        )
+        assert "DET001" in codes(result)
+
+    def test_generator_method_named_random_passes(self):
+        result = run(
+            """
+            import numpy as np
+            rng = np.random.default_rng(0)
+            u = rng.random(10)
+            """
+        )
+        assert "DET001" not in codes(result)
+
+    def test_rng_allow_path_permits_unseeded(self):
+        config = replace(DEFAULT_CONFIG, rng_allow=("repro/entropy",))
+        result = run(
+            """
+            import numpy as np
+            rng = np.random.default_rng()
+            """,
+            path="src/repro/entropy/source.py",
+            config=config,
+        )
+        assert "DET001" not in codes(result)
+
+    def test_suppressed_by_file_pragma(self):
+        result = run(
+            """
+            # reprolint: disable-file=DET001
+            import numpy as np
+            a = np.random.default_rng()
+            b = np.random.default_rng()
+            """
+        )
+        assert "DET001" not in codes(result)
+        assert result.suppressed == 2
+
+
+class TestNUM001:
+    def test_fires_on_float_literal_equality(self):
+        result = run("ok = x == 1.0\n")
+        assert "NUM001" in codes(result)
+
+    def test_fires_on_not_equal(self):
+        result = run("ok = 0.5 != y\n")
+        assert "NUM001" in codes(result)
+
+    def test_fires_on_float_call(self):
+        result = run("ok = float(x) == y\n")
+        assert "NUM001" in codes(result)
+
+    def test_integer_equality_passes(self):
+        result = run(
+            """
+            ok = ndim == 0
+            also = count != 10
+            """
+        )
+        assert "NUM001" not in codes(result)
+
+    def test_ordering_comparisons_pass(self):
+        result = run("ok = x <= 1.0 and y >= 0.0\n")
+        assert "NUM001" not in codes(result)
+
+    def test_suppressed_by_line_pragma(self):
+        result = run(
+            "ok = spread == 0.0  # reprolint: disable=NUM001\n"
+        )
+        assert "NUM001" not in codes(result)
+        assert result.suppressed == 1
+
+
+class TestEXC001:
+    def test_fires_on_bare_except(self):
+        result = run(
+            """
+            try:
+                work()
+            except:
+                fallback()
+            """
+        )
+        assert "EXC001" in codes(result)
+
+    def test_fires_on_silent_broad_except(self):
+        result = run(
+            """
+            try:
+                work()
+            except Exception:
+                fallback()
+            """
+        )
+        assert "EXC001" in codes(result)
+
+    def test_fires_on_pass_only_handler(self):
+        result = run(
+            """
+            try:
+                work()
+            except ValueError:
+                pass
+            """
+        )
+        assert "EXC001" in codes(result)
+
+    def test_bound_broad_except_passes(self):
+        result = run(
+            """
+            try:
+                work()
+            except Exception as exc:
+                log(exc)
+            """
+        )
+        assert "EXC001" not in codes(result)
+
+    def test_narrow_except_passes(self):
+        result = run(
+            """
+            try:
+                work()
+            except ValueError:
+                fallback()
+            """
+        )
+        assert "EXC001" not in codes(result)
+
+    def test_suppressed_by_line_pragma(self):
+        result = run(
+            """
+            try:
+                work()
+            except Exception:  # reprolint: disable=EXC001
+                fallback()
+            """
+        )
+        assert "EXC001" not in codes(result)
+        assert result.suppressed == 1
+
+
+class TestTYP001:
+    def test_fires_in_typed_path(self):
+        result = run(
+            """
+            def evaluate(x, k: int):
+                return x
+            """
+        )
+        findings = [f for f in result.findings if f.code == "TYP001"]
+        assert len(findings) == 1
+        assert "'x'" in findings[0].message
+        assert "return type" in findings[0].message
+
+    def test_ignores_untyped_path(self):
+        result = run(
+            """
+            def evaluate(x, k):
+                return x
+            """,
+            path="src/repro/experiments/fake.py",
+        )
+        assert "TYP001" not in codes(result)
+
+    def test_private_and_dunder_ignored(self):
+        result = run(
+            """
+            class Engine:
+                def __init__(self, seed=None):
+                    self.seed = seed
+
+                def _helper(self, x):
+                    return x
+            """
+        )
+        assert "TYP001" not in codes(result)
+
+    def test_fully_annotated_method_passes(self):
+        result = run(
+            """
+            class Engine:
+                def evaluate(self, k: int, *args: int, **kw: object) -> float:
+                    return float(k)
+
+                @staticmethod
+                def build(seed: int) -> "Engine":
+                    return Engine()
+            """
+        )
+        assert "TYP001" not in codes(result)
+
+    def test_nested_functions_ignored(self):
+        result = run(
+            """
+            def outer(k: int) -> int:
+                def inner(x):
+                    return x
+                return inner(k)
+            """
+        )
+        assert "TYP001" not in codes(result)
+
+    def test_suppressed_by_line_pragma(self):
+        result = run(
+            """
+            def evaluate(x):  # reprolint: disable=TYP001
+                return x
+            """
+        )
+        assert "TYP001" not in codes(result)
+        assert result.suppressed == 1
+
+
+class TestARG001:
+    def test_fires_on_list_default(self):
+        result = run("def f(items=[]):\n    return items\n")
+        assert "ARG001" in codes(result)
+
+    def test_fires_on_dict_call_default(self):
+        result = run("def f(*, table=dict()):\n    return table\n")
+        assert "ARG001" in codes(result)
+
+    def test_none_default_passes(self):
+        result = run("def f(items=None, k=3, name='x'):\n    return items\n")
+        assert "ARG001" not in codes(result)
+
+    def test_tuple_default_passes(self):
+        result = run("def f(dims=(1, 2)):\n    return dims\n")
+        assert "ARG001" not in codes(result)
+
+    def test_suppressed_by_line_pragma(self):
+        result = run(
+            "def f(items=[]):  # reprolint: disable=ARG001\n"
+            "    return items\n"
+        )
+        assert "ARG001" not in codes(result)
+        assert result.suppressed == 1
+
+
+class TestFramework:
+    def test_syntax_error_becomes_finding(self):
+        result = run("def broken(:\n")
+        assert codes(result) == ["SYN001"]
+
+    def test_findings_sorted_by_location(self):
+        result = run(
+            """
+            b = x == 1.0
+            try:
+                work()
+            except:
+                pass
+            a = y != 2.0
+            """
+        )
+        lines = [f.line for f in result.findings]
+        assert lines == sorted(lines)
+
+    def test_disable_all_pragma(self):
+        result = run(
+            "x = y == 1.0  # reprolint: disable=all\n"
+        )
+        assert not result.findings
+        assert result.suppressed == 1
+
+    def test_pragma_in_string_literal_is_inert(self):
+        table = parse_suppressions(
+            's = "# reprolint: disable=NUM001"\nx = 1.0 == y\n'
+        )
+        assert not table.file_codes
+        assert not table.line_codes
+
+    def test_select_restricts_rules(self):
+        config = replace(DEFAULT_CONFIG, select=frozenset({"NUM001"}))
+        result = run(
+            """
+            import numpy as np
+            rng = np.random.default_rng()
+            x = y == 1.0
+            """,
+            config=config,
+        )
+        assert codes(result) == ["NUM001"]
+
+    def test_ignore_removes_rule(self):
+        config = replace(DEFAULT_CONFIG, ignore=frozenset({"NUM001"}))
+        result = run("x = y == 1.0\n", config=config)
+        assert "NUM001" not in codes(result)
+
+    def test_severity_override_affects_exit_code(self):
+        config = replace(
+            DEFAULT_CONFIG, severity={"NUM001": Severity.WARNING}
+        )
+        result = run("x = y == 1.0\n", config=config)
+        assert codes(result) == ["NUM001"]
+        assert result.exit_code == 0
+
+    def test_rule_catalog_complete(self):
+        registered = {rule.code for rule in all_rules()}
+        assert {
+            "PRB001",
+            "DET001",
+            "NUM001",
+            "EXC001",
+            "TYP001",
+            "ARG001",
+        } <= registered
+        for rule in all_rules():
+            assert rule.description
+            assert rule.rationale
+
+    def test_get_rule_unknown_code(self):
+        with pytest.raises(KeyError, match="known rules"):
+            get_rule("ZZZ999")
+
+    def test_text_report_mentions_code_and_count(self):
+        result = run("x = y == 1.0\n")
+        report = text_report(result)
+        assert "NUM001" in report
+        assert "1 finding(s)" in report
+
+    def test_json_report_round_trips(self):
+        result = run("x = y == 1.0\n")
+        payload = json.loads(json_report(result))
+        assert payload["error_count"] == 1
+        assert payload["findings"][0]["code"] == "NUM001"
+        assert payload["findings"][0]["line"] == 1
+
+
+class TestCLI:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert lint_main([str(target)]) == 0
+
+    def test_violation_exits_one(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text(
+            "import numpy as np\nrng = np.random.default_rng()\n"
+        )
+        assert lint_main([str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "absent.py")]) == 2
+
+    def test_json_format(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("x = y == 1.0\n")
+        assert lint_main([str(target), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["code"] == "NUM001"
+
+    def test_ignore_flag(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("x = y == 1.0\n")
+        assert lint_main([str(target), "--ignore", "NUM001"]) == 0
+
+    def test_unknown_rule_code_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("x = y == 1.0\n")
+        assert lint_main([str(target), "--select", "NUM01"]) == 2
+        err = capsys.readouterr().err
+        assert "NUM01" in err and "NUM001" in err
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("PRB001", "DET001", "NUM001", "EXC001", "TYP001", "ARG001"):
+            assert code in out

@@ -1,0 +1,21 @@
+"""Tier-1 gate: the source tree must be reprolint-clean.
+
+Running the linter from pytest means a reintroduced violation (an
+unseeded generator, an unclamped probability return, a silent broad
+except) fails the ordinary test run — nobody has to remember a separate
+lint step.
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_paths, load_config, text_report
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def test_source_tree_is_lint_clean():
+    config = load_config(REPO_ROOT / "pyproject.toml")
+    result = lint_paths([SRC], config=config)
+    assert result.files_checked > 50, "linter saw too few files; wrong root?"
+    assert not result.findings, "\n" + text_report(result)
