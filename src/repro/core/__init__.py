@@ -9,11 +9,13 @@ from .distributions import (
     HistogramScore,
     MixtureScore,
     PointScore,
+    SamplingPlan,
     ScoreDistribution,
     TriangularScore,
     TruncatedExponentialScore,
     TruncatedGaussianScore,
     UniformScore,
+    build_sampling_plan,
 )
 from .errors import (
     ConvergenceError,
@@ -44,6 +46,7 @@ from .mcmc import (
 )
 from .montecarlo import MonteCarloEvaluator
 from .naive import expected_score_ranking, mode_aggregation_ranking
+from .parallel import DEFAULT_SHARDS, ParallelSampler, resolve_workers
 from .pairwise import PairwiseCache, probability_greater
 from .queries import (
     PrefixAnswer,
@@ -81,6 +84,11 @@ __all__ = [
     "MCMCResult",
     "MetropolisHastingsChain",
     "MonteCarloEvaluator",
+    "DEFAULT_SHARDS",
+    "ParallelSampler",
+    "SamplingPlan",
+    "build_sampling_plan",
+    "resolve_workers",
     "PrefixAnswer",
     "QueryResult",
     "RankAggAnswer",

@@ -108,8 +108,9 @@ class CorrelatedMonteCarloEvaluator(MonteCarloEvaluator):
         records: Sequence[UncertainRecord],
         copula: GaussianCopula,
         rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
     ) -> None:
-        super().__init__(records, rng=rng)
+        super().__init__(records, rng=rng, seed=seed)
         if copula.dimension != len(self.records):
             raise ModelError(
                 f"copula dimension {copula.dimension} does not match "
@@ -117,18 +118,17 @@ class CorrelatedMonteCarloEvaluator(MonteCarloEvaluator):
             )
         self.copula = copula
 
-    def sample_scores(self, samples: int) -> np.ndarray:
-        """Draw correlated score vectors via the copula."""
-        if samples < 1:
-            raise QueryError("need at least one sample")
-        uniforms = self.copula.sample_uniforms(self.rng, samples)
-        out = np.empty_like(uniforms)
-        for i, rec in enumerate(self.records):
-            if rec.is_deterministic:
-                out[:, i] = self._tie_values.get(rec.record_id, rec.lower)
-            else:
-                out[:, i] = np.asarray(rec.score.ppf(uniforms[:, i]))
-        return out
+    def _draw(self, rng: np.random.Generator, samples: int) -> np.ndarray:
+        """Correlated score vectors via the copula.
+
+        The copula produces an ``(s, n)`` matrix of correlated uniforms
+        and the columnar plan pushes each family group through its
+        quantile function in one batched call. Overriding ``_draw``
+        (rather than individual estimators) routes every indicator-based
+        estimator through the correlated joint.
+        """
+        uniforms = self.copula.sample_uniforms(rng, samples)
+        return self._plan.ppf(uniforms)
 
     def _independence_only(self, name: str) -> NoReturn:
         raise QueryError(
@@ -137,16 +137,16 @@ class CorrelatedMonteCarloEvaluator(MonteCarloEvaluator):
         )
 
     def prefix_probability_cdf(
-        self, prefix: Sequence, samples: int
+        self, prefix: Sequence, samples: int, seed: Optional[int] = None
     ) -> NoReturn:  # noqa: D102
         self._independence_only("prefix_probability_cdf")
 
     def prefix_probability_sis(
-        self, prefix: Sequence, samples: int
+        self, prefix: Sequence, samples: int, seed: Optional[int] = None
     ) -> NoReturn:  # noqa: D102
         self._independence_only("prefix_probability_sis")
 
     def top_set_probability_cdf(
-        self, record_set: Iterable, samples: int
+        self, record_set: Iterable, samples: int, seed: Optional[int] = None
     ) -> NoReturn:  # noqa: D102
         self._independence_only("top_set_probability_cdf")

@@ -19,13 +19,21 @@ Families whose pdf is exactly a piecewise polynomial additionally expose
 evaluator in :mod:`repro.core.exact`; smooth families provide
 ``piecewise_approximation`` to opt into exact evaluation at a chosen
 resolution.
+
+For databases of many records, :func:`build_sampling_plan` compiles a
+**columnar batch plan**: records are grouped by distribution family and
+each group exposes vectorized ``batch_sample`` / ``batch_cdf`` /
+``batch_ppf`` kernels over stacked parameter arrays, so a single
+RNG/NumPy call replaces one Python-level call per record. The Monte-
+Carlo and MCMC evaluators are built on these plans (see
+``docs/DEVELOPMENT.md``, "Performance architecture").
 """
 
 from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy import special
@@ -53,6 +61,9 @@ __all__ = [
     "TruncatedExponentialScore",
     "MixtureScore",
     "ConvolutionScore",
+    "FamilyBatch",
+    "SamplingPlan",
+    "build_sampling_plan",
 ]
 
 
@@ -828,3 +839,425 @@ class MixtureScore(ScoreDistribution):
 
     def __repr__(self) -> str:
         return f"MixtureScore({len(self.components)} components)"
+
+
+# ----------------------------------------------------------------------
+# Columnar batch plans
+# ----------------------------------------------------------------------
+
+
+class FamilyBatch(ABC):
+    """Vectorized kernels for one group of same-family score densities.
+
+    A batch owns the stacked parameters of ``m`` distributions plus the
+    database columns they occupy, and evaluates all of them with a
+    constant number of NumPy calls. ``x`` inputs to :meth:`batch_cdf`
+    are one threshold per sample row (shape ``(s,)``); uniform draws to
+    :meth:`batch_ppf` are per sample *and* record (shape ``(s, m)``).
+    """
+
+    #: Family key used for grouping and introspection.
+    family: str = ""
+
+    def __init__(self, indices: Sequence[int]) -> None:
+        self.indices = np.asarray(indices, dtype=np.intp)
+
+    def __len__(self) -> int:
+        return int(self.indices.size)
+
+    @abstractmethod
+    def batch_sample(self, rng: np.random.Generator, s: int) -> np.ndarray:
+        """Draw an ``(s, m)`` matrix of scores, one column per member."""
+
+    @abstractmethod
+    def batch_cdf(self, x: np.ndarray) -> np.ndarray:
+        """``(s, m)`` matrix ``F_j(x_i)`` for thresholds ``x`` of shape ``(s,)``."""
+
+    @abstractmethod
+    def batch_ppf(self, u: np.ndarray) -> np.ndarray:
+        """Map ``(s, m)`` uniforms through each member's quantile function."""
+
+
+class PointBatch(FamilyBatch):
+    """Deterministic scores: samples are constants, CDFs are steps.
+
+    ``sample_values`` may differ from ``cdf_values`` — the Monte-Carlo
+    evaluator substitutes tie-perturbed values on the sampling side while
+    the CDF side keeps the true step location (matching the per-record
+    reference semantics).
+    """
+
+    family = "point"
+
+    def __init__(
+        self,
+        indices: Sequence[int],
+        sample_values: Sequence[float],
+        cdf_values: Sequence[float],
+    ) -> None:
+        super().__init__(indices)
+        self.sample_values = np.asarray(sample_values, dtype=float)
+        self.cdf_values = np.asarray(cdf_values, dtype=float)
+
+    def batch_sample(self, rng: np.random.Generator, s: int) -> np.ndarray:
+        return np.broadcast_to(self.sample_values, (s, len(self))).copy()
+
+    def batch_cdf(self, x: np.ndarray) -> np.ndarray:
+        return (x[:, None] >= self.cdf_values[None, :]).astype(float)
+
+    def batch_ppf(self, u: np.ndarray) -> np.ndarray:
+        return np.broadcast_to(self.sample_values, u.shape).copy()
+
+
+class UniformBatch(FamilyBatch):
+    """Stacked :class:`UniformScore` records."""
+
+    family = "uniform"
+
+    def __init__(
+        self, indices: Sequence[int], members: Sequence[UniformScore]
+    ) -> None:
+        super().__init__(indices)
+        self.lowers = np.array([d.lower for d in members])
+        self.uppers = np.array([d.upper for d in members])
+        self._spans = self.uppers - self.lowers
+        self._densities = 1.0 / self._spans
+
+    def batch_sample(self, rng: np.random.Generator, s: int) -> np.ndarray:
+        # rng.random + in-place affine: ~3x faster than rng.uniform
+        # with broadcast array bounds, and allocates no temporaries.
+        out = rng.random((s, len(self)))
+        out *= self._spans
+        out += self.lowers
+        return out
+
+    def batch_cdf(self, x: np.ndarray) -> np.ndarray:
+        return np.clip(
+            (x[:, None] - self.lowers[None, :]) * self._densities[None, :],
+            0.0,
+            1.0,
+        )
+
+    def batch_ppf(self, u: np.ndarray) -> np.ndarray:
+        return self.lowers[None, :] + u * self._spans[None, :]
+
+
+class TriangularBatch(FamilyBatch):
+    """Stacked :class:`TriangularScore` records."""
+
+    family = "triangular"
+
+    def __init__(
+        self, indices: Sequence[int], members: Sequence[TriangularScore]
+    ) -> None:
+        super().__init__(indices)
+        self.lowers = np.array([d.lower for d in members])
+        self.modes = np.array([d.mode for d in members])
+        self.uppers = np.array([d.upper for d in members])
+        spans = self.uppers - self.lowers
+        rise = self.modes - self.lowers
+        fall = self.uppers - self.modes
+        self._rise_area = np.where(rise > 0, spans * rise, 1.0)
+        self._fall_area = np.where(fall > 0, spans * fall, 1.0)
+        self._split = rise / spans
+
+    def batch_sample(self, rng: np.random.Generator, s: int) -> np.ndarray:
+        return self.batch_ppf(rng.random((s, len(self))))
+
+    def batch_cdf(self, x: np.ndarray) -> np.ndarray:
+        xc = x[:, None]
+        lo, mo, up = self.lowers, self.modes, self.uppers
+        rising = (xc - lo) ** 2 / self._rise_area
+        falling = 1.0 - (up - xc) ** 2 / self._fall_area
+        mid = np.where((xc <= mo) & (mo > lo), rising, falling)
+        return np.where(xc < lo, 0.0, np.where(xc > up, 1.0, mid))
+
+    def batch_ppf(self, u: np.ndarray) -> np.ndarray:
+        rising = self.lowers + np.sqrt(
+            np.maximum(u, 0.0) * self._rise_area
+        )
+        falling = self.uppers - np.sqrt(
+            np.maximum(1.0 - u, 0.0) * self._fall_area
+        )
+        out = np.where(u <= self._split[None, :], rising, falling)
+        return np.clip(out, self.lowers, self.uppers)
+
+
+class TruncatedGaussianBatch(FamilyBatch):
+    """Stacked :class:`TruncatedGaussianScore` records."""
+
+    family = "gaussian"
+
+    def __init__(
+        self,
+        indices: Sequence[int],
+        members: Sequence[TruncatedGaussianScore],
+    ) -> None:
+        super().__init__(indices)
+        self.mus = np.array([d.mu for d in members])
+        self.sigmas = np.array([d.sigma for d in members])
+        self.lowers = np.array([d.lower for d in members])
+        self.uppers = np.array([d.upper for d in members])
+        self._alpha_cdf = _norm_cdf((self.lowers - self.mus) / self.sigmas)
+        self._z = np.array([d._z for d in members])
+
+    def batch_sample(self, rng: np.random.Generator, s: int) -> np.ndarray:
+        return self.batch_ppf(rng.random((s, len(self))))
+
+    def batch_cdf(self, x: np.ndarray) -> np.ndarray:
+        xc = x[:, None]
+        z = (xc - self.mus) / self.sigmas
+        raw = (_norm_cdf(z) - self._alpha_cdf) / self._z
+        out = np.clip(raw, 0.0, 1.0)
+        return np.where(xc < self.lowers, 0.0, np.where(xc > self.uppers, 1.0, out))
+
+    def batch_ppf(self, u: np.ndarray) -> np.ndarray:
+        base = self._alpha_cdf[None, :] + u * self._z[None, :]
+        out = self.mus[None, :] + self.sigmas[None, :] * _norm_ppf(base)
+        return np.clip(out, self.lowers, self.uppers)
+
+
+class TruncatedExponentialBatch(FamilyBatch):
+    """Stacked :class:`TruncatedExponentialScore` records."""
+
+    family = "exponential"
+
+    def __init__(
+        self,
+        indices: Sequence[int],
+        members: Sequence[TruncatedExponentialScore],
+    ) -> None:
+        super().__init__(indices)
+        self.rates = np.array([d.rate for d in members])
+        self.lowers = np.array([d.lower for d in members])
+        self.uppers = np.array([d.upper for d in members])
+        self._z = np.array([d._z for d in members])
+
+    def batch_sample(self, rng: np.random.Generator, s: int) -> np.ndarray:
+        return self.batch_ppf(rng.random((s, len(self))))
+
+    def batch_cdf(self, x: np.ndarray) -> np.ndarray:
+        xc = x[:, None]
+        raw = (1.0 - np.exp(-self.rates * (xc - self.lowers))) / self._z
+        out = np.clip(raw, 0.0, 1.0)
+        return np.where(xc < self.lowers, 0.0, np.where(xc > self.uppers, 1.0, out))
+
+    def batch_ppf(self, u: np.ndarray) -> np.ndarray:
+        out = self.lowers - np.log1p(-u * self._z[None, :]) / self.rates
+        return np.clip(out, self.lowers, self.uppers)
+
+
+class _ColumnwiseBatch(FamilyBatch):
+    """Shared machinery for families evaluated column by column.
+
+    One uniform block is drawn with a single RNG call and pushed through
+    each member's (internally vectorized) quantile function; the Python
+    loop is over group members only, never over samples.
+    """
+
+    def __init__(
+        self, indices: Sequence[int], members: Sequence[ScoreDistribution]
+    ) -> None:
+        super().__init__(indices)
+        self.members = list(members)
+
+    def batch_sample(self, rng: np.random.Generator, s: int) -> np.ndarray:
+        return self.batch_ppf(rng.random((s, len(self))))
+
+    def batch_cdf(self, x: np.ndarray) -> np.ndarray:
+        out = np.empty((x.size, len(self)))
+        for j, member in enumerate(self.members):
+            out[:, j] = np.asarray(member.cdf(x))
+        return out
+
+    def batch_ppf(self, u: np.ndarray) -> np.ndarray:
+        out = np.empty_like(u)
+        for j, member in enumerate(self.members):
+            out[:, j] = np.asarray(member.ppf(u[:, j]))
+        return out
+
+
+class HistogramBatch(_ColumnwiseBatch):
+    """Stacked :class:`HistogramScore` records (per-record bin layouts)."""
+
+    family = "histogram"
+
+
+class DiscreteBatch(_ColumnwiseBatch):
+    """Stacked multi-atom :class:`DiscreteScore` records."""
+
+    family = "discrete"
+
+
+class GenericBatch(_ColumnwiseBatch):
+    """Fallback for families without a closed-form columnar kernel.
+
+    Mixtures and convolutions sample far faster through their native
+    ``sample`` (component selection / sum of draws) than through their
+    numeric quantile functions, so ``batch_sample`` delegates per record.
+    """
+
+    family = "generic"
+
+    def batch_sample(self, rng: np.random.Generator, s: int) -> np.ndarray:
+        out = np.empty((s, len(self)))
+        for j, member in enumerate(self.members):
+            out[:, j] = np.asarray(member.sample(rng, s))
+        return out
+
+
+class SamplingPlan:
+    """A compiled columnar view of a database's score distributions.
+
+    Groups the ``n`` distributions by family (see
+    :func:`build_sampling_plan`) and evaluates each group with one
+    vectorized kernel call. For a fixed database order the grouping —
+    and therefore the RNG consumption pattern of :meth:`sample` — is
+    deterministic, so a seeded generator reproduces draws exactly.
+    """
+
+    def __init__(self, groups: Sequence[FamilyBatch], n: int) -> None:
+        self.groups = list(groups)
+        self.n = int(n)
+        # Single-family databases (the common benchmark/oracle case)
+        # need no scatter: the lone group already covers every column
+        # in database order, so kernels can write straight through.
+        self._identity = (
+            len(self.groups) == 1
+            and np.array_equal(
+                self.groups[0].indices, np.arange(self.n, dtype=np.intp)
+            )
+        )
+
+    @property
+    def family_counts(self) -> Dict[str, int]:
+        """Number of records per family group (introspection/tests)."""
+        counts: Dict[str, int] = {}
+        for group in self.groups:
+            counts[group.family] = counts.get(group.family, 0) + len(group)
+        return counts
+
+    def sample(self, rng: np.random.Generator, samples: int) -> np.ndarray:
+        """Draw an ``(samples, n)`` score matrix in database column order."""
+        if self._identity:
+            return self.groups[0].batch_sample(rng, samples)
+        out = np.empty((samples, self.n))
+        for group in self.groups:
+            out[:, group.indices] = group.batch_sample(rng, samples)
+        return out
+
+    def ppf(self, uniforms: np.ndarray) -> np.ndarray:
+        """Push an ``(s, n)`` uniform matrix through all quantile kernels."""
+        if self._identity:
+            return self.groups[0].batch_ppf(uniforms)
+        out = np.empty_like(uniforms)
+        for group in self.groups:
+            out[:, group.indices] = group.batch_ppf(
+                uniforms[:, group.indices]
+            )
+        return out
+
+    def cdf(self, x: ArrayLike) -> np.ndarray:
+        """``(s, n)`` matrix ``F_j(x_i)`` for thresholds ``x`` of shape ``(s,)``."""
+        x_arr = np.atleast_1d(np.asarray(x, dtype=float))
+        if self._identity:
+            return self.groups[0].batch_cdf(x_arr)
+        out = np.empty((x_arr.size, self.n))
+        for group in self.groups:
+            out[:, group.indices] = group.batch_cdf(x_arr)
+        return out
+
+    def cdf_product(
+        self, x: ArrayLike, exclude: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """``prod_j F_j(x_i)`` over all columns not listed in ``exclude``.
+
+        The workhorse of the CDF-product estimators (paper §VI-D): one
+        call evaluates every remaining record's CDF at each sampled
+        threshold and reduces along records.
+        """
+        x_arr = np.atleast_1d(np.asarray(x, dtype=float))
+        excluded = (
+            np.zeros(self.n, dtype=bool)
+            if exclude is None
+            else np.isin(np.arange(self.n), np.asarray(exclude, dtype=np.intp))
+        )
+        out = np.ones(x_arr.size)
+        for group in self.groups:
+            keep = ~excluded[group.indices]
+            if not np.any(keep):
+                continue
+            values = group.batch_cdf(x_arr)
+            out *= np.prod(values[:, keep], axis=1)
+        return out
+
+
+def build_sampling_plan(
+    distributions: Sequence[ScoreDistribution],
+    sample_overrides: Optional[Mapping[int, float]] = None,
+) -> SamplingPlan:
+    """Compile distributions into a columnar :class:`SamplingPlan`.
+
+    Parameters
+    ----------
+    distributions:
+        The database's score densities in column order.
+    sample_overrides:
+        Optional ``{column: value}`` replacements applied on the
+        *sampling* side of deterministic records (the Monte-Carlo
+        evaluator's tie perturbations); CDF evaluation keeps the true
+        step location.
+
+    Grouping: deterministic scores (of any family) form the point
+    group; uniform, triangular, truncated-Gaussian, and truncated-
+    exponential records get closed-form stacked kernels; histograms and
+    multi-atom discrete scores share one RNG block with column-wise
+    transforms; every other family (mixtures, convolutions, custom
+    subclasses) falls back to the generic per-record kernel. Groups are
+    ordered by first appearance, so the plan is deterministic for a
+    given database order.
+    """
+    overrides = dict(sample_overrides or {})
+    buckets: Dict[str, Tuple[List[int], List[ScoreDistribution]]] = {}
+    for col, dist in enumerate(distributions):
+        if dist.is_deterministic:
+            key = "point"
+        elif isinstance(dist, UniformScore):
+            key = "uniform"
+        elif isinstance(dist, TriangularScore):
+            key = "triangular"
+        elif isinstance(dist, TruncatedGaussianScore):
+            key = "gaussian"
+        elif isinstance(dist, TruncatedExponentialScore):
+            key = "exponential"
+        elif isinstance(dist, HistogramScore):
+            key = "histogram"
+        elif isinstance(dist, DiscreteScore):
+            key = "discrete"
+        else:
+            key = "generic"
+        indices, members = buckets.setdefault(key, ([], []))
+        indices.append(col)
+        members.append(dist)
+
+    builders = {
+        "uniform": UniformBatch,
+        "triangular": TriangularBatch,
+        "gaussian": TruncatedGaussianBatch,
+        "exponential": TruncatedExponentialBatch,
+        "histogram": HistogramBatch,
+        "discrete": DiscreteBatch,
+        "generic": GenericBatch,
+    }
+    groups: List[FamilyBatch] = []
+    for key, (indices, members) in buckets.items():
+        if key == "point":
+            cdf_values = [d.lower for d in members]
+            sample_values = [
+                overrides.get(col, d.lower)
+                for col, d in zip(indices, members)
+            ]
+            groups.append(PointBatch(indices, sample_values, cdf_values))
+        else:
+            groups.append(builders[key](indices, members))
+    return SamplingPlan(groups, len(distributions))

@@ -25,7 +25,7 @@ Example
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from .exact import ExactEvaluator, supports_exact
 from .linext import count_prefixes, enumerate_prefixes
 from .mcmc import TopKSimulation
 from .montecarlo import MonteCarloEvaluator
+from .parallel import ParallelSampler, resolve_workers
 from .ppo import ProbabilisticPartialOrder
 from .pruning import shrink_database
 from .queries import (
@@ -83,6 +84,14 @@ class RankingEngine:
         (``method="montecarlo"``); exact and MCMC paths are refused.
         k-dominance pruning stays sound because dominance is a
         support-containment property that holds on every joint sample.
+    workers:
+        ``None`` (default) keeps the legacy single-evaluator sampling
+        path. Any other value — an integer, ``"auto"``, or even ``1`` —
+        switches the Monte-Carlo paths to the sharded
+        :class:`~repro.core.parallel.ParallelSampler` and runs MCMC
+        chains on that many threads. Because shard streams are derived
+        from a fixed shard count, every result is identical for every
+        worker count; the knob only changes wall-clock time.
     """
 
     def __init__(
@@ -97,11 +106,17 @@ class RankingEngine:
         mcmc_steps: int = 3_000,
         psrf_threshold: float = 1.05,
         copula=None,
+        workers: Union[int, str, None] = None,
     ) -> None:
         if not records:
             raise QueryError("cannot rank an empty database")
         self.records = list(records)
         self.rng = np.random.default_rng(seed)
+        # Resolve eagerly so a bad value fails at construction, not at
+        # the first query.
+        self.workers: Optional[int] = (
+            None if workers is None else resolve_workers(workers)
+        )
         self.prune = prune
         self.exact_record_limit = exact_record_limit
         self.prefix_enumeration_limit = prefix_enumeration_limit
@@ -132,16 +147,19 @@ class RankingEngine:
     def _child_rng(self) -> np.random.Generator:
         return np.random.default_rng(self.rng.integers(2**63))
 
-    def _sampler(self, subset: Sequence[UncertainRecord]) -> MonteCarloEvaluator:
-        """Monte-Carlo evaluator over ``subset``, honoring the copula.
+    def _sampler_factory(
+        self, subset: Sequence[UncertainRecord]
+    ) -> Callable[[int], MonteCarloEvaluator]:
+        """Seed-to-evaluator constructor over ``subset``, honoring the copula.
 
         A Gaussian copula marginalizes to any record subset by taking
         the corresponding correlation submatrix, so pruned databases
         keep exactly the joint distribution of the surviving records.
+        The factory form lets :class:`ParallelSampler` build one
+        copula-aware evaluator per shard.
         """
-        rng = self._child_rng()
         if self.copula is None:
-            return MonteCarloEvaluator(subset, rng=rng)
+            return lambda s: MonteCarloEvaluator(subset, seed=s)
         from .correlation import CorrelatedMonteCarloEvaluator, GaussianCopula
 
         wanted = {rec.record_id for rec in subset}
@@ -151,8 +169,25 @@ class RankingEngine:
             if rec.record_id in wanted
         ]
         sub = self.copula.correlation[np.ix_(idx, idx)]
-        return CorrelatedMonteCarloEvaluator(
-            subset, GaussianCopula(sub), rng=rng
+        return lambda s: CorrelatedMonteCarloEvaluator(
+            subset, GaussianCopula(sub), seed=s
+        )
+
+    def _sampler(
+        self, subset: Sequence[UncertainRecord]
+    ) -> Union[MonteCarloEvaluator, ParallelSampler]:
+        """Monte-Carlo front-end over ``subset``.
+
+        With ``workers=None`` this is a single evaluator (legacy
+        behavior); otherwise a sharded :class:`ParallelSampler` whose
+        results are worker-count invariant.
+        """
+        factory = self._sampler_factory(subset)
+        seed = int(self.rng.integers(2**63))
+        if self.workers is None:
+            return factory(seed)
+        return ParallelSampler(
+            subset, seed=seed, workers=self.workers, factory=factory
         )
 
     def _guard_copula(self, method: str) -> str:
@@ -363,6 +398,7 @@ class RankingEngine:
                 target="prefix",
                 n_chains=self.mcmc_chains,
                 rng=self._child_rng(),
+                workers=self.workers,
             )
             result = sim.run(
                 max_steps=self.mcmc_steps,
@@ -436,6 +472,7 @@ class RankingEngine:
                 target="set",
                 n_chains=self.mcmc_chains,
                 rng=self._child_rng(),
+                workers=self.workers,
             )
             result = sim.run(
                 max_steps=self.mcmc_steps,
@@ -508,6 +545,7 @@ class RankingEngine:
             "pruned_size": len(pruned),
             "pruning_enabled": self.prune,
             "exact_densities": supports_exact(pruned),
+            "workers": self.workers,
         }
         if query == "utop_rank":
             plan["method"] = (

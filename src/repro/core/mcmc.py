@@ -26,18 +26,31 @@ report an approximation-error estimate for the best state found.
 
 from __future__ import annotations
 
+import hashlib
 import logging
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from .diagnostics import ConvergenceTrace, gelman_rubin
+from .distributions import SamplingPlan, build_sampling_plan
 from .errors import EvaluationError, QueryError
 from .exact import ExactEvaluator, supports_exact
 from .montecarlo import MonteCarloEvaluator
 from .pairwise import PairwiseCache, probability_greater
+from .parallel import resolve_workers
 from .records import UncertainRecord
 
 logger = logging.getLogger(__name__)
@@ -50,6 +63,20 @@ __all__ = [
     "prefix_probability_upper_bound",
     "set_probability_upper_bound",
 ]
+
+
+def _state_seed(ids: Sequence[str]) -> int:
+    """Stable per-state seed for the Monte-Carlo oracle.
+
+    Derived from the record ids with a cryptographic hash so it is
+    reproducible across processes (Python's ``hash()`` is salted per
+    interpreter) and independent of which chain — or which worker
+    thread — asks first.
+    """
+    digest = hashlib.blake2b(
+        "\x1f".join(ids).encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
 
 
 def prefix_probability_upper_bound(rank_matrix: np.ndarray, k: int) -> float:
@@ -309,6 +336,11 @@ class TopKSimulation:
     use_pairwise_cache:
         Toggle for the §VI-D pairwise-integral cache (the caching
         ablation benchmark switches this off).
+    workers:
+        Thread count (or ``"auto"``/``None``) for running chains in
+        parallel within each epoch. Chains are independent walks and
+        the state/pairwise oracles are deterministic per key, so the
+        simulation result is identical for every worker count.
     """
 
     def __init__(
@@ -324,6 +356,7 @@ class TopKSimulation:
         pi_samples: int = 5000,
         use_pairwise_cache: bool = True,
         exact_oracle_limit: int = 60,
+        workers: Union[int, str, None] = None,
     ) -> None:
         if target not in ("prefix", "set"):
             raise QueryError(f"unknown simulation target {target!r}")
@@ -336,7 +369,11 @@ class TopKSimulation:
         self.target = target
         self.n_chains = n_chains
         self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self.workers = resolve_workers(workers, tasks=n_chains)
         self._by_id = {rec.record_id: rec for rec in self.records}
+        self._plan: SamplingPlan = build_sampling_plan(
+            [rec.score for rec in self.records]
+        )
         self._state_cache: Dict[Hashable, float] = {}
         self._oracle = state_probability or self._build_oracle(
             oracle, pi_samples, exact_oracle_limit
@@ -369,19 +406,36 @@ class TopKSimulation:
         if oracle != "montecarlo":
             raise QueryError(f"unknown state-probability oracle {oracle!r}")
         sampler = MonteCarloEvaluator(
-            self.records, rng=np.random.default_rng(self.rng.integers(2**63))
+            self.records, seed=int(self.rng.integers(2**63))
         )
+
         # Sequential importance sampling (prefixes) and the CDF-product
         # estimator (sets) are unbiased and strictly positive for
         # feasible states, unlike plain indicator frequencies, so the
-        # walk never sees spurious zeros.
+        # walk never sees spurious zeros. Each state is estimated under
+        # its own id-derived seed stream, so the oracle is a pure
+        # function of the state key: chains can query it concurrently
+        # (or in any order) without changing any estimate.
         if self.target == "prefix":
-            return lambda key: sampler.prefix_probability_sis(
-                list(key), pi_samples
+
+            def prefix_oracle(key: Hashable) -> float:
+                ids = list(key)
+                return sampler.prefix_probability_sis(
+                    ids, pi_samples, seed=_state_seed(ids)
+                )
+
+            return prefix_oracle
+
+        def set_oracle(key: Hashable) -> float:
+            # Sort the frozenset's ids: iteration order is salted by
+            # PYTHONHASHSEED, and both the seed and the sub-plan sample
+            # order must not depend on it.
+            ids = sorted(key)
+            return sampler.top_set_probability_cdf(
+                ids, pi_samples, seed=_state_seed(ids)
             )
-        return lambda key: sampler.top_set_probability_cdf(
-            list(key), pi_samples
-        )
+
+        return set_oracle
 
     def _cached_pi(self, key: Hashable) -> float:
         value = self._state_cache.get(key)
@@ -392,13 +446,7 @@ class TopKSimulation:
 
     def _initial_state(self, rng: np.random.Generator) -> Tuple[int, ...]:
         """Sample a starting extension by drawing and ranking scores."""
-        scores = np.array(
-            [
-                rec.score.sample(rng) if not rec.is_deterministic else rec.lower
-                for rec in self.records
-            ],
-            dtype=float,
-        )
+        scores = self._plan.sample(rng, 1)[0]
         order = sorted(
             range(len(self.records)),
             key=lambda i: (-scores[i], self.records[i].record_id),
@@ -408,6 +456,58 @@ class TopKSimulation:
     # ------------------------------------------------------------------
     # driver
     # ------------------------------------------------------------------
+
+    def _run_epochs(
+        self,
+        chains: List[MetropolisHastingsChain],
+        pool: Optional[ThreadPoolExecutor],
+        trace: ConvergenceTrace,
+        start: float,
+        max_steps: int,
+        epoch: int,
+        psrf_threshold: float,
+        min_epochs: int,
+    ) -> Tuple[bool, int]:
+        """Advance all chains epoch by epoch until mixing or the budget.
+
+        With a thread pool, each chain advances on its own worker; a
+        chain only touches its private generator and the shared
+        memoization caches, whose entries are pure functions of their
+        keys, so any interleaving produces the same chains.
+        """
+        converged = False
+        done = 0
+        while done < max_steps:
+            todo = min(epoch, max_steps - done)
+            if pool is not None:
+                list(pool.map(lambda chain: chain.run(todo), chains))
+            else:
+                for chain in chains:
+                    chain.run(todo)
+            done += todo
+            try:
+                # Summarize states by log-probability: pi is heavy-tailed
+                # across the walk, and the PSRF of the raw values would
+                # be dominated by rare high-probability excursions.
+                summaries = [
+                    np.log(np.maximum(np.asarray(c.trace), 1e-300))
+                    for c in chains
+                ]
+                psrf = gelman_rubin(summaries)
+            except EvaluationError as exc:
+                # Chains too short for a PSRF yet (tiny epoch budgets);
+                # keep running and try again next epoch.
+                logger.warning(
+                    "Gelman-Rubin unavailable at step %d: %s", done, exc
+                )
+                psrf = float("inf")
+            trace.steps.append(done)
+            trace.psrf.append(psrf)
+            trace.elapsed.append(time.perf_counter() - start)
+            if len(trace.steps) >= min_epochs and psrf <= psrf_threshold:
+                converged = True
+                break
+        return converged, done
 
     def run(
         self,
@@ -437,7 +537,12 @@ class TopKSimulation:
             Minimum epochs before convergence may be declared.
         """
         start = time.perf_counter()
-        seeds = self.rng.integers(0, 2**63, size=self.n_chains)
+        # One root per run() call (consumed from self.rng, so repeated
+        # runs explore fresh trajectories); each chain gets two spawned
+        # child streams — walk randomness and starting state — that are
+        # independent of every other chain by SeedSequence construction.
+        root = np.random.SeedSequence(int(self.rng.integers(2**63)))
+        streams = root.spawn(2 * self.n_chains)
         chains = [
             MetropolisHastingsChain(
                 self.records,
@@ -445,41 +550,27 @@ class TopKSimulation:
                 self.target,
                 self._cached_pi,
                 self._pairwise,
-                np.random.default_rng(seed),
-                self._initial_state(np.random.default_rng(seed + 1)),
+                np.random.default_rng(streams[2 * c]),
+                self._initial_state(np.random.default_rng(streams[2 * c + 1])),
             )
-            for seed in seeds
+            for c in range(self.n_chains)
         ]
+        pool = (
+            ThreadPoolExecutor(max_workers=self.workers)
+            if self.workers > 1
+            else None
+        )
         trace = ConvergenceTrace(steps=[], psrf=[], elapsed=[])
         converged = False
         done = 0
-        while done < max_steps:
-            todo = min(epoch, max_steps - done)
-            for chain in chains:
-                chain.run(todo)
-            done += todo
-            try:
-                # Summarize states by log-probability: pi is heavy-tailed
-                # across the walk, and the PSRF of the raw values would
-                # be dominated by rare high-probability excursions.
-                summaries = [
-                    np.log(np.maximum(np.asarray(c.trace), 1e-300))
-                    for c in chains
-                ]
-                psrf = gelman_rubin(summaries)
-            except EvaluationError as exc:
-                # Chains too short for a PSRF yet (tiny epoch budgets);
-                # keep running and try again next epoch.
-                logger.warning(
-                    "Gelman-Rubin unavailable at step %d: %s", done, exc
-                )
-                psrf = float("inf")
-            trace.steps.append(done)
-            trace.psrf.append(psrf)
-            trace.elapsed.append(time.perf_counter() - start)
-            if len(trace.steps) >= min_epochs and psrf <= psrf_threshold:
-                converged = True
-                break
+        try:
+            converged, done = self._run_epochs(
+                chains, pool, trace, start, max_steps, epoch,
+                psrf_threshold, min_epochs,
+            )
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
 
         merged: Dict[Hashable, float] = {}
         visit_totals: Dict[Hashable, int] = {}

@@ -1,0 +1,338 @@
+"""Deterministic sharded execution of Monte-Carlo estimators.
+
+Sampling-based answers are embarrassingly parallel — the §VI-C error
+bound ``O(1 / sqrt(s))`` does not care which worker drew which sample —
+but naive parallelism destroys reproducibility: results would depend on
+thread scheduling. This module shards a sample budget over a **fixed**
+number of shards, gives each shard its own :class:`numpy.random.Generator`
+derived from a root :class:`numpy.random.SeedSequence` (child seeds
+depend only on the root seed and the shard index), and merges partial
+results in shard order. Consequences:
+
+- For a given ``(seed, shards)`` pair the merged counts and estimates
+  are **bit-identical for any worker count** — workers only decide which
+  thread happens to execute a shard, never what the shard computes.
+- Shard evaluators are plain :class:`~repro.core.montecarlo.
+  MonteCarloEvaluator` instances (or copula-aware subclasses via the
+  ``factory`` hook), so every estimator stays available.
+
+Threads, not processes: the columnar kernels spend their time inside
+NumPy, which releases the GIL, and thread workers share the immutable
+per-shard evaluators without pickling the database.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
+
+import numpy as np
+
+from .errors import QueryError
+from .montecarlo import MonteCarloEvaluator, select_top_rank_candidates
+from .numeric import clamp_probability
+from .records import UncertainRecord
+
+__all__ = ["ParallelSampler", "resolve_workers", "DEFAULT_SHARDS"]
+
+_T = TypeVar("_T")
+
+#: Fixed default shard count. Shards — not workers — define the RNG
+#: stream layout, so this must stay constant for results to be
+#: comparable across machines with different core counts.
+DEFAULT_SHARDS = 8
+
+#: ``workers="auto"`` never claims more threads than this; sampling
+#: saturates memory bandwidth well before high core counts pay off.
+_AUTO_WORKER_CAP = 8
+
+
+def resolve_workers(
+    workers: Union[int, str, None] = "auto",
+    tasks: Optional[int] = None,
+) -> int:
+    """Turn a ``workers`` knob value into a concrete thread count.
+
+    ``None`` and ``1`` mean serial; ``"auto"`` uses ``os.cpu_count()``
+    capped at ``_AUTO_WORKER_CAP``; an explicit positive integer is
+    taken as-is. ``tasks`` optionally caps the result at the available
+    parallelism (no point spawning more threads than shards).
+    """
+    if workers is None:
+        resolved = 1
+    elif isinstance(workers, str):
+        if workers != "auto":
+            raise QueryError(f"unknown workers value {workers!r}")
+        resolved = max(1, min(os.cpu_count() or 1, _AUTO_WORKER_CAP))
+    else:
+        resolved = int(workers)
+        if resolved < 1:
+            raise QueryError("workers must be a positive integer")
+    if tasks is not None:
+        resolved = max(1, min(resolved, tasks))
+    return resolved
+
+
+class ParallelSampler:
+    """Sharded, deterministic front-end over per-shard evaluators.
+
+    Parameters
+    ----------
+    records:
+        The database (after any pruning); used by the default factory
+        and for answer formatting.
+    seed:
+        Root seed. Shard ``i`` receives the ``i``-th child of
+        ``SeedSequence(seed)``, so shard streams are independent and
+        reproducible.
+    workers:
+        Thread count, ``"auto"``, or ``None``/1 for serial execution.
+        Changing it never changes any result, only wall-clock time.
+    shards:
+        Number of sample shards (default :data:`DEFAULT_SHARDS`).
+        Changing it *does* change the RNG stream layout and therefore
+        the sampled values (not their distribution).
+    factory:
+        Optional ``(seed) -> MonteCarloEvaluator`` constructor for the
+        per-shard evaluators; inject a copula-aware builder here.
+
+    Determinism contract
+    --------------------
+    Every public method takes an optional ``seed`` (default 0) that is
+    forwarded as the per-call seed of each shard evaluator, so results
+    depend only on ``(constructor seed, shards, method, arguments)`` —
+    never on call order, worker count, or thread scheduling.
+    """
+
+    def __init__(
+        self,
+        records: Sequence[UncertainRecord],
+        seed: int = 0,
+        workers: Union[int, str, None] = "auto",
+        shards: int = DEFAULT_SHARDS,
+        factory: Optional[Callable[[int], MonteCarloEvaluator]] = None,
+    ) -> None:
+        if shards < 1:
+            raise QueryError("shards must be a positive integer")
+        self.records = list(records)
+        self.shards = int(shards)
+        self.workers = resolve_workers(workers, tasks=self.shards)
+        self._seed_seq = np.random.SeedSequence(seed)
+        if factory is None:
+            factory = lambda s: MonteCarloEvaluator(self.records, seed=s)
+        # Child seeds depend only on (seed, shard index): hash the
+        # spawned child sequences down to ints so each shard evaluator
+        # owns a full SeedSequence root for its per-call streams.
+        child_seeds = [
+            int(child.generate_state(1, dtype=np.uint64)[0])
+            for child in self._seed_seq.spawn(self.shards)
+        ]
+        self._evaluators: List[MonteCarloEvaluator] = [
+            factory(s) for s in child_seeds
+        ]
+
+    # ------------------------------------------------------------------
+    # shard plumbing
+    # ------------------------------------------------------------------
+
+    def shard_sizes(self, samples: int) -> List[int]:
+        """Deterministic near-even split of ``samples`` across shards."""
+        if samples < 1:
+            raise QueryError("need at least one sample")
+        base, extra = divmod(samples, self.shards)
+        return [base + (1 if i < extra else 0) for i in range(self.shards)]
+
+    def _map_shards(
+        self,
+        fn: Callable[[int, int], _T],
+        samples: int,
+    ) -> List[Tuple[int, _T]]:
+        """Run ``fn(shard_index, shard_samples)`` over all busy shards.
+
+        Results come back in shard order regardless of which worker ran
+        which shard; empty shards (budget smaller than the shard count)
+        are skipped deterministically.
+        """
+        tasks = [
+            (idx, size)
+            for idx, size in enumerate(self.shard_sizes(samples))
+            if size > 0
+        ]
+        if self.workers == 1 or len(tasks) <= 1:
+            return [(idx, fn(idx, size)) for idx, size in tasks]
+        with ThreadPoolExecutor(
+            max_workers=min(self.workers, len(tasks))
+        ) as pool:
+            results = list(pool.map(lambda t: fn(t[0], t[1]), tasks))
+        return [(idx, result) for (idx, _), result in zip(tasks, results)]
+
+    # ------------------------------------------------------------------
+    # merged estimators
+    # ------------------------------------------------------------------
+
+    def sample_scores(self, samples: int, seed: int = 0) -> np.ndarray:
+        """Draw ``(samples, n)`` scores, shards stacked in shard order."""
+
+        def draw(idx: int, size: int) -> np.ndarray:
+            return self._evaluators[idx].sample_scores(size, seed=seed)
+
+        parts = self._map_shards(draw, samples)
+        return np.vstack([part for _, part in parts])
+
+    def sample_rankings(self, samples: int, seed: int = 0) -> np.ndarray:
+        """Ranked sample rows (record indices by rank), shards stacked."""
+        scores = self.sample_scores(samples, seed=seed)
+        return np.argsort(-scores, axis=1, kind="stable")
+
+    def rank_count_matrix(
+        self,
+        samples: int,
+        max_rank: Optional[int] = None,
+        seed: int = 0,
+    ) -> np.ndarray:
+        """Merged ``(n, max_rank)`` rank-occurrence counts (Eq. 7)."""
+
+        def count(idx: int, size: int) -> np.ndarray:
+            return self._evaluators[idx].rank_count_matrix(
+                size, max_rank=max_rank, seed=seed
+            )
+
+        parts = self._map_shards(count, samples)
+        merged = parts[0][1].copy()
+        for _, part in parts[1:]:
+            merged += part
+        return merged
+
+    def rank_probability_matrix(
+        self,
+        samples: int,
+        max_rank: Optional[int] = None,
+        seed: int = 0,
+    ) -> np.ndarray:
+        """Merged ``eta_r(t)`` estimate across all shards."""
+        counts = self.rank_count_matrix(samples, max_rank=max_rank, seed=seed)
+        return counts / samples
+
+    def top_rank_candidates(
+        self,
+        i: int,
+        j: int,
+        l: int,
+        samples: int,
+        seed: int = 0,
+    ) -> List[Tuple[UncertainRecord, float]]:
+        """The ``l`` most probable records for ranks ``[i, j]``, merged."""
+        matrix = self.rank_probability_matrix(samples, max_rank=j, seed=seed)
+        return select_top_rank_candidates(self.records, matrix, i, j, l)
+
+    def estimate(
+        self,
+        method: str,
+        argument: object,
+        samples: int,
+        seed: int = 0,
+    ) -> float:
+        """Sample-weighted merge of any mean-based scalar estimator.
+
+        ``method`` names a :class:`MonteCarloEvaluator` estimator taking
+        ``(argument, samples, seed=...)`` — e.g.
+        ``"prefix_probability_sis"`` or ``"top_set_probability_cdf"``.
+        Each shard computes its own mean over its share of the budget;
+        weighting by shard size recovers exactly the pooled mean, so the
+        merged value is the same unbiased estimate a single evaluator
+        would produce over one combined stream.
+        """
+
+        def run(idx: int, size: int) -> float:
+            fn = getattr(self._evaluators[idx], method)
+            return float(fn(argument, size, seed=seed)) * size
+
+        parts = self._map_shards(run, samples)
+        total = float(sum(part for _, part in parts))
+        return total / samples
+
+    def prefix_probability(
+        self, prefix: Sequence, samples: int, seed: int = 0
+    ) -> float:
+        """Merged Eq. 6 indicator estimate."""
+        return clamp_probability(
+            self.estimate("prefix_probability", prefix, samples, seed=seed)
+        )
+
+    def prefix_probability_sis(
+        self, prefix: Sequence, samples: int, seed: int = 0
+    ) -> float:
+        """Merged sequential-importance-sampling estimate of Eq. 6."""
+        return clamp_probability(
+            self.estimate(
+                "prefix_probability_sis", prefix, samples, seed=seed
+            )
+        )
+
+    def top_set_probability(
+        self, record_set: Iterable, samples: int, seed: int = 0
+    ) -> float:
+        """Merged top-k set indicator estimate."""
+        return clamp_probability(
+            self.estimate(
+                "top_set_probability", record_set, samples, seed=seed
+            )
+        )
+
+    def top_set_probability_cdf(
+        self, record_set: Iterable, samples: int, seed: int = 0
+    ) -> float:
+        """Merged CDF-product top-k set estimate."""
+        return clamp_probability(
+            self.estimate(
+                "top_set_probability_cdf", record_set, samples, seed=seed
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # empirical state distributions
+    # ------------------------------------------------------------------
+
+    def empirical_top_prefixes(
+        self, k: int, samples: int, seed: int = 0
+    ) -> Dict[Tuple[str, ...], float]:
+        """Merged frequencies of observed top-k prefixes."""
+
+        def count(idx: int, size: int) -> Dict[Tuple[str, ...], int]:
+            return self._evaluators[idx].empirical_top_prefix_counts(
+                k, size, seed=seed
+            )
+
+        merged: Dict[Tuple[str, ...], int] = {}
+        for _, part in self._map_shards(count, samples):
+            for key, value in part.items():
+                merged[key] = merged.get(key, 0) + value
+        return {key: value / samples for key, value in merged.items()}
+
+    def empirical_top_sets(
+        self, k: int, samples: int, seed: int = 0
+    ) -> Dict[FrozenSet[str], float]:
+        """Merged frequencies of observed top-k sets."""
+
+        def count(idx: int, size: int) -> Dict[FrozenSet[str], int]:
+            return self._evaluators[idx].empirical_top_set_counts(
+                k, size, seed=seed
+            )
+
+        merged: Dict[FrozenSet[str], int] = {}
+        for _, part in self._map_shards(count, samples):
+            for key, value in part.items():
+                merged[key] = merged.get(key, 0) + value
+        return {key: value / samples for key, value in merged.items()}

@@ -9,7 +9,7 @@ of the pruned database.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..core.engine import RankingEngine
 from ..core.records import UncertainRecord
@@ -27,12 +27,19 @@ def run(
     samples: int = 10_000,
     size: int = DEFAULT_SUITE_SIZE,
     seed: int = 7,
+    workers: Union[int, str, None] = None,
 ) -> List[dict]:
-    """One row per (dataset, k): UTop-Rank(1, k) evaluation time."""
+    """One row per (dataset, k): UTop-Rank(1, k) evaluation time.
+
+    ``workers`` feeds the engine's sharded-sampling knob; answers are
+    identical for every value, only ``seconds`` moves.
+    """
     datasets = datasets if datasets is not None else paper_suite(size)
     rows = []
     for name, records in datasets.items():
-        engine = RankingEngine(records, seed=seed, samples=samples)
+        engine = RankingEngine(
+            records, seed=seed, samples=samples, workers=workers
+        )
         for k in k_values:
             if k > len(records):
                 continue
@@ -42,6 +49,7 @@ def run(
                     "dataset": name,
                     "k": k,
                     "samples": samples,
+                    "workers": engine.workers,
                     "pruned_size": result.pruned_size,
                     "seconds": result.elapsed,
                     "top_record": result.top.record_id,

@@ -7,12 +7,20 @@ one place so every ``figXX`` module stays focused on its measurement.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple, Union
 
+from ..core.montecarlo import MonteCarloEvaluator
+from ..core.parallel import ParallelSampler
 from ..core.records import UncertainRecord
 from ..datasets.synthetic import paper_dataset_suite
 
-__all__ = ["paper_suite", "time_call", "format_table", "DEFAULT_SUITE_SIZE"]
+__all__ = [
+    "paper_suite",
+    "make_sampler",
+    "time_call",
+    "format_table",
+    "DEFAULT_SUITE_SIZE",
+]
 
 #: Default per-dataset record count for experiments. The paper uses
 #: 100k synthetic / 33k+10k real records; the shapes it measures are
@@ -26,6 +34,23 @@ def paper_suite(
 ) -> Dict[str, List[UncertainRecord]]:
     """The five evaluation datasets keyed by their paper names."""
     return paper_dataset_suite(size=size, seed=seed)
+
+
+def make_sampler(
+    records: Sequence[UncertainRecord],
+    seed: int = 0,
+    workers: Union[int, str, None] = None,
+) -> Union[MonteCarloEvaluator, ParallelSampler]:
+    """The sampling front-end an experiment should measure.
+
+    ``workers=None`` gives the plain single-evaluator columnar path;
+    anything else gives the sharded :class:`ParallelSampler` (whose
+    estimates are invariant to the worker count — the knob only moves
+    wall-clock time, which is exactly what the timing figures measure).
+    """
+    if workers is None:
+        return MonteCarloEvaluator(records, seed=seed)
+    return ParallelSampler(records, seed=seed, workers=workers)
 
 
 def time_call(fn: Callable, *args, **kwargs) -> Tuple[object, float]:

@@ -23,6 +23,7 @@ __all__ = [
     "SilentExceptRule",
     "PublicAnnotationsRule",
     "MutableDefaultRule",
+    "ColumnarSamplingRule",
 ]
 
 #: Function names treated as probability-returning: `probability_greater`,
@@ -455,6 +456,96 @@ class PublicAnnotationsRule(Rule):
         if fn.returns is None:
             missing.append("return type")
         return missing
+
+
+# ----------------------------------------------------------------------
+# PERF001 — sampling hot paths stay columnar
+# ----------------------------------------------------------------------
+
+
+@register
+class ColumnarSamplingRule(Rule):
+    """No per-record distribution calls inside loops on sampling hot paths.
+
+    Applies to files whose path contains a ``perf-paths`` fragment
+    (default: the Monte-Carlo and MCMC evaluators). Fires once per
+    ``for``/``while`` loop — or per comprehension — whose body calls a
+    distribution method (``.cdf()`` / ``.sample()`` / ``.ppf()``): such
+    a loop re-introduces the O(n)-Python-calls pattern the columnar
+    ``SamplingPlan`` kernels exist to eliminate. Genuinely sequential
+    loops (e.g. conditional draws that chain through the previous
+    value) carry a line pragma explaining why they cannot batch.
+    """
+
+    code = "PERF001"
+    name = "columnar-sampling"
+    description = (
+        "per-record distribution call inside a Python loop on a "
+        "sampling hot path"
+    )
+    rationale = (
+        "sampler throughput is the throughput of every sampled answer; "
+        "one Python-level .cdf()/.sample()/.ppf() call per record turns "
+        "a vectorized kernel into an O(n) interpreter loop — batch "
+        "through the SamplingPlan kernels instead"
+    )
+
+    _DIST_CALLS = frozenset({"cdf", "sample", "ppf"})
+    _LOOPS = (
+        ast.For,
+        ast.AsyncFor,
+        ast.While,
+        ast.ListComp,
+        ast.SetComp,
+        ast.DictComp,
+        ast.GeneratorExp,
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not any(
+            fragment in ctx.norm_path()
+            for fragment in ctx.config.perf_paths
+        ):
+            return
+        # Manual descent: once a loop is flagged, its nested loops are
+        # part of the same offending region and are not re-reported.
+        stack: List[ast.AST] = [ctx.tree]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, self._LOOPS):
+                call = self._first_distribution_call(node)
+                if call is not None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f".{call}() called per iteration inside a "
+                        f"{self._describe(node)}; batch through the "
+                        "SamplingPlan columnar kernels (or pragma a "
+                        "genuinely sequential loop with the reason)",
+                    )
+                    continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _first_distribution_call(self, loop: ast.AST) -> Optional[str]:
+        """Name of the first ``.cdf``/``.sample``/``.ppf`` attribute call
+        under ``loop``, or None."""
+        for node in ast.walk(loop):
+            if node is loop:
+                continue
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in self._DIST_CALLS:
+                    return node.func.attr
+        return None
+
+    @staticmethod
+    def _describe(loop: ast.AST) -> str:
+        if isinstance(loop, (ast.For, ast.AsyncFor)):
+            return "for loop"
+        if isinstance(loop, ast.While):
+            return "while loop"
+        return "comprehension"
 
 
 # ----------------------------------------------------------------------

@@ -44,6 +44,9 @@ class LintConfig:
     rng_allow:
         Path fragments where DET001 permits unseeded generators (RNG
         plumbing that deliberately draws OS entropy).
+    perf_paths:
+        Path fragments in which PERF001 forbids per-record Python loops
+        over distribution calls (the columnar-sampling hot paths).
     severity:
         Per-code severity overrides.
     """
@@ -53,6 +56,10 @@ class LintConfig:
     exclude: Tuple[str, ...] = ()
     typed_paths: Tuple[str, ...] = ("repro/core", "repro/db")
     rng_allow: Tuple[str, ...] = ()
+    perf_paths: Tuple[str, ...] = (
+        "repro/core/montecarlo.py",
+        "repro/core/mcmc.py",
+    )
     severity: Dict[str, Severity] = field(default_factory=dict)
 
     def rule_enabled(self, code: str) -> bool:
@@ -138,6 +145,9 @@ def load_config(pyproject: Optional[Path] = None) -> LintConfig:
     rng_allow = _get(table, "rng-allow")
     if rng_allow is not None:
         config = replace(config, rng_allow=_str_tuple(rng_allow, "rng-allow"))
+    perf = _get(table, "perf-paths")
+    if perf is not None:
+        config = replace(config, perf_paths=_str_tuple(perf, "perf-paths"))
     severity = _get(table, "severity")
     if severity is not None:
         if not isinstance(severity, Mapping):

@@ -20,7 +20,7 @@ from .findings import Finding, Severity
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
     from .config import LintConfig
 
-_CODE_PATTERN = re.compile(r"^[A-Z]{3}\d{3}$")
+_CODE_PATTERN = re.compile(r"^[A-Z]{2,4}\d{3}$")
 
 
 @dataclass
@@ -102,8 +102,8 @@ def register(rule_cls: Type[Rule]) -> Type[Rule]:
     code = rule_cls.code
     if not _CODE_PATTERN.match(code):
         raise ValueError(
-            f"rule code {code!r} must match AAA000 (three letters, "
-            "three digits)"
+            f"rule code {code!r} must match AAA000 (two to four "
+            "letters, three digits)"
         )
     if code in _REGISTRY and type(_REGISTRY[code]) is not rule_cls:
         raise ValueError(f"duplicate rule code {code!r}")

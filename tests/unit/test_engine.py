@@ -241,3 +241,50 @@ class TestReproducibility:
         assert [
             (x.record_id, x.probability) for x in a.answers
         ] == [(x.record_id, x.probability) for x in b.answers]
+
+
+class TestWorkersKnob:
+    """`workers=` routes sampling through the sharded parallel backend
+    without changing any answer."""
+
+    @staticmethod
+    def _rank_answers(engine):
+        result = engine.utop_rank(1, 3, l=4, method="montecarlo")
+        return [(a.record_id, a.probability) for a in result.answers]
+
+    def test_worker_count_does_not_change_rank_answers(self, paper_db):
+        one = RankingEngine(paper_db, seed=42, workers=1)
+        four = RankingEngine(paper_db, seed=42, workers=4)
+        assert self._rank_answers(one) == self._rank_answers(four)
+
+    def test_worker_count_does_not_change_mcmc_answers(self, paper_db):
+        one = RankingEngine(paper_db, seed=42, workers=1)
+        four = RankingEngine(paper_db, seed=42, workers=4)
+        a = one.utop_prefix(3, l=2, method="mcmc")
+        b = four.utop_prefix(3, l=2, method="mcmc")
+        assert [(x.prefix, x.probability) for x in a.answers] == [
+            (x.prefix, x.probability) for x in b.answers
+        ]
+
+    def test_parallel_agrees_with_exact(self, paper_db):
+        engine = RankingEngine(paper_db, seed=7, workers=2)
+        exact = engine.utop_rank(1, 2, l=6, method="exact")
+        mc = engine.utop_rank(1, 2, l=6, method="montecarlo", samples=40_000)
+        exact_by_id = {a.record_id: a.probability for a in exact.answers}
+        for answer in mc.answers:
+            assert answer.probability == pytest.approx(
+                exact_by_id[answer.record_id], abs=0.02
+            )
+
+    def test_workers_reported_in_plan(self, paper_db):
+        engine = RankingEngine(paper_db, seed=0, workers=2)
+        assert engine.explain("utop_rank", 2)["workers"] == 2
+        assert RankingEngine(paper_db, seed=0).explain(
+            "utop_rank", 2
+        )["workers"] is None
+
+    def test_invalid_workers_rejected(self, paper_db):
+        with pytest.raises(QueryError):
+            RankingEngine(paper_db, workers=0)
+        with pytest.raises(QueryError):
+            RankingEngine(paper_db, workers="warp")

@@ -206,3 +206,100 @@ class TestEmpiricalStateDistributions:
         freq = sampler.empirical_top_prefixes(2, 1000)
         # Tie-break puts 'a' above 'b' in every sample.
         assert freq == {("a", "b"): 1.0}
+
+
+class TestSISEdgeCases:
+    """Boundary behavior of the SIS estimator (conditional-draw chain)."""
+
+    @pytest.fixture
+    def mixed_db(self):
+        from repro.core.distributions import TruncatedGaussianScore
+        from repro.core.records import UncertainRecord
+
+        return [
+            uniform("u1", 0.0, 2.0),
+            UncertainRecord("g1", TruncatedGaussianScore(1.2, 0.4, 0.0, 2.4)),
+            uniform("u2", 0.5, 1.5),
+            UncertainRecord("g2", TruncatedGaussianScore(0.8, 0.3, 0.0, 1.6)),
+            certain("c1", 1.0),
+        ]
+
+    def test_deterministic_record_mid_prefix(self, paper_db):
+        # paper_db's t3 and t4 are deterministic; a prefix threading
+        # through t3 exercises the point-mass branch (no draw, weight
+        # gated on prev > value) between two continuous records.
+        exact = ExactEvaluator(paper_db)
+        prefix = ["t5", "t1", "t2", "t3"]
+        truth = exact.prefix_probability(prefix)
+        sampler = MonteCarloEvaluator(paper_db, seed=31)
+        assert sampler.prefix_probability_sis(
+            prefix, SAMPLES
+        ) == pytest.approx(truth, abs=TOL)
+
+    def test_infeasible_deterministic_prefix_is_zero(self):
+        # c_high is certain at 5.0; requiring it *below* c_low (3.0)
+        # zeroes every weight through the deterministic branch.
+        records = [certain("c_low", 3.0), certain("c_high", 5.0),
+                   uniform("u", 0.0, 1.0)]
+        sampler = MonteCarloEvaluator(records, seed=1)
+        assert sampler.prefix_probability_sis(["c_low", "c_high"], 500) == 0.0
+
+    def test_cap_zero_branch_yields_zero_not_nan(self):
+        # b's support lies entirely above a's, so F_b(prev) == 0 for
+        # every draw: the cap<=0 guard must keep ppf inputs valid and
+        # return exactly 0, not NaN.
+        records = [uniform("a", 0.0, 1.0), uniform("b", 2.0, 3.0)]
+        sampler = MonteCarloEvaluator(records, seed=2)
+        value = sampler.prefix_probability_sis(["a", "b"], 1_000)
+        assert value == 0.0
+
+    def test_partial_cap_zero_keeps_feasible_mass(self):
+        # Overlapping supports: some draws of `a` land below b's lower
+        # bound (cap 0), others above (cap > 0); the estimate must only
+        # count the feasible mass. Truth from the exact engine.
+        records = [uniform("a", 0.0, 2.0), uniform("b", 1.0, 1.5),
+                   uniform("u", 0.0, 0.5)]
+        truth = ExactEvaluator(records).prefix_probability(["a", "b"])
+        sampler = MonteCarloEvaluator(records, seed=3)
+        assert sampler.prefix_probability_sis(
+            ["a", "b"], SAMPLES
+        ) == pytest.approx(truth, abs=TOL)
+
+    def test_agrees_with_cdf_estimator_on_mixed_families(self, mixed_db):
+        sampler = MonteCarloEvaluator(mixed_db, seed=17)
+        for prefix in (["u1"], ["g1", "u1"], ["u1", "g1", "c1"]):
+            sis = sampler.prefix_probability_sis(prefix, SAMPLES, seed=4)
+            cdf = sampler.prefix_probability_cdf(prefix, SAMPLES, seed=4)
+            assert sis == pytest.approx(cdf, abs=TOL), prefix
+
+
+class TestPerCallSeeds:
+    """The documented determinism contract of per-call seed streams."""
+
+    def test_seeded_calls_are_order_independent(self, paper_db):
+        a = MonteCarloEvaluator(paper_db, seed=9)
+        first = a.prefix_probability_sis(["t5", "t1"], 2_000, seed=5)
+        b = MonteCarloEvaluator(paper_db, seed=9)
+        b.rank_probability_matrix(1_000, seed=8)  # interleaved call
+        b.sample_scores(300, seed=2)
+        second = b.prefix_probability_sis(["t5", "t1"], 2_000, seed=5)
+        assert first == second
+
+    def test_unseeded_calls_share_the_evaluator_stream(self, paper_db):
+        a = MonteCarloEvaluator(paper_db, seed=9)
+        first = a.sample_scores(100)
+        again = a.sample_scores(100)
+        assert not np.array_equal(first, again)  # stream advanced
+
+    def test_distinct_call_seeds_give_distinct_streams(self, paper_db):
+        sampler = MonteCarloEvaluator(paper_db, seed=9)
+        assert not np.array_equal(
+            sampler.sample_scores(100, seed=1),
+            sampler.sample_scores(100, seed=2),
+        )
+
+    def test_constructor_seed_still_matters(self, paper_db):
+        assert not np.array_equal(
+            MonteCarloEvaluator(paper_db, seed=1).sample_scores(100, seed=7),
+            MonteCarloEvaluator(paper_db, seed=2).sample_scores(100, seed=7),
+        )

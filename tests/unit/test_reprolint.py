@@ -406,6 +406,85 @@ class TestARG001:
         assert result.suppressed == 1
 
 
+class TestPERF001:
+    PERF_PATH = "src/repro/core/montecarlo.py"
+
+    def test_fires_on_for_loop_calling_cdf(self):
+        result = run(
+            """
+            def probs(records, x):
+                out = []
+                for rec in records:
+                    out.append(rec.score.cdf(x))
+                return out
+            """,
+            path=self.PERF_PATH,
+        )
+        assert "PERF001" in codes(result)
+
+    def test_fires_on_comprehension_calling_sample(self):
+        result = run(
+            "def draw(records, rng):\n"
+            "    return [r.score.sample(rng) for r in records]\n",
+            path=self.PERF_PATH,
+        )
+        assert "PERF001" in codes(result)
+
+    def test_one_finding_per_outermost_loop(self):
+        result = run(
+            """
+            def draw(records, rng, k):
+                for _ in range(k):
+                    for rec in records:
+                        rec.score.sample(rng)
+            """,
+            path=self.PERF_PATH,
+        )
+        assert codes(result).count("PERF001") == 1
+
+    def test_loop_without_distribution_calls_passes(self):
+        result = run(
+            """
+            def ids(records):
+                out = []
+                for rec in records:
+                    out.append(rec.record_id)
+                return out
+            """,
+            path=self.PERF_PATH,
+        )
+        assert "PERF001" not in codes(result)
+
+    def test_silent_outside_perf_paths(self):
+        result = run(
+            "def draw(records, rng):\n"
+            "    return [r.score.sample(rng) for r in records]\n",
+            path="src/repro/core/exact.py",
+        )
+        assert "PERF001" not in codes(result)
+
+    def test_perf_paths_configurable(self):
+        config = replace(DEFAULT_CONFIG, perf_paths=("repro/core/exact.py",))
+        result = run(
+            "def draw(records, rng):\n"
+            "    return [r.score.sample(rng) for r in records]\n",
+            path="src/repro/core/exact.py",
+            config=config,
+        )
+        assert "PERF001" in codes(result)
+
+    def test_suppressed_by_line_pragma(self):
+        result = run(
+            "def draw(records, rng):\n"
+            "    return [  # reprolint: disable=PERF001 -- test fixture\n"
+            "        r.score.sample(rng) for r in records\n"
+            "    ]\n",
+            path=self.PERF_PATH,
+        )
+        assert "PERF001" not in codes(result)
+        assert result.suppressed == 1
+
+
 class TestFramework:
     def test_syntax_error_becomes_finding(self):
         result = run("def broken(:\n")
@@ -473,6 +552,7 @@ class TestFramework:
             "EXC001",
             "TYP001",
             "ARG001",
+            "PERF001",
         } <= registered
         for rule in all_rules():
             assert rule.description
