@@ -20,10 +20,12 @@ from .distributions import (
 from .errors import (
     ConvergenceError,
     EvaluationError,
+    InjectedFault,
     ModelError,
     QueryError,
     ReproError,
 )
+from .numeric import wilson_half_width
 from .analysis import (
     comparability_ratio,
     expected_ranks,
@@ -33,6 +35,14 @@ from .analysis import (
     uncertainty_summary,
 )
 from .baseline import BaselineAlgorithm, BaselineStats
+from .budget import Budget, CancellationToken, SampleCounts
+from .chaos import (
+    FaultInjector,
+    FaultSchedule,
+    FaultyDistribution,
+    FaultyOracle,
+    crashing_factory,
+)
 from .correlation import CorrelatedMonteCarloEvaluator, GaussianCopula
 from .diagnostics import ConvergenceTrace, gelman_rubin
 from .engine import RankingEngine
@@ -49,6 +59,7 @@ from .naive import expected_score_ranking, mode_aggregation_ranking
 from .parallel import DEFAULT_SHARDS, ParallelSampler, resolve_workers
 from .pairwise import PairwiseCache, probability_greater
 from .queries import (
+    DegradationEvent,
     PrefixAnswer,
     QueryResult,
     RankAggAnswer,
@@ -74,18 +85,27 @@ from .validation import ValidationIssue, validate_distribution, validate_records
 __all__ = [
     "BaselineAlgorithm",
     "BaselineStats",
+    "Budget",
+    "CancellationToken",
     "ConvergenceError",
     "ConvergenceTrace",
     "ConvolutionScore",
     "CorrelatedMonteCarloEvaluator",
     "GaussianCopula",
+    "DegradationEvent",
     "EvaluationError",
     "ExactEvaluator",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultyDistribution",
+    "FaultyOracle",
+    "InjectedFault",
     "MCMCResult",
     "MetropolisHastingsChain",
     "MonteCarloEvaluator",
     "DEFAULT_SHARDS",
     "ParallelSampler",
+    "SampleCounts",
     "SamplingPlan",
     "build_sampling_plan",
     "resolve_workers",
@@ -133,6 +153,7 @@ __all__ = [
     "UniformScore",
     "certain",
     "comparability_ratio",
+    "crashing_factory",
     "dominates",
     "probability_greater",
     "shrink_database",
@@ -140,6 +161,7 @@ __all__ = [
     "tie_break",
     "uniform",
     "upper_bound_list",
+    "wilson_half_width",
     "ValidationIssue",
     "validate_distribution",
     "validate_records",

@@ -24,20 +24,25 @@ Example
 
 from __future__ import annotations
 
+import logging
+import math
 import time
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .budget import Budget
 from .errors import EvaluationError, QueryError
 from .exact import ExactEvaluator, supports_exact
 from .linext import count_prefixes, enumerate_prefixes
 from .mcmc import TopKSimulation
-from .montecarlo import MonteCarloEvaluator
+from .montecarlo import MonteCarloEvaluator, select_top_rank_candidates
+from .numeric import wilson_half_width
 from .parallel import ParallelSampler, resolve_workers
 from .ppo import ProbabilisticPartialOrder
 from .pruning import shrink_database
 from .queries import (
+    DegradationEvent,
     PrefixAnswer,
     QueryResult,
     RankAggAnswer,
@@ -48,6 +53,12 @@ from .rank_agg import optimal_rank_aggregation
 from .records import UncertainRecord
 
 __all__ = ["RankingEngine"]
+
+logger = logging.getLogger(__name__)
+
+
+class _StageSkipped(EvaluationError):
+    """A ladder stage declined to run (typically: budget already drained)."""
 
 
 class RankingEngine:
@@ -92,6 +103,15 @@ class RankingEngine:
         chains on that many threads. Because shard streams are derived
         from a fixed shard count, every result is identical for every
         worker count; the knob only changes wall-clock time.
+    budget:
+        Optional default :class:`~repro.core.budget.Budget` applied to
+        every query (a per-query ``budget=`` argument overrides it).
+        With a budget in force, ``method="auto"`` degrades along the
+        ladder exact → Monte-Carlo → score-median baseline instead of
+        raising, recording a :class:`DegradationEvent` per sacrificed
+        stage on the result; Monte-Carlo stages return best-so-far
+        partial estimates with a Wilson confidence half-width when the
+        budget drains mid-run.
     """
 
     def __init__(
@@ -107,6 +127,7 @@ class RankingEngine:
         psrf_threshold: float = 1.05,
         copula=None,
         workers: Union[int, str, None] = None,
+        budget: Optional[Budget] = None,
     ) -> None:
         if not records:
             raise QueryError("cannot rank an empty database")
@@ -124,6 +145,7 @@ class RankingEngine:
         self.mcmc_chains = mcmc_chains
         self.mcmc_steps = mcmc_steps
         self.psrf_threshold = psrf_threshold
+        self.budget = budget
         self.copula = copula
         if copula is not None and copula.dimension != len(self.records):
             raise QueryError(
@@ -203,6 +225,104 @@ class RankingEngine:
             )
         return method
 
+    def _effective_budget(self, budget: Optional[Budget]) -> Optional[Budget]:
+        """Per-query budget override, falling back to the engine default."""
+        return budget if budget is not None else self.budget
+
+    def _median_ranking(
+        self, subset: Sequence[UncertainRecord]
+    ) -> List[UncertainRecord]:
+        """Deterministic ranking by median score (the degradation floor).
+
+        Collapses each record's score distribution to its median
+        (``ppf(0.5)``; the point value for deterministic records) and
+        sorts descending with the record-id tie-breaker. Defensive by
+        construction: a failing or non-finite quantile falls back to
+        the interval midpoint, so this stage cannot raise for any
+        record that passed model validation.
+        """
+
+        def median(rec: UncertainRecord) -> float:
+            if rec.is_deterministic:
+                return rec.lower
+            try:
+                value = float(rec.score.ppf(0.5))
+            except Exception as exc:
+                logger.warning(
+                    "median of record %r failed (%s: %s); using the "
+                    "interval midpoint",
+                    rec.record_id,
+                    type(exc).__name__,
+                    exc,
+                )
+                return 0.5 * (rec.lower + rec.upper)
+            if not math.isfinite(value):
+                return 0.5 * (rec.lower + rec.upper)
+            return value
+
+        return sorted(
+            subset, key=lambda rec: (-median(rec), rec.record_id)
+        )
+
+    def _run_stages(
+        self,
+        stages: Sequence[Tuple[str, Callable[[], List]]],
+        budget: Optional[Budget],
+        events: List[DegradationEvent],
+    ) -> Tuple[str, List]:
+        """Drive the degradation ladder over ``stages`` in order.
+
+        Each stage is a ``(name, thunk)`` pair; the first thunk that
+        returns supplies the answers. A stage that raises
+        :class:`EvaluationError` (or declines via ``_StageSkipped``) is
+        recorded as a :class:`DegradationEvent` and the ladder falls
+        through to the next rung — unless it is the *only* stage
+        (an explicitly requested method), in which case the error
+        propagates unchanged. Expensive stages are skipped outright
+        when the budget is already expired; the baseline rung is free
+        and always allowed to run.
+        """
+        total = len(stages)
+        last_error: Optional[EvaluationError] = None
+        for index, (name, thunk) in enumerate(stages):
+            if (
+                budget is not None
+                and name != "baseline"
+                and budget.expired()
+            ):
+                reason = budget.exhausted_reason() or "deadline"
+                events.append(DegradationEvent(name, "skipped", reason))
+                last_error = EvaluationError(
+                    f"budget exhausted before the {name} stage ({reason})"
+                )
+                continue
+            try:
+                answers = thunk()
+            except _StageSkipped as skip:
+                events.append(DegradationEvent(name, "skipped", str(skip)))
+                last_error = skip
+                continue
+            except EvaluationError as exc:
+                if total == 1:
+                    raise
+                events.append(
+                    DegradationEvent(
+                        name, "failed", f"{type(exc).__name__}: {exc}"
+                    )
+                )
+                last_error = exc
+                continue
+            if index > 0:
+                events.append(
+                    DegradationEvent(
+                        name, "fallback", "earlier stages degraded"
+                    )
+                )
+            return name, answers
+        if last_error is not None:
+            raise last_error
+        raise EvaluationError("no evaluation stage available")
+
     # ------------------------------------------------------------------
     # RECORD-RANK queries (Def. 4)
     # ------------------------------------------------------------------
@@ -214,51 +334,130 @@ class RankingEngine:
         l: int = 1,
         method: str = "auto",
         samples: Optional[int] = None,
+        budget: Optional[Budget] = None,
     ) -> QueryResult:
         """Evaluate l-UTop-Rank(i, j).
 
-        ``method`` is ``"auto"``, ``"exact"``, or ``"montecarlo"``.
+        ``method`` is ``"auto"``, ``"exact"``, ``"montecarlo"``, or
+        ``"baseline"`` (the median-score collapse). Under ``"auto"``
+        with a resource ``budget``, evaluation degrades along
+        exact → Monte-Carlo → baseline instead of raising; the result
+        records the ladder steps taken, carries ``partial=True`` for
+        clipped Monte-Carlo estimates, and reports a Wilson confidence
+        half-width for the top answer of a partial estimate.
         """
         if i < 1 or j < i:
             raise QueryError(f"invalid rank range [{i}, {j}]")
         if l < 1:
             raise QueryError("l must be positive")
         start = time.perf_counter()
+        budget = self._effective_budget(budget)
         method = self._guard_copula(method)
         pruned = self._pruned(j)
-        if method == "auto":
-            use_exact = (
-                supports_exact(pruned) and len(pruned) <= self.exact_record_limit
-            )
-            method = "exact" if use_exact else "montecarlo"
-        if method == "exact":
+        requested = samples or self.samples
+        events: List[DegradationEvent] = []
+        partial = False
+        half_width: Optional[float] = None
+
+        def run_exact() -> List[RecordAnswer]:
             evaluator = ExactEvaluator(pruned)
-            matrix = evaluator.rank_probability_matrix(max_rank=j)
+            matrix = evaluator.rank_probability_matrix(
+                max_rank=j, budget=budget
+            )
             probs = matrix[:, i - 1 : j].sum(axis=1)
             order = sorted(
                 range(len(pruned)),
                 key=lambda t: (-probs[t], pruned[t].record_id),
             )
-            answers = [
+            return [
                 RecordAnswer(pruned[t].record_id, float(probs[t]))
                 for t in order[:l]
             ]
-        elif method == "montecarlo":
+
+        def run_montecarlo() -> List[RecordAnswer]:
+            nonlocal partial, half_width
             sampler = self._sampler(pruned)
-            pairs = sampler.top_rank_candidates(
-                i, j, l, samples or self.samples
-            )
-            answers = [
+            if budget is None:
+                pairs = sampler.top_rank_candidates(i, j, l, requested)
+                return [
+                    RecordAnswer(rec.record_id, prob) for rec, prob in pairs
+                ]
+            # The engine — not the shards — takes the sample grant, so
+            # the number of samples drawn is a pure function of budget
+            # state, never of shard scheduling (the determinism-under-
+            # budget contract).
+            grant = budget.take_samples(requested)
+            if grant == 0:
+                raise _StageSkipped(
+                    "sample budget exhausted "
+                    f"({budget.exhausted_reason() or 'samples'})"
+                )
+            sc = sampler.rank_counts(grant, max_rank=j, budget=budget)
+            if sc.done == 0:
+                raise _StageSkipped(
+                    f"budget expired before the first sample chunk "
+                    f"({sc.reason or 'deadline'})"
+                )
+            matrix = sc.counts / sc.done
+            pairs = select_top_rank_candidates(pruned, matrix, i, j, l)
+            if grant < requested or sc.partial:
+                partial = True
+                events.append(
+                    DegradationEvent(
+                        "montecarlo",
+                        "clipped",
+                        sc.reason
+                        or f"sample cap granted {grant}/{requested}",
+                    )
+                )
+                if pairs:
+                    half_width = wilson_half_width(pairs[0][1], sc.done)
+            return [
                 RecordAnswer(rec.record_id, prob) for rec, prob in pairs
             ]
+
+        def run_baseline() -> List[RecordAnswer]:
+            order = self._median_ranking(pruned)
+            probs = {
+                rec.record_id: 1.0 if i <= rank <= j else 0.0
+                for rank, rec in enumerate(order, start=1)
+            }
+            ranked = sorted(
+                pruned,
+                key=lambda rec: (-probs[rec.record_id], rec.record_id),
+            )
+            return [
+                RecordAnswer(rec.record_id, probs[rec.record_id])
+                for rec in ranked[:l]
+            ]
+
+        if method == "auto":
+            stages: List[Tuple[str, Callable[[], List]]] = []
+            if (
+                supports_exact(pruned)
+                and len(pruned) <= self.exact_record_limit
+            ):
+                stages.append(("exact", run_exact))
+            stages.append(("montecarlo", run_montecarlo))
+            stages.append(("baseline", run_baseline))
+        elif method == "exact":
+            stages = [("exact", run_exact)]
+        elif method == "montecarlo":
+            stages = [("montecarlo", run_montecarlo)]
+        elif method == "baseline":
+            stages = [("baseline", run_baseline)]
         else:
             raise QueryError(f"unknown method {method!r} for UTop-Rank")
+        used, answers = self._run_stages(stages, budget, events)
         return QueryResult(
             answers=answers,
-            method=method,
+            method=used,
             elapsed=time.perf_counter() - start,
             database_size=len(self.records),
             pruned_size=len(pruned),
+            partial=partial,
+            confidence_half_width=half_width,
+            degradation=events,
         )
 
     def rank_distribution(
@@ -306,7 +505,9 @@ class RankingEngine:
     # related-work semantics expressed in the paper's model
     # ------------------------------------------------------------------
 
-    def global_topk(self, k: int, method: str = "auto") -> QueryResult:
+    def global_topk(
+        self, k: int, method: str = "auto", budget: Optional[Budget] = None
+    ) -> QueryResult:
         """Global-Top-k semantics under score uncertainty.
 
         The analog of Zhang & Chomicki's Global-Top-k [16] in the
@@ -315,10 +516,14 @@ class RankingEngine:
         """
         if k < 1:
             raise QueryError("k must be positive")
-        return self.utop_rank(1, k, l=k, method=method)
+        return self.utop_rank(1, k, l=k, method=method, budget=budget)
 
     def threshold_topk(
-        self, k: int, threshold: float, method: str = "auto"
+        self,
+        k: int,
+        threshold: float,
+        method: str = "auto",
+        budget: Optional[Budget] = None,
     ) -> QueryResult:
         """PT-k semantics under score uncertainty (Hua et al. [17]).
 
@@ -330,7 +535,9 @@ class RankingEngine:
             raise QueryError("k must be positive")
         if not 0.0 < threshold <= 1.0:
             raise QueryError("threshold must be in (0, 1]")
-        result = self.utop_rank(1, k, l=len(self.records), method=method)
+        result = self.utop_rank(
+            1, k, l=len(self.records), method=method, budget=budget
+        )
         result.answers = [
             answer
             for answer in result.answers
@@ -355,43 +562,99 @@ class RankingEngine:
             return False
 
     def utop_prefix(
-        self, k: int, l: int = 1, method: str = "auto"
+        self,
+        k: int,
+        l: int = 1,
+        method: str = "auto",
+        budget: Optional[Budget] = None,
     ) -> QueryResult:
         """Evaluate l-UTop-Prefix(k).
 
         ``method``: ``"auto"``, ``"exact"`` (enumerate + integrate),
-        ``"mcmc"`` (multi-chain simulation), or ``"montecarlo"``
-        (empirical frequencies over sampled rankings).
+        ``"mcmc"`` (multi-chain simulation), ``"montecarlo"``
+        (empirical frequencies over sampled rankings), or ``"baseline"``
+        (median-score collapse). Under ``"auto"`` the ladder is
+        exact → MCMC → Monte-Carlo → baseline; a clipped enumeration
+        marks the result ``truncated=True``, and budget-stopped stages
+        return best-so-far answers with ``partial=True``.
         """
         if k < 1:
             raise QueryError("k must be positive")
         if l < 1:
             raise QueryError("l must be positive")
         start = time.perf_counter()
+        budget = self._effective_budget(budget)
         method = self._guard_copula(method)
         pruned = self._pruned(k)
         k_eff = min(k, len(pruned))
-        if method == "auto":
-            method = "exact" if self._enumerable(pruned, k_eff) else "mcmc"
-        error_bound = None
+        events: List[DegradationEvent] = []
+        partial = False
+        truncated = False
+        half_width: Optional[float] = None
+        error_bound: Optional[float] = None
         diagnostics: dict = {}
-        if method == "exact":
+
+        def run_exact() -> List[PrefixAnswer]:
+            nonlocal partial, truncated
             evaluator = ExactEvaluator(pruned)
             ppo = ProbabilisticPartialOrder(pruned)
-            scored = [
-                (
-                    tuple(rec.record_id for rec in prefix),
-                    evaluator.prefix_probability(prefix),
+            scored: List[Tuple[Tuple[str, ...], float]] = []
+            for prefix in enumerate_prefixes(ppo, k_eff):
+                if len(scored) >= self.prefix_enumeration_limit:
+                    # Another prefix exists beyond the cap: the answer
+                    # space was clipped, and the best prefix may be
+                    # outside the enumerated region.
+                    truncated = True
+                    events.append(
+                        DegradationEvent(
+                            "exact",
+                            "clipped",
+                            f"enumeration cap "
+                            f"{self.prefix_enumeration_limit} reached",
+                        )
+                    )
+                    break
+                if budget is not None and not budget.consume_enumeration():
+                    truncated = True
+                    partial = True
+                    events.append(
+                        DegradationEvent(
+                            "exact",
+                            "clipped",
+                            budget.exhausted_reason() or "enumeration",
+                        )
+                    )
+                    break
+                scored.append(
+                    (
+                        tuple(rec.record_id for rec in prefix),
+                        evaluator.prefix_probability(prefix),
+                    )
                 )
-                for prefix in enumerate_prefixes(ppo, k_eff)
-            ]
+            if not scored:
+                raise _StageSkipped(
+                    "budget exhausted before any prefix was enumerated"
+                )
             scored.sort(key=lambda kv: (-kv[1], kv[0]))
-            answers = [PrefixAnswer(p, prob) for p, prob in scored[:l]]
-        elif method == "mcmc":
+            return [PrefixAnswer(p, prob) for p, prob in scored[:l]]
+
+        def run_mcmc() -> List[PrefixAnswer]:
+            nonlocal partial, error_bound, diagnostics
             sampler = self._sampler(pruned)
-            rank_matrix = sampler.rank_probability_matrix(
-                max(2000, self.samples // 5), max_rank=k_eff
-            )
+            matrix_samples = max(2000, self.samples // 5)
+            rank_matrix: Optional[np.ndarray] = None
+            if budget is None:
+                rank_matrix = sampler.rank_probability_matrix(
+                    matrix_samples, max_rank=k_eff
+                )
+            else:
+                grant = budget.take_samples(matrix_samples)
+                if grant > 0:
+                    sc = sampler.rank_counts(
+                        grant, max_rank=k_eff, budget=budget
+                    )
+                    if sc.done > 0:
+                        rank_matrix = sc.counts / sc.done
             sim = TopKSimulation(
                 pruned,
                 k_eff,
@@ -405,10 +668,15 @@ class RankingEngine:
                 psrf_threshold=self.psrf_threshold,
                 top_l=l,
                 rank_matrix=rank_matrix,
+                budget=budget,
             )
-            answers = [
-                PrefixAnswer(tuple(key), prob) for key, prob in result.answers
-            ]
+            if result.partial:
+                partial = True
+                events.append(
+                    DegradationEvent(
+                        "mcmc", "clipped", result.stop_reason or "deadline"
+                    )
+                )
             error_bound = result.error_estimate
             diagnostics = {
                 "converged": result.converged,
@@ -417,55 +685,162 @@ class RankingEngine:
                 "states_visited": result.states_visited,
                 "psrf": result.trace.psrf[-1] if result.trace.psrf else None,
             }
-        elif method == "montecarlo":
+            return [
+                PrefixAnswer(tuple(key), prob)
+                for key, prob in result.answers
+            ]
+
+        def run_montecarlo() -> List[PrefixAnswer]:
+            nonlocal partial, half_width
             sampler = self._sampler(pruned)
-            freq = sampler.empirical_top_prefixes(k_eff, self.samples)
+            requested = self.samples
+            denom = requested
+            if budget is not None:
+                grant = budget.take_samples(requested)
+                if grant == 0:
+                    raise _StageSkipped(
+                        "sample budget exhausted "
+                        f"({budget.exhausted_reason() or 'samples'})"
+                    )
+                if grant < requested:
+                    partial = True
+                    events.append(
+                        DegradationEvent(
+                            "montecarlo",
+                            "clipped",
+                            f"sample cap granted {grant}/{requested}",
+                        )
+                    )
+                denom = grant
+            freq = sampler.empirical_top_prefixes(k_eff, denom)
             ranked = sorted(freq.items(), key=lambda kv: (-kv[1], kv[0]))
-            answers = [PrefixAnswer(p, prob) for p, prob in ranked[:l]]
+            if partial and ranked:
+                half_width = wilson_half_width(ranked[0][1], denom)
+            return [PrefixAnswer(p, prob) for p, prob in ranked[:l]]
+
+        def run_baseline() -> List[PrefixAnswer]:
+            order = self._median_ranking(pruned)
+            prefix = tuple(rec.record_id for rec in order[:k_eff])
+            # Probability 1.0 under the median-collapsed (deterministic)
+            # database — the method label marks the fidelity loss.
+            return [PrefixAnswer(prefix, 1.0)]
+
+        if method == "auto":
+            stages: List[Tuple[str, Callable[[], List]]] = []
+            if self._enumerable(pruned, k_eff):
+                stages.append(("exact", run_exact))
+            stages.append(("mcmc", run_mcmc))
+            stages.append(("montecarlo", run_montecarlo))
+            stages.append(("baseline", run_baseline))
+        elif method == "exact":
+            stages = [("exact", run_exact)]
+        elif method == "mcmc":
+            stages = [("mcmc", run_mcmc)]
+        elif method == "montecarlo":
+            stages = [("montecarlo", run_montecarlo)]
+        elif method == "baseline":
+            stages = [("baseline", run_baseline)]
         else:
             raise QueryError(f"unknown method {method!r} for UTop-Prefix")
+        used, answers = self._run_stages(stages, budget, events)
         return QueryResult(
             answers=answers,
-            method=method,
+            method=used,
             elapsed=time.perf_counter() - start,
             database_size=len(self.records),
             pruned_size=len(pruned),
             error_bound=error_bound,
             diagnostics=diagnostics,
+            partial=partial,
+            truncated=truncated,
+            confidence_half_width=half_width,
+            degradation=events,
         )
 
-    def utop_set(self, k: int, l: int = 1, method: str = "auto") -> QueryResult:
-        """Evaluate l-UTop-Set(k); methods as in :meth:`utop_prefix`."""
+    def utop_set(
+        self,
+        k: int,
+        l: int = 1,
+        method: str = "auto",
+        budget: Optional[Budget] = None,
+    ) -> QueryResult:
+        """Evaluate l-UTop-Set(k); methods and ladder as in :meth:`utop_prefix`."""
         if k < 1:
             raise QueryError("k must be positive")
         if l < 1:
             raise QueryError("l must be positive")
         start = time.perf_counter()
+        budget = self._effective_budget(budget)
         method = self._guard_copula(method)
         pruned = self._pruned(k)
         k_eff = min(k, len(pruned))
-        if method == "auto":
-            method = "exact" if self._enumerable(pruned, k_eff) else "mcmc"
-        error_bound = None
+        events: List[DegradationEvent] = []
+        partial = False
+        truncated = False
+        half_width: Optional[float] = None
+        error_bound: Optional[float] = None
         diagnostics: dict = {}
-        if method == "exact":
+
+        def run_exact() -> List[SetAnswer]:
+            nonlocal partial, truncated
             evaluator = ExactEvaluator(pruned)
             ppo = ProbabilisticPartialOrder(pruned)
-            candidate_sets = {
-                frozenset(rec.record_id for rec in prefix)
-                for prefix in enumerate_prefixes(ppo, k_eff)
-            }
+            candidate_sets = set()
+            for prefix in enumerate_prefixes(ppo, k_eff):
+                if len(candidate_sets) >= self.prefix_enumeration_limit:
+                    truncated = True
+                    events.append(
+                        DegradationEvent(
+                            "exact",
+                            "clipped",
+                            f"enumeration cap "
+                            f"{self.prefix_enumeration_limit} reached",
+                        )
+                    )
+                    break
+                if budget is not None and not budget.consume_enumeration():
+                    truncated = True
+                    partial = True
+                    events.append(
+                        DegradationEvent(
+                            "exact",
+                            "clipped",
+                            budget.exhausted_reason() or "enumeration",
+                        )
+                    )
+                    break
+                candidate_sets.add(
+                    frozenset(rec.record_id for rec in prefix)
+                )
+            if not candidate_sets:
+                raise _StageSkipped(
+                    "budget exhausted before any candidate set was "
+                    "enumerated"
+                )
             scored = [
                 (members, evaluator.top_set_probability(members))
                 for members in candidate_sets
             ]
             scored.sort(key=lambda kv: (-kv[1], sorted(kv[0])))
-            answers = [SetAnswer(m, prob) for m, prob in scored[:l]]
-        elif method == "mcmc":
+            return [SetAnswer(m, prob) for m, prob in scored[:l]]
+
+        def run_mcmc() -> List[SetAnswer]:
+            nonlocal partial, error_bound, diagnostics
             sampler = self._sampler(pruned)
-            rank_matrix = sampler.rank_probability_matrix(
-                max(2000, self.samples // 5), max_rank=k_eff
-            )
+            matrix_samples = max(2000, self.samples // 5)
+            rank_matrix: Optional[np.ndarray] = None
+            if budget is None:
+                rank_matrix = sampler.rank_probability_matrix(
+                    matrix_samples, max_rank=k_eff
+                )
+            else:
+                grant = budget.take_samples(matrix_samples)
+                if grant > 0:
+                    sc = sampler.rank_counts(
+                        grant, max_rank=k_eff, budget=budget
+                    )
+                    if sc.done > 0:
+                        rank_matrix = sc.counts / sc.done
             sim = TopKSimulation(
                 pruned,
                 k_eff,
@@ -479,10 +854,15 @@ class RankingEngine:
                 psrf_threshold=self.psrf_threshold,
                 top_l=l,
                 rank_matrix=rank_matrix,
+                budget=budget,
             )
-            answers = [
-                SetAnswer(frozenset(key), prob) for key, prob in result.answers
-            ]
+            if result.partial:
+                partial = True
+                events.append(
+                    DegradationEvent(
+                        "mcmc", "clipped", result.stop_reason or "deadline"
+                    )
+                )
             error_bound = result.error_estimate
             diagnostics = {
                 "converged": result.converged,
@@ -490,23 +870,76 @@ class RankingEngine:
                 "acceptance_rate": result.acceptance_rate,
                 "states_visited": result.states_visited,
             }
-        elif method == "montecarlo":
+            return [
+                SetAnswer(frozenset(key), prob)
+                for key, prob in result.answers
+            ]
+
+        def run_montecarlo() -> List[SetAnswer]:
+            nonlocal partial, half_width
             sampler = self._sampler(pruned)
-            freq = sampler.empirical_top_sets(k_eff, self.samples)
+            requested = self.samples
+            denom = requested
+            if budget is not None:
+                grant = budget.take_samples(requested)
+                if grant == 0:
+                    raise _StageSkipped(
+                        "sample budget exhausted "
+                        f"({budget.exhausted_reason() or 'samples'})"
+                    )
+                if grant < requested:
+                    partial = True
+                    events.append(
+                        DegradationEvent(
+                            "montecarlo",
+                            "clipped",
+                            f"sample cap granted {grant}/{requested}",
+                        )
+                    )
+                denom = grant
+            freq = sampler.empirical_top_sets(k_eff, denom)
             ranked = sorted(
                 freq.items(), key=lambda kv: (-kv[1], sorted(kv[0]))
             )
-            answers = [SetAnswer(m, prob) for m, prob in ranked[:l]]
+            if partial and ranked:
+                half_width = wilson_half_width(ranked[0][1], denom)
+            return [SetAnswer(m, prob) for m, prob in ranked[:l]]
+
+        def run_baseline() -> List[SetAnswer]:
+            order = self._median_ranking(pruned)
+            members = frozenset(rec.record_id for rec in order[:k_eff])
+            return [SetAnswer(members, 1.0)]
+
+        if method == "auto":
+            stages: List[Tuple[str, Callable[[], List]]] = []
+            if self._enumerable(pruned, k_eff):
+                stages.append(("exact", run_exact))
+            stages.append(("mcmc", run_mcmc))
+            stages.append(("montecarlo", run_montecarlo))
+            stages.append(("baseline", run_baseline))
+        elif method == "exact":
+            stages = [("exact", run_exact)]
+        elif method == "mcmc":
+            stages = [("mcmc", run_mcmc)]
+        elif method == "montecarlo":
+            stages = [("montecarlo", run_montecarlo)]
+        elif method == "baseline":
+            stages = [("baseline", run_baseline)]
         else:
             raise QueryError(f"unknown method {method!r} for UTop-Set")
+        used, answers = self._run_stages(stages, budget, events)
         return QueryResult(
             answers=answers,
-            method=method,
+            method=used,
             elapsed=time.perf_counter() - start,
             database_size=len(self.records),
             pruned_size=len(pruned),
             error_bound=error_bound,
             diagnostics=diagnostics,
+            partial=partial,
+            truncated=truncated,
+            confidence_half_width=half_width,
+            degradation=events,
         )
 
     # ------------------------------------------------------------------
@@ -564,6 +997,10 @@ class RankingEngine:
         except EvaluationError:
             space = None
         plan["prefix_space"] = space
+        plan["enumeration_limit"] = self.prefix_enumeration_limit
+        plan["truncated"] = (
+            space is None or space > self.prefix_enumeration_limit
+        )
         enumerable = (
             plan["exact_densities"]
             and space is not None

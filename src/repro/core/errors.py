@@ -37,3 +37,11 @@ class EvaluationError(ReproError):
 
 class ConvergenceError(EvaluationError):
     """An iterative method (MCMC) failed to reach its convergence target."""
+
+
+class InjectedFault(EvaluationError):
+    """A fault deliberately raised by the chaos harness (:mod:`repro.core.chaos`).
+
+    A distinct type so tests can assert that a *scheduled* fault — not a
+    genuine estimator bug — triggered a retry or degradation path.
+    """

@@ -29,6 +29,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from .budget import Budget
 from .errors import EvaluationError, QueryError
 from .piecewise import PiecewisePolynomial
 from .records import UncertainRecord
@@ -338,17 +339,29 @@ class ExactEvaluator:
         return float(min(max(probs[i - 1 : j].sum(), 0.0), 1.0))
 
     def rank_probability_matrix(
-        self, max_rank: Optional[int] = None
+        self,
+        max_rank: Optional[int] = None,
+        budget: Optional[Budget] = None,
     ) -> np.ndarray:
         """Matrix ``M[t, r-1] = eta_r(t)`` over all records.
 
         Rows follow the database order of ``self.records``. This is the
         summary that drives exact rank aggregation (paper Theorem 2).
+
+        The budget is polled between record rows. A half-computed exact
+        matrix would misrepresent the remaining records, so exhaustion
+        raises :class:`EvaluationError` (feeding the degradation ladder)
+        rather than returning a partial answer.
         """
         n = len(self.records)
         limit = n if max_rank is None else min(max_rank, n)
         out = np.zeros((n, limit))
         for idx, rec in enumerate(self.records):
+            if budget is not None and budget.expired():
+                raise EvaluationError(
+                    f"budget {budget.exhausted_reason()} after "
+                    f"{idx} of {n} exact rank rows"
+                )
             out[idx] = self.rank_probabilities(rec, max_rank=limit)
         return out
 

@@ -24,6 +24,7 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .budget import Budget
 from .errors import EvaluationError
 from .ppo import ProbabilisticPartialOrder, dominates
 from .records import UncertainRecord
@@ -113,6 +114,7 @@ def build_tree(
     ppo: ProbabilisticPartialOrder,
     depth: Optional[int] = None,
     max_nodes: int = 2_000_000,
+    budget: Optional[Budget] = None,
 ) -> ExtensionTreeNode:
     """Materialize the linear-extension tree (paper Algorithm 1).
 
@@ -126,6 +128,13 @@ def build_tree(
         Safety cap on materialized nodes; the space grows exponentially
         (``sum_i m! / (m - i)!`` for an antichain of ``m`` records), so
         exceeding the cap raises :class:`EvaluationError`.
+    budget:
+        Optional resource budget; each materialized node consumes one
+        enumeration credit, and exhaustion (or deadline/cancellation)
+        raises :class:`EvaluationError`. A partially built tree would
+        silently misrepresent the extension space, so — unlike the lazy
+        generators — materialization fails loudly and lets the caller
+        degrade to a sampling-based evaluator.
     """
     adjacency = _DominanceAdjacency(ppo.records)
     limit = len(ppo.records) if depth is None else min(depth, len(ppo.records))
@@ -149,6 +158,11 @@ def build_tree(
                     f"linear-extension tree exceeds {max_nodes} nodes; "
                     "use the sampling-based evaluators instead"
                 )
+            if budget is not None and not budget.consume_enumeration():
+                raise EvaluationError(
+                    f"enumeration budget exhausted after {produced - 1} "
+                    f"tree nodes ({budget.exhausted_reason()})"
+                )
             child = ExtensionTreeNode(
                 record=adjacency.records[i], depth=node.depth + 1
             )
@@ -169,6 +183,7 @@ def _enumerate(
     ppo: ProbabilisticPartialOrder,
     depth: int,
     limit: Optional[int],
+    budget: Optional[Budget] = None,
 ) -> Iterator[Tuple[UncertainRecord, ...]]:
     adjacency = _DominanceAdjacency(ppo.records)
     n = len(adjacency.records)
@@ -176,17 +191,25 @@ def _enumerate(
     used = [False] * n
     prefix: List[UncertainRecord] = []
     yielded = 0
+    stopped = False
 
     def _recurse() -> Iterator[Tuple[UncertainRecord, ...]]:
-        nonlocal yielded
+        nonlocal yielded, stopped
         if len(prefix) == depth:
+            # A denied enumeration credit ends the generator early; the
+            # caller distinguishes clipped from complete enumeration via
+            # ``budget.exhausted_reason()`` (lazy iteration has no other
+            # channel for a best-so-far signal).
+            if budget is not None and not budget.consume_enumeration():
+                stopped = True
+                return
             yielded += 1
             yield tuple(prefix)
             return
         sources = [i for i in range(n) if not used[i] and indegree[i] == 0]
         sources.sort(key=lambda i: _source_order_key(adjacency.records[i]))
         for i in sources:
-            if limit is not None and yielded >= limit:
+            if stopped or (limit is not None and yielded >= limit):
                 return
             used[i] = True
             prefix.append(adjacency.records[i])
@@ -202,23 +225,35 @@ def _enumerate(
 
 
 def enumerate_extensions(
-    ppo: ProbabilisticPartialOrder, limit: Optional[int] = None
+    ppo: ProbabilisticPartialOrder,
+    limit: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> Iterator[Tuple[UncertainRecord, ...]]:
     """Lazily enumerate complete linear extensions.
 
     ``limit`` stops the generator after that many extensions; the space
     is exponential, so unbounded enumeration is only sensible for small
-    inputs.
+    inputs. A ``budget`` charges one enumeration credit per extension
+    and ends the generator early when exhausted (check
+    ``budget.exhausted_reason()`` to tell a clipped run from a complete
+    one).
     """
-    return _enumerate(ppo, len(ppo.records), limit)
+    return _enumerate(ppo, len(ppo.records), limit, budget=budget)
 
 
 def enumerate_prefixes(
-    ppo: ProbabilisticPartialOrder, k: int, limit: Optional[int] = None
+    ppo: ProbabilisticPartialOrder,
+    k: int,
+    limit: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> Iterator[Tuple[UncertainRecord, ...]]:
-    """Lazily enumerate distinct k-length linear-extension prefixes."""
+    """Lazily enumerate distinct k-length linear-extension prefixes.
+
+    ``budget`` semantics match :func:`enumerate_extensions`: one credit
+    per yielded prefix, early exit when the budget runs dry.
+    """
     k = min(k, len(ppo.records))
-    return _enumerate(ppo, k, limit)
+    return _enumerate(ppo, k, limit, budget=budget)
 
 
 def count_linear_extensions(

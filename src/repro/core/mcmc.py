@@ -44,9 +44,10 @@ from typing import (
 
 import numpy as np
 
+from .budget import Budget
 from .diagnostics import ConvergenceTrace, gelman_rubin
 from .distributions import SamplingPlan, build_sampling_plan
-from .errors import EvaluationError, QueryError
+from .errors import ConvergenceError, EvaluationError, QueryError
 from .exact import ExactEvaluator, supports_exact
 from .montecarlo import MonteCarloEvaluator
 from .pairwise import PairwiseCache, probability_greater
@@ -188,7 +189,7 @@ class MetropolisHastingsChain:
             r = int(self.rng.integers(0, n))
             direction = 1 if r < self.k else -1
             pos = r
-            while True:
+            while True:  # reprolint: disable=ROB001 -- bounded: the walk exits at the array ends or at the first uncommitted swap
                 m = pos + direction
                 if m < 0 or m >= n:
                     break
@@ -275,6 +276,14 @@ class MCMCResult:
     upper_bound:
         The paper's probability upper bound for any state, when the
         caller supplied a rank-probability matrix; ``None`` otherwise.
+    partial:
+        ``True`` when a resource budget stopped the walk before its
+        step budget or convergence; the answers are best-so-far (chains
+        record their initial states at construction, so the answer list
+        is never empty).
+    stop_reason:
+        Why the budget stopped the walk (``"cancelled"``/``"deadline"``)
+        or ``None`` for a clean run.
     """
 
     answers: List[Tuple[Hashable, float]]
@@ -284,6 +293,8 @@ class MCMCResult:
     acceptance_rate: float
     elapsed: float
     upper_bound: Optional[float] = None
+    partial: bool = False
+    stop_reason: Optional[str] = None
     states_visited: int = 0
     #: Total probability of the distinct states visited. Prefix (and
     #: set) events are mutually exclusive, so this is the share of the
@@ -341,6 +352,16 @@ class TopKSimulation:
         parallel within each epoch. Chains are independent walks and
         the state/pairwise oracles are deterministic per key, so the
         simulation result is identical for every worker count.
+    oracle_retries:
+        How many times a failed state-probability oracle call is
+        retried (with exponential backoff) before the failure surfaces
+        as :class:`~repro.core.errors.ConvergenceError`. The oracle is
+        a pure function of the state key, so a retry after a transient
+        fault reproduces the exact value the clean call would have
+        returned.
+    retry_backoff:
+        Base sleep in seconds before the ``i``-th oracle retry
+        (``retry_backoff * 2**i``); set to 0 in tests.
     """
 
     def __init__(
@@ -357,6 +378,8 @@ class TopKSimulation:
         use_pairwise_cache: bool = True,
         exact_oracle_limit: int = 60,
         workers: Union[int, str, None] = None,
+        oracle_retries: int = 2,
+        retry_backoff: float = 0.05,
     ) -> None:
         if target not in ("prefix", "set"):
             raise QueryError(f"unknown simulation target {target!r}")
@@ -374,6 +397,10 @@ class TopKSimulation:
         self._plan: SamplingPlan = build_sampling_plan(
             [rec.score for rec in self.records]
         )
+        if oracle_retries < 0:
+            raise QueryError("oracle_retries must be non-negative")
+        self.oracle_retries = oracle_retries
+        self.retry_backoff = retry_backoff
         self._state_cache: Dict[Hashable, float] = {}
         self._oracle = state_probability or self._build_oracle(
             oracle, pi_samples, exact_oracle_limit
@@ -437,10 +464,48 @@ class TopKSimulation:
 
         return set_oracle
 
+    def _call_oracle(self, key: Hashable) -> float:
+        """One oracle evaluation with bounded retry-with-backoff.
+
+        A transient oracle failure (flaky sampling backend, injected
+        fault) is retried up to ``oracle_retries`` times; because the
+        oracle is a pure function of ``key`` — Monte-Carlo oracles seed
+        from a hash of the state's record ids — a successful retry
+        yields exactly the value the clean call would have. Persistent
+        failure surfaces as :class:`ConvergenceError` with the original
+        exception chained.
+        """
+        attempts = self.oracle_retries + 1
+        for attempt in range(1, attempts + 1):
+            try:
+                return self._oracle(key)
+            except QueryError:
+                # Invalid state keys fail identically forever.
+                raise
+            except Exception as exc:
+                if attempt >= attempts:
+                    raise ConvergenceError(
+                        f"state-probability oracle failed {attempts} "
+                        f"time(s) for state {key!r}: {exc}"
+                    ) from exc
+                logger.warning(
+                    "oracle failed for state %r (%s: %s); retry %d/%d",
+                    key,
+                    type(exc).__name__,
+                    exc,
+                    attempt,
+                    self.oracle_retries,
+                )
+                if self.retry_backoff > 0.0:
+                    time.sleep(self.retry_backoff * (2.0 ** (attempt - 1)))
+        raise ConvergenceError(  # pragma: no cover - loop always returns/raises
+            f"oracle produced no value for state {key!r}"
+        )
+
     def _cached_pi(self, key: Hashable) -> float:
         value = self._state_cache.get(key)
         if value is None:
-            value = self._oracle(key)
+            value = self._call_oracle(key)
             self._state_cache[key] = value
         return value
 
@@ -467,17 +532,27 @@ class TopKSimulation:
         epoch: int,
         psrf_threshold: float,
         min_epochs: int,
-    ) -> Tuple[bool, int]:
+        budget: Optional[Budget] = None,
+    ) -> Tuple[bool, int, Optional[str]]:
         """Advance all chains epoch by epoch until mixing or the budget.
 
         With a thread pool, each chain advances on its own worker; a
         chain only touches its private generator and the shared
         memoization caches, whose entries are pure functions of their
         keys, so any interleaving produces the same chains.
+
+        A resource ``budget`` is consulted at epoch boundaries: when it
+        expires, the walk stops where it stands and the caller reports
+        a best-so-far partial result (the third return element carries
+        the stop reason).
         """
         converged = False
         done = 0
+        stop_reason: Optional[str] = None
         while done < max_steps:
+            if budget is not None and budget.expired():
+                stop_reason = budget.exhausted_reason()
+                break
             todo = min(epoch, max_steps - done)
             if pool is not None:
                 list(pool.map(lambda chain: chain.run(todo), chains))
@@ -507,7 +582,7 @@ class TopKSimulation:
             if len(trace.steps) >= min_epochs and psrf <= psrf_threshold:
                 converged = True
                 break
-        return converged, done
+        return converged, done, stop_reason
 
     def run(
         self,
@@ -517,6 +592,8 @@ class TopKSimulation:
         top_l: int = 1,
         rank_matrix: Optional[np.ndarray] = None,
         min_epochs: int = 2,
+        budget: Optional[Budget] = None,
+        require_convergence: bool = False,
     ) -> MCMCResult:
         """Run all chains until mixing or the per-chain step budget.
 
@@ -535,6 +612,17 @@ class TopKSimulation:
             / error estimate of §VI-D.
         min_epochs:
             Minimum epochs before convergence may be declared.
+        budget:
+            Optional resource :class:`~repro.core.budget.Budget`
+            checked at epoch boundaries; on expiry the best states
+            found so far are returned with ``partial=True``.
+        require_convergence:
+            When ``True``, a walk that finishes its step budget without
+            reaching ``psrf_threshold`` raises
+            :class:`~repro.core.errors.ConvergenceError` instead of
+            returning an unconverged result. (A budget-stopped walk
+            still returns partial answers — running out of resources is
+            a degradation, not a failure.)
         """
         start = time.perf_counter()
         # One root per run() call (consumed from self.rng, so repeated
@@ -563,14 +651,22 @@ class TopKSimulation:
         trace = ConvergenceTrace(steps=[], psrf=[], elapsed=[])
         converged = False
         done = 0
+        stop_reason: Optional[str] = None
         try:
-            converged, done = self._run_epochs(
+            converged, done, stop_reason = self._run_epochs(
                 chains, pool, trace, start, max_steps, epoch,
-                psrf_threshold, min_epochs,
+                psrf_threshold, min_epochs, budget=budget,
             )
         finally:
             if pool is not None:
                 pool.shutdown(wait=True)
+        if require_convergence and not converged and stop_reason is None:
+            last_psrf = trace.psrf[-1] if trace.psrf else float("inf")
+            raise ConvergenceError(
+                f"MCMC failed to converge: PSRF {last_psrf:.4f} > "
+                f"{psrf_threshold} after {done} steps per chain "
+                f"({self.n_chains} chains)"
+            )
 
         merged: Dict[Hashable, float] = {}
         visit_totals: Dict[Hashable, int] = {}
@@ -603,6 +699,8 @@ class TopKSimulation:
             acceptance_rate=accepted / total_steps if total_steps else 0.0,
             elapsed=time.perf_counter() - start,
             upper_bound=bound,
+            partial=stop_reason is not None,
+            stop_reason=stop_reason,
             states_visited=len(merged),
             probability_mass=min(sum(merged.values()), 1.0),
             visit_frequencies=visit_frequencies,

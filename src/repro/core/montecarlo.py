@@ -38,8 +38,9 @@ from typing import (
 
 import numpy as np
 
+from .budget import Budget, SampleCounts
 from .distributions import SamplingPlan, build_sampling_plan
-from .errors import QueryError
+from .errors import EvaluationError, QueryError
 from .exact import _tie_perturbations
 from .numeric import clamp_probability
 from .records import UncertainRecord
@@ -249,6 +250,29 @@ class MonteCarloEvaluator:
         (:class:`~repro.core.parallel.ParallelSampler`) can merge
         partial counts exactly before normalizing.
         """
+        return self.rank_counts(samples, max_rank=max_rank, seed=seed).counts
+
+    def rank_counts(
+        self,
+        samples: int,
+        max_rank: Optional[int] = None,
+        seed: Optional[int] = None,
+        budget: Optional[Budget] = None,
+    ) -> SampleCounts:
+        """Budget-aware chunked accumulation of the Eq. 7 counts.
+
+        Draws ``samples`` score vectors in bounded-memory chunks,
+        checking ``budget`` (deadline/cancellation) at every chunk
+        boundary. On budget exhaustion the counts accumulated so far
+        are returned with ``done < requested`` (``partial=True``) and
+        the stop reason — never an exception. For a fixed ``seed`` the
+        draws per chunk are identical whether or not a budget is
+        supplied, so a clipped run is a strict prefix of the full run.
+
+        Raises :class:`~repro.core.errors.EvaluationError` when a drawn
+        score is NaN/inf — rankings over non-finite scores are
+        meaningless, and a corrupt model must not masquerade as data.
+        """
         if samples < 1:
             raise QueryError("need at least one sample")
         n = len(self.records)
@@ -258,15 +282,26 @@ class MonteCarloEvaluator:
         rank_cols = np.arange(limit)
         rng = self._stream(seed)
         done = 0
+        reason: Optional[str] = None
         while done < samples:
+            if budget is not None and budget.expired():
+                reason = budget.exhausted_reason()
+                break
             batch = min(chunk, samples - done)
             scores = self._draw(rng, batch)
+            if not np.all(np.isfinite(scores)):
+                raise EvaluationError(
+                    "sampled scores contain non-finite values; the score "
+                    "model is corrupt (see core.validation.validate_records)"
+                )
             rankings = np.argsort(-scores, axis=1, kind="stable")
             np.add.at(
                 counts, (rankings[:, :limit], rank_cols[None, :]), 1.0
             )
             done += batch
-        return counts
+        return SampleCounts(
+            counts=counts, done=done, requested=samples, reason=reason
+        )
 
     def rank_range_probability(
         self,

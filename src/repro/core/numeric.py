@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 
-__all__ = ["clamp_probability", "close_to"]
+__all__ = ["clamp_probability", "close_to", "wilson_half_width"]
 
 
 def clamp_probability(value: float, tolerance: float = 1e-9) -> float:
@@ -30,6 +30,29 @@ def clamp_probability(value: float, tolerance: float = 1e-9) -> float:
             f"tolerance {tolerance!r}; upstream computation is broken"
         )
     return min(max(float(value), 0.0), 1.0)
+
+
+def wilson_half_width(estimate: float, n: int, z: float = 1.959963984540054) -> float:
+    """Wilson-score confidence half-width for a binomial proportion.
+
+    Used by budget-clipped Monte-Carlo estimators to report the
+    uncertainty of a ``partial=True`` answer: for an observed proportion
+    ``estimate`` over ``n`` completed samples, returns half the width of
+    the Wilson score interval at confidence level ``z`` (default 95%).
+    Unlike the normal approximation, the Wilson interval stays sane at
+    the ``estimate ∈ {0, 1}`` boundaries and for small ``n``. Returns
+    ``inf`` when ``n == 0`` — an estimate backed by no samples has
+    unbounded uncertainty.
+    """
+    if n < 0:
+        raise ValueError(f"sample count must be non-negative, got {n!r}")
+    if n == 0:
+        return math.inf
+    p = min(max(float(estimate), 0.0), 1.0)
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    half = (z / denom) * math.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n))
+    return half
 
 
 def close_to(a: float, b: float, tolerance: float = 1e-12) -> bool:

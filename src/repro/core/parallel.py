@@ -23,6 +23,7 @@ per-shard evaluators without pickling the database.
 
 from __future__ import annotations
 
+import logging
 import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import (
@@ -40,12 +41,15 @@ from typing import (
 
 import numpy as np
 
-from .errors import QueryError
+from .budget import Budget, SampleCounts
+from .errors import EvaluationError, QueryError
 from .montecarlo import MonteCarloEvaluator, select_top_rank_candidates
 from .numeric import clamp_probability
 from .records import UncertainRecord
 
 __all__ = ["ParallelSampler", "resolve_workers", "DEFAULT_SHARDS"]
+
+logger = logging.getLogger(__name__)
 
 _T = TypeVar("_T")
 
@@ -164,18 +168,49 @@ class ParallelSampler:
         Results come back in shard order regardless of which worker ran
         which shard; empty shards (budget smaller than the shard count)
         are skipped deterministically.
+
+        Fault tolerance: a shard that raises is retried **once** with
+        the same shard index — and therefore the same evaluator and the
+        same ``SeedSequence`` child — so a transient worker fault never
+        changes what the shard computes, only when. Because per-call
+        streams are derived from ``(shard seed, call seed)`` alone, the
+        retry reproduces the crashed attempt bit-for-bit. A second
+        failure surfaces as :class:`~repro.core.errors.EvaluationError`.
         """
         tasks = [
             (idx, size)
             for idx, size in enumerate(self.shard_sizes(samples))
             if size > 0
         ]
+
+        def attempt(idx: int, size: int) -> _T:
+            try:
+                return fn(idx, size)
+            except QueryError:
+                # Invalid arguments fail identically on retry; surface
+                # them unchanged.
+                raise
+            except Exception as exc:
+                logger.warning(
+                    "shard %d failed (%s: %s); retrying once with the "
+                    "same seed stream",
+                    idx,
+                    type(exc).__name__,
+                    exc,
+                )
+                try:
+                    return fn(idx, size)
+                except Exception as retry_exc:
+                    raise EvaluationError(
+                        f"shard {idx} failed twice: {retry_exc}"
+                    ) from retry_exc
+
         if self.workers == 1 or len(tasks) <= 1:
-            return [(idx, fn(idx, size)) for idx, size in tasks]
+            return [(idx, attempt(idx, size)) for idx, size in tasks]
         with ThreadPoolExecutor(
             max_workers=min(self.workers, len(tasks))
         ) as pool:
-            results = list(pool.map(lambda t: fn(t[0], t[1]), tasks))
+            results = list(pool.map(lambda t: attempt(t[0], t[1]), tasks))
         return [(idx, result) for (idx, _), result in zip(tasks, results)]
 
     # ------------------------------------------------------------------
@@ -213,6 +248,35 @@ class ParallelSampler:
         merged = parts[0][1].copy()
         for _, part in parts[1:]:
             merged += part
+        return merged
+
+    def rank_counts(
+        self,
+        samples: int,
+        max_rank: Optional[int] = None,
+        seed: int = 0,
+        budget: Optional[Budget] = None,
+    ) -> SampleCounts:
+        """Merged budget-aware rank counts across all shards.
+
+        Each shard checks the shared ``budget`` (deadline/cancellation)
+        at its own chunk boundaries; merged ``done``/``requested``
+        tallies report how much of the total request completed. Sample
+        caps should be enforced by the *caller* granting an exact
+        sample count via :meth:`Budget.take_samples` before calling —
+        shards racing on a shared sample cap would make the grant split
+        scheduling-dependent.
+        """
+
+        def count(idx: int, size: int) -> SampleCounts:
+            return self._evaluators[idx].rank_counts(
+                size, max_rank=max_rank, seed=seed, budget=budget
+            )
+
+        parts = self._map_shards(count, samples)
+        merged = parts[0][1]
+        for _, part in parts[1:]:
+            merged = merged.merge(part)
         return merged
 
     def rank_probability_matrix(

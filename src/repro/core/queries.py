@@ -29,8 +29,37 @@ __all__ = [
     "PrefixAnswer",
     "SetAnswer",
     "RankAggAnswer",
+    "DegradationEvent",
     "QueryResult",
 ]
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One rung of the degradation ladder the engine stepped down.
+
+    Recorded on :attr:`QueryResult.degradation` whenever ``method="auto"``
+    abandons or clips an evaluation stage under a resource budget or a
+    fault, so callers can see exactly what was sacrificed for the answer
+    they got.
+
+    Attributes
+    ----------
+    stage:
+        The evaluation stage involved (``"exact"``, ``"montecarlo"``,
+        ``"mcmc"``, ``"baseline"``).
+    action:
+        What happened: ``"skipped"`` (never started), ``"failed"``
+        (raised and was abandoned), ``"clipped"`` (returned a partial
+        best-so-far result), or ``"fallback"`` (a lower-fidelity stage
+        supplied the answer).
+    reason:
+        Human-readable cause (budget exhaustion label, exception text).
+    """
+
+    stage: str
+    action: str
+    reason: str
 
 
 @dataclass(frozen=True)
@@ -141,6 +170,19 @@ class QueryResult:
         available.
     diagnostics:
         Free-form extras (e.g. MCMC convergence traces).
+    partial:
+        ``True`` when a resource budget clipped evaluation and the
+        answers are best-so-far rather than fully evaluated.
+    truncated:
+        ``True`` when an enumeration cap clipped the UTop-Prefix /
+        UTop-Set candidate space, so a better answer may exist outside
+        the enumerated region.
+    confidence_half_width:
+        For partial Monte-Carlo answers: the Wilson-score 95% half-width
+        of the top answer's probability given the samples completed.
+    degradation:
+        Structured :class:`DegradationEvent` log of every ladder step
+        taken under ``method="auto"`` (empty for clean evaluations).
     """
 
     answers: List
@@ -150,6 +192,10 @@ class QueryResult:
     pruned_size: int
     error_bound: Optional[float] = None
     diagnostics: dict = field(default_factory=dict)
+    partial: bool = False
+    truncated: bool = False
+    confidence_half_width: Optional[float] = None
+    degradation: List[DegradationEvent] = field(default_factory=list)
 
     @property
     def top(self) -> Any:
@@ -200,4 +246,11 @@ class QueryResult:
             "pruned_size": self.pruned_size,
             "error_bound": self.error_bound,
             "diagnostics": dict(self.diagnostics),
+            "partial": self.partial,
+            "truncated": self.truncated,
+            "confidence_half_width": self.confidence_half_width,
+            "degradation": [
+                {"stage": e.stage, "action": e.action, "reason": e.reason}
+                for e in self.degradation
+            ],
         }

@@ -150,6 +150,15 @@ def validate_distribution(
                 f"requested {samples} samples, got {drawn.size}",
             )
         )
+    if drawn.size and not np.all(np.isfinite(drawn)):
+        bad = int(np.count_nonzero(~np.isfinite(np.asarray(drawn, float))))
+        issues.append(
+            ValidationIssue(
+                "sample-finite",
+                f"{bad} of {drawn.size} samples are NaN or infinite",
+            )
+        )
+        return issues
     if drawn.size and (
         drawn.min() < lo - tolerance * span
         or drawn.max() > up + tolerance * span

@@ -28,6 +28,7 @@ single-key tag objects. Round-tripping a table through
 from __future__ import annotations
 
 import json
+import math
 from typing import IO, Union
 
 from ..core.errors import ModelError
@@ -60,19 +61,41 @@ def _encode_cell(cell):
 
 
 def _decode_cell(raw):
+    # Python's ``json.loads`` accepts the non-standard ``NaN``/``Infinity``
+    # literals, so non-finite numbers can reach us from the wire; reject
+    # them here rather than let them corrupt every probability downstream.
     if isinstance(raw, dict):
         if set(raw) == {"interval"}:
-            low, high = raw["interval"]
-            return IntervalValue(float(low), float(high))
+            low, high = (float(v) for v in raw["interval"])
+            if not (math.isfinite(low) and math.isfinite(high)):
+                raise ModelError(
+                    f"interval bounds must be finite, got [{low}, {high}]"
+                )
+            if low > high:
+                raise ModelError(
+                    f"inverted interval [{low}, {high}] (low > high)"
+                )
+            return IntervalValue(low, high)
         if set(raw) == {"missing"}:
             return MissingValue()
         if set(raw) == {"weighted"}:
             spec = raw["weighted"]
-            return WeightedValue(
-                tuple(float(v) for v in spec["values"]),
-                tuple(float(w) for w in spec["weights"]),
-            )
+            values = tuple(float(v) for v in spec["values"])
+            weights = tuple(float(w) for w in spec["weights"])
+            if not all(math.isfinite(v) for v in values):
+                raise ModelError(
+                    f"weighted candidate values must be finite, "
+                    f"got {list(values)}"
+                )
+            if not all(math.isfinite(w) for w in weights):
+                raise ModelError(
+                    f"weighted candidate weights must be finite, "
+                    f"got {list(weights)}"
+                )
+            return WeightedValue(values, weights)
         raise ModelError(f"unrecognized uncertain-cell encoding: {raw!r}")
+    if isinstance(raw, float) and not math.isfinite(raw):
+        raise ModelError(f"numeric cell must be finite, got {raw!r}")
     return raw
 
 
@@ -106,10 +129,23 @@ def loads_table(text: Union[str, bytes]) -> UncertainTable:
     for field in ("name", "key", "columns", "rows"):
         if field not in document:
             raise ModelError(f"table document is missing {field!r}")
-    rows = [
-        {col: _decode_cell(row[col]) for col in document["columns"]}
-        for row in document["rows"]
-    ]
+    key = document["key"]
+    rows = []
+    for index, raw_row in enumerate(document["rows"]):
+        rid = raw_row.get(key, f"<row {index}>")
+        decoded = {}
+        for col in document["columns"]:
+            if col not in raw_row:
+                raise ModelError(
+                    f"record {rid!r}: row is missing column {col!r}"
+                )
+            try:
+                decoded[col] = _decode_cell(raw_row[col])
+            except ModelError as exc:
+                raise ModelError(
+                    f"record {rid!r}, column {col!r}: {exc}"
+                ) from exc
+        rows.append(decoded)
     return UncertainTable(
         document["name"],
         document["columns"],

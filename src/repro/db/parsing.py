@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import csv
 import io
+import math
 import re
 from typing import IO, Dict, Iterable, Optional, Sequence, Union
 
@@ -92,7 +93,12 @@ def parse_uncertain_number(
     if raw is None:
         return MissingValue()
     if isinstance(raw, (int, float)):
-        return ExactValue(float(raw))
+        value = float(raw)
+        if not math.isfinite(value):
+            raise ModelError(
+                f"cannot use non-finite number {raw!r} as an uncertain value"
+            )
+        return ExactValue(value)
     if not isinstance(raw, str):
         raise ModelError(f"cannot parse {raw!r} as an uncertain number")
     text = _STRIP_RE.sub("", raw).strip()

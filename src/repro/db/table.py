@@ -164,6 +164,7 @@ class UncertainTable:
         self,
         scoring: ScoringFunction,
         payload_columns: Optional[Sequence[str]] = None,
+        validate: bool = False,
     ) -> List[UncertainRecord]:
         """Score every row and return ranking-ready records.
 
@@ -171,7 +172,11 @@ class UncertainTable:
         single-attribute :class:`~repro.db.scoring.ScoringFunction` and
         multi-attribute :class:`~repro.db.scoring.CombinedScoring` rules
         are accepted; the optional ``payload_columns`` are attached to
-        each record for display.
+        each record for display. With ``validate=True`` the scored
+        records are checked with
+        :func:`~repro.core.validation.validate_records` and the first
+        problem raises :class:`~repro.core.errors.ModelError` naming
+        the offending record.
         """
         needed = (
             list(scoring.attributes)
@@ -191,6 +196,10 @@ class UncertainTable:
             records.append(
                 UncertainRecord(row[self.key], distribution, payload)
             )
+        if validate:
+            from ..core.validation import validate_records
+
+            validate_records(records, raise_on_issue=True)
         return records
 
     def rank(

@@ -7,8 +7,10 @@ one place so every ``figXX`` module stays focused on its measurement.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..core.budget import Budget
+from ..core.engine import RankingEngine
 from ..core.montecarlo import MonteCarloEvaluator
 from ..core.parallel import ParallelSampler
 from ..core.records import UncertainRecord
@@ -17,6 +19,7 @@ from ..datasets.synthetic import paper_dataset_suite
 __all__ = [
     "paper_suite",
     "make_sampler",
+    "make_engine",
     "time_call",
     "format_table",
     "DEFAULT_SUITE_SIZE",
@@ -51,6 +54,31 @@ def make_sampler(
     if workers is None:
         return MonteCarloEvaluator(records, seed=seed)
     return ParallelSampler(records, seed=seed, workers=workers)
+
+
+def make_engine(
+    records: Sequence[UncertainRecord],
+    seed: int = 0,
+    workers: Union[int, str, None] = None,
+    time_limit: Optional[float] = None,
+    max_samples: Optional[int] = None,
+    **engine_kwargs: object,
+) -> RankingEngine:
+    """A :class:`RankingEngine` with an optional resource budget.
+
+    ``time_limit`` (seconds) and ``max_samples`` become a
+    :class:`~repro.core.budget.Budget` installed as the engine default,
+    so every query degrades along the exact → Monte-Carlo → baseline
+    ladder instead of overrunning — the configuration an experiment
+    measuring anytime behaviour wants. With both limits ``None`` the
+    engine is unbudgeted (legacy behaviour).
+    """
+    budget = None
+    if time_limit is not None or max_samples is not None:
+        budget = Budget(deadline=time_limit, max_samples=max_samples)
+    return RankingEngine(
+        records, seed=seed, workers=workers, budget=budget, **engine_kwargs
+    )
 
 
 def time_call(fn: Callable, *args, **kwargs) -> Tuple[object, float]:

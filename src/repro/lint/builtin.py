@@ -24,6 +24,7 @@ __all__ = [
     "PublicAnnotationsRule",
     "MutableDefaultRule",
     "ColumnarSamplingRule",
+    "UnboundedLoopRule",
 ]
 
 #: Function names treated as probability-returning: `probability_greater`,
@@ -546,6 +547,96 @@ class ColumnarSamplingRule(Rule):
         if isinstance(loop, ast.While):
             return "while loop"
         return "comprehension"
+
+
+# ----------------------------------------------------------------------
+# ROB001 — unbounded loops on robustness paths must consult a budget
+# ----------------------------------------------------------------------
+
+
+@register
+class UnboundedLoopRule(Rule):
+    """``while True`` loops on robustness paths must consult a budget.
+
+    Applies to files whose path contains a ``robust-paths`` fragment
+    (default: ``repro/core``). Fires on every ``while`` loop whose test
+    is a constant truth (``while True:``, ``while 1:``) and whose body
+    never touches the cooperative-cancellation machinery — an
+    identifier or attribute among ``budget`` / ``token`` / ``deadline``
+    / ``expired`` / ``cancelled`` / ``cancel`` / ``take_samples`` /
+    ``consume_enumeration`` / ``time_remaining`` /
+    ``exhausted_reason``. Such a loop can spin forever under an
+    injected or real fault; either bound it against a
+    :class:`~repro.core.budget.Budget` or pragma it with the reason it
+    terminates.
+    """
+
+    code = "ROB001"
+    name = "unbounded-loop"
+    description = (
+        "unbounded while-loop on a robustness path consults no budget "
+        "or cancellation token"
+    )
+    rationale = (
+        "degradation-ladder guarantees rest on every loop being "
+        "interruptible; one un-budgeted while True turns a fault into "
+        "a hang that no deadline can recover"
+    )
+
+    _BUDGET_MARKERS = frozenset(
+        {
+            "budget",
+            "token",
+            "deadline",
+            "expired",
+            "cancelled",
+            "cancel",
+            "take_samples",
+            "consume_enumeration",
+            "time_remaining",
+            "exhausted_reason",
+            "samples_remaining",
+            "enumeration_remaining",
+        }
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not any(
+            fragment in ctx.norm_path()
+            for fragment in ctx.config.robust_paths
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While):
+                continue
+            if not self._constant_true(node.test):
+                continue
+            if self._consults_budget(node):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                "while-loop never terminates by its condition and "
+                "never consults a Budget or CancellationToken; bound "
+                "it (or pragma it with the reason it terminates)",
+            )
+
+    @staticmethod
+    def _constant_true(test: ast.AST) -> bool:
+        return isinstance(test, ast.Constant) and bool(test.value)
+
+    def _consults_budget(self, loop: ast.While) -> bool:
+        for node in ast.walk(loop):
+            if node is loop:
+                continue
+            name = None
+            if isinstance(node, ast.Name):
+                name = node.id
+            elif isinstance(node, ast.Attribute):
+                name = node.attr
+            if name is not None and name.lower() in self._BUDGET_MARKERS:
+                return True
+        return False
 
 
 # ----------------------------------------------------------------------

@@ -47,6 +47,9 @@ class LintConfig:
     perf_paths:
         Path fragments in which PERF001 forbids per-record Python loops
         over distribution calls (the columnar-sampling hot paths).
+    robust_paths:
+        Path fragments in which ROB001 forbids unbounded ``while True``
+        loops that never consult a Budget/CancellationToken.
     severity:
         Per-code severity overrides.
     """
@@ -60,6 +63,7 @@ class LintConfig:
         "repro/core/montecarlo.py",
         "repro/core/mcmc.py",
     )
+    robust_paths: Tuple[str, ...] = ("repro/core",)
     severity: Dict[str, Severity] = field(default_factory=dict)
 
     def rule_enabled(self, code: str) -> bool:
@@ -148,6 +152,11 @@ def load_config(pyproject: Optional[Path] = None) -> LintConfig:
     perf = _get(table, "perf-paths")
     if perf is not None:
         config = replace(config, perf_paths=_str_tuple(perf, "perf-paths"))
+    robust = _get(table, "robust-paths")
+    if robust is not None:
+        config = replace(
+            config, robust_paths=_str_tuple(robust, "robust-paths")
+        )
     severity = _get(table, "severity")
     if severity is not None:
         if not isinstance(severity, Mapping):

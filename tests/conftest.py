@@ -1,11 +1,49 @@
-"""Shared fixtures: the paper's worked examples and small random inputs."""
+"""Shared fixtures: the paper's worked examples and small random inputs.
+
+Also installs a hard per-test timeout for ``@pytest.mark.chaos`` tests:
+fault-injection tests exercise code paths that hang when robustness
+regresses, and a hung chaos test must fail loudly instead of stalling
+the suite. Implemented with ``signal.SIGALRM`` (no external timeout
+plugin is available in this environment), so it is POSIX-only; on
+platforms without ``SIGALRM`` the timeout is skipped, not emulated.
+"""
 
 from __future__ import annotations
+
+import signal
 
 import numpy as np
 import pytest
 
 from repro import certain, uniform
+
+#: Hard wall-clock cap for one chaos-marked test, in whole seconds.
+CHAOS_TIMEOUT_SECONDS = 60
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Abort any ``chaos``-marked test that runs longer than the cap."""
+    use_alarm = (
+        item.get_closest_marker("chaos") is not None
+        and hasattr(signal, "SIGALRM")
+    )
+    if use_alarm:
+
+        def _timed_out(signum, frame):
+            raise TimeoutError(
+                f"chaos test exceeded the {CHAOS_TIMEOUT_SECONDS}s hard "
+                "timeout (a robustness code path is hanging)"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _timed_out)
+        signal.alarm(CHAOS_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        if use_alarm:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

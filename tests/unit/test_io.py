@@ -79,3 +79,52 @@ class TestValidation:
         )
         with pytest.raises(ModelError):
             loads_table(bad)
+
+
+class TestIngestHardening:
+    """Corrupt wire data must fail at load time, naming the record."""
+
+    @staticmethod
+    def document(cell):
+        return (
+            '{"name": "t", "key": "id", "columns": ["id", "x"],'
+            ' "uncertain_columns": ["x"],'
+            f' "rows": [{{"id": "a1", "x": {cell}}}]}}'
+        )
+
+    def test_nan_interval_bound_rejected(self):
+        with pytest.raises(ModelError, match=r"record 'a1'.*finite"):
+            loads_table(self.document('{"interval": [NaN, 5.0]}'))
+
+    def test_infinite_interval_bound_rejected(self):
+        with pytest.raises(ModelError, match=r"record 'a1'.*finite"):
+            loads_table(self.document('{"interval": [1.0, Infinity]}'))
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(ModelError, match=r"record 'a1'.*inverted"):
+            loads_table(self.document('{"interval": [5.0, 1.0]}'))
+
+    def test_nan_exact_cell_rejected(self):
+        with pytest.raises(ModelError, match=r"record 'a1'.*finite"):
+            loads_table(self.document("NaN"))
+
+    def test_nan_weighted_value_rejected(self):
+        cell = '{"weighted": {"values": [NaN, 2.0], "weights": [0.5, 0.5]}}'
+        with pytest.raises(ModelError, match=r"record 'a1'.*finite"):
+            loads_table(self.document(cell))
+
+    def test_infinite_weight_rejected(self):
+        cell = (
+            '{"weighted": {"values": [1.0, 2.0],'
+            ' "weights": [Infinity, 0.5]}}'
+        )
+        with pytest.raises(ModelError, match=r"record 'a1'.*finite"):
+            loads_table(self.document(cell))
+
+    def test_missing_column_names_record(self):
+        bad = (
+            '{"name": "t", "key": "id", "columns": ["id", "x"],'
+            ' "rows": [{"id": "a1"}]}'
+        )
+        with pytest.raises(ModelError, match=r"record 'a1'.*missing column"):
+            loads_table(bad)

@@ -127,3 +127,16 @@ class TestTableFromCsv:
             payload_columns=["area"],
         )
         assert table.rows[0]["area"] == 1200.0
+
+
+class TestNonFiniteInput:
+    def test_nan_number_rejected(self):
+        with pytest.raises(ModelError, match="non-finite"):
+            parse_uncertain_number(float("nan"))
+
+    def test_infinite_number_rejected(self):
+        with pytest.raises(ModelError, match="non-finite"):
+            parse_uncertain_number(float("inf"))
+
+    def test_finite_numbers_still_pass(self):
+        assert parse_uncertain_number(1200.5) == ExactValue(1200.5)

@@ -485,6 +485,95 @@ class TestPERF001:
         assert result.suppressed == 1
 
 
+class TestROB001:
+    def test_fires_on_bare_while_true(self):
+        result = run(
+            """
+            def spin():
+                while True:
+                    pass
+            """
+        )
+        assert "ROB001" in codes(result)
+
+    def test_fires_on_while_one(self):
+        result = run(
+            """
+            def spin():
+                while 1:
+                    pass
+            """
+        )
+        assert "ROB001" in codes(result)
+
+    def test_budget_consultation_passes(self):
+        result = run(
+            """
+            def drain(budget):
+                while True:
+                    if budget.expired():
+                        break
+            """
+        )
+        assert "ROB001" not in codes(result)
+
+    def test_token_consultation_passes(self):
+        result = run(
+            """
+            def drain(token):
+                while True:
+                    if token.cancelled:
+                        break
+            """
+        )
+        assert "ROB001" not in codes(result)
+
+    def test_bounded_condition_passes(self):
+        result = run(
+            """
+            def drain(queue):
+                while queue:
+                    queue.pop()
+            """
+        )
+        assert "ROB001" not in codes(result)
+
+    def test_silent_outside_robust_paths(self):
+        result = run(
+            """
+            def spin():
+                while True:
+                    pass
+            """,
+            path="src/repro/experiments/harness.py",
+        )
+        assert "ROB001" not in codes(result)
+
+    def test_robust_paths_configurable(self):
+        config = replace(
+            DEFAULT_CONFIG, robust_paths=("repro/experiments",)
+        )
+        result = run(
+            """
+            def spin():
+                while True:
+                    pass
+            """,
+            path="src/repro/experiments/harness.py",
+            config=config,
+        )
+        assert "ROB001" in codes(result)
+
+    def test_suppressed_by_line_pragma(self):
+        result = run(
+            "def spin():\n"
+            "    while True:  # reprolint: disable=ROB001 -- test fixture\n"
+            "        pass\n"
+        )
+        assert "ROB001" not in codes(result)
+        assert result.suppressed == 1
+
+
 class TestFramework:
     def test_syntax_error_becomes_finding(self):
         result = run("def broken(:\n")

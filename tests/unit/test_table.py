@@ -109,3 +109,46 @@ class TestBridging:
         # The exact $600 listing is the strongest top-2 candidate.
         assert result.answers[0].record_id == "a"
         assert result.answers[0].probability > 0.5
+
+
+class TestToRecordsValidation:
+    """`to_records(validate=True)` routes scores through validate_records."""
+
+    @staticmethod
+    def make_table(rows):
+        return UncertainTable(
+            "apts", ["id", "rent"], rows, key="id",
+            uncertain_columns=["rent"],
+        )
+
+    def test_clean_data_validates(self):
+        table = self.make_table(
+            [{"id": "a", "rent": 600.0}, {"id": "b", "rent": (650.0, 1100.0)}]
+        )
+        scoring = InverseAttributeScore("rent", (300.0, 3500.0))
+        records = table.to_records(scoring, validate=True)
+        assert [rec.record_id for rec in records] == ["a", "b"]
+
+    def test_corrupt_scoring_names_offending_record(self):
+        import numpy as np
+
+        from repro.core.distributions import UniformScore
+
+        class NaNSamplingScore(UniformScore):
+            def sample(self, rng, size=None):
+                out = np.asarray(super().sample(rng, size), dtype=float)
+                if out.ndim:
+                    out[0] = np.nan
+                return out
+
+        class CorruptScoring(InverseAttributeScore):
+            def score_row(self, row):
+                return NaNSamplingScore(0.0, 1.0)
+
+        table = self.make_table([{"id": "bad", "rent": 600.0}])
+        scoring = CorruptScoring("rent", (300.0, 3500.0))
+        # Without the flag the corrupt model slips through...
+        assert table.to_records(scoring)[0].record_id == "bad"
+        # ...with it, ingestion fails and names the record.
+        with pytest.raises(ModelError, match="'bad'"):
+            table.to_records(scoring, validate=True)
