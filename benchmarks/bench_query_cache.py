@@ -1,0 +1,73 @@
+"""Warm-vs-cold query latency through the shared computation cache.
+
+Runs the mixed repeated workload from
+``repro.experiments.query_cache_bench`` — UTop-Rank / UTop-Prefix /
+UTop-Set / rank-distribution / Rank-Agg with varying ``i``/``j``/``k``/
+``l`` — twice over the same database: once against an empty
+:class:`~repro.core.cache.ComputationCache` and once against the cache
+the first pass populated. Regenerates ``BENCH_query_cache.json`` at the
+repository root (also available as
+``PYTHONPATH=src python -m repro.experiments.query_cache_bench``) and
+asserts the acceptance floor: >= 5x aggregate warm-vs-cold speedup at
+n=1000 with byte-identical warm answers.
+
+A fast tier-1 smoke of the same harness (tiny n, warm <= cold only)
+lives in ``tests/integration/test_query_cache_bench.py`` under the
+``bench`` marker.
+"""
+
+import pytest
+
+from repro.core.cache import ComputationCache
+from repro.experiments.query_cache_bench import (
+    benchmark_records,
+    run_benchmark,
+    run_pass,
+    workload,
+    write_report,
+)
+
+from conftest import emit
+
+#: Acceptance floor for the aggregate warm-vs-cold speedup at n=1000.
+MIN_SPEEDUP = 5.0
+
+
+@pytest.mark.bench
+@pytest.mark.benchmark(group="query-cache")
+def test_query_cache_warm_speedup(benchmark):
+    payload = run_benchmark(size=1_000, n_queries=50)
+    path = write_report(payload)
+    emit(
+        f"Query cache, {payload['queries']} mixed queries at "
+        f"n={payload['size']} (written to {path.name})",
+        ["pass", "seconds", "queries/sec"],
+        [
+            (
+                label,
+                f"{payload[key]:.4f}",
+                f"{payload['queries'] / payload[key]:,.1f}",
+            )
+            for label, key in (
+                ("cold", "cold_seconds"),
+                ("warm", "warm_seconds"),
+            )
+        ],
+    )
+    assert payload["answers_identical"], (
+        "warm answers diverged from the cold pass"
+    )
+    assert payload["speedup"] >= MIN_SPEEDUP, (
+        f"warm speedup {payload['speedup']:.1f}x below {MIN_SPEEDUP}x"
+    )
+
+    # Benchmark the steady state: warm passes over a pre-populated cache
+    # (each iteration builds a fresh engine, as a new session would).
+    records = benchmark_records(200)
+    specs = workload(10)
+    cache = ComputationCache()
+    run_pass(records, specs, cache, samples=500, mcmc_chains=3,
+             mcmc_steps=100)
+    benchmark.extra_info["speedup"] = payload["speedup"]
+    benchmark(run_pass, records, specs, cache, samples=500,
+              mcmc_chains=3, mcmc_steps=100)

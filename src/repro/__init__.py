@@ -23,6 +23,9 @@ Quickstart::
 
 from .core import (
     BaselineAlgorithm,
+    CacheStats,
+    ComputationCache,
+    shared_cache,
     DiscreteScore,
     TriangularScore,
     ConvergenceError,
@@ -57,6 +60,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BaselineAlgorithm",
+    "CacheStats",
+    "ComputationCache",
+    "shared_cache",
     "DiscreteScore",
     "TriangularScore",
     "ConvergenceError",

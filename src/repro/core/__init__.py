@@ -36,6 +36,13 @@ from .analysis import (
 )
 from .baseline import BaselineAlgorithm, BaselineStats
 from .budget import Budget, CancellationToken, SampleCounts
+from .cache import (
+    CacheStats,
+    ComputationCache,
+    RankCountStore,
+    fingerprint_records,
+    shared_cache,
+)
 from .chaos import (
     FaultInjector,
     FaultSchedule,
@@ -54,7 +61,7 @@ from .mcmc import (
     prefix_probability_upper_bound,
     set_probability_upper_bound,
 )
-from .montecarlo import MonteCarloEvaluator
+from .montecarlo import MonteCarloEvaluator, compile_plan
 from .naive import expected_score_ranking, mode_aggregation_ranking
 from .parallel import DEFAULT_SHARDS, ParallelSampler, resolve_workers
 from .pairwise import PairwiseCache, probability_greater
@@ -86,7 +93,12 @@ __all__ = [
     "BaselineAlgorithm",
     "BaselineStats",
     "Budget",
+    "CacheStats",
     "CancellationToken",
+    "ComputationCache",
+    "RankCountStore",
+    "fingerprint_records",
+    "shared_cache",
     "ConvergenceError",
     "ConvergenceTrace",
     "ConvolutionScore",
@@ -153,6 +165,7 @@ __all__ = [
     "UniformScore",
     "certain",
     "comparability_ratio",
+    "compile_plan",
     "crashing_factory",
     "dominates",
     "probability_greater",

@@ -1,0 +1,501 @@
+"""Session-scoped shared computation cache (paper §VI-D, generalized).
+
+The paper's own evaluation leans on caching: §VI-D computes the Eq. 1
+pairwise integrals "once per unordered pair" and shares them across all
+MCMC states. This module generalizes that observation to every compiled
+or sampled artifact the query engine produces, so repeated query traffic
+over the same database is served from memoized work instead of cold
+starts:
+
+- **Content-addressed fingerprints** (:func:`fingerprint_records`):
+  a blake2b digest over record ids, interval bounds, and distribution
+  family + canonical parameters (the tie-breaker is the record id, which
+  is part of the digest). Two separately constructed but identical
+  databases share one fingerprint; any mutation changes it, so a stale
+  entry can never be addressed again.
+- **Compiled artifacts by fingerprint**: sampling plans, evaluators,
+  partial orders, pruning results, and one :class:`~repro.core.pairwise.
+  PairwiseCache` per database shared by the exact, MCMC, and rank-
+  aggregation paths (:meth:`ComputationCache.pairwise`).
+- **Cross-query rank-count reuse with deterministic top-up**
+  (:class:`RankCountStore`): Monte-Carlo rank counts are stored in
+  fixed-size sample blocks, each drawn under a per-block call seed
+  through the samplers' spawn-key determinism contract. Any requested
+  sample count decomposes into blocks, so a later query needing more
+  samples reuses every cached block and only draws the missing suffix —
+  and the merged counts are bit-identical to a cold run at the larger
+  budget, because each block is a pure function of ``(sampler seed,
+  block index, block size)`` and block counts are exact integers in
+  float64 (addition order cannot change the bits).
+- **LRU eviction with byte accounting** plus :class:`CacheStats`
+  (hits, misses, evictions, bytes, top-up extensions) so cache behavior
+  is observable (``RankingEngine.cache_stats()``) rather than inferred.
+
+Depth is handled the same way: blocks are stored at the deepest
+``max_rank`` ever requested and shallower queries are served by column
+slicing, which is exact because rankings do not depend on the reported
+rank window and the per-cell counts are integral.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from .budget import Budget, SampleCounts
+from .errors import QueryError
+from .montecarlo import MonteCarloEvaluator
+from .pairwise import PairwiseCache
+from .parallel import ParallelSampler
+from .records import UncertainRecord
+
+__all__ = [
+    "SAMPLE_BLOCK",
+    "CacheStats",
+    "ComputationCache",
+    "RankCountStore",
+    "fingerprint_records",
+    "shared_cache",
+]
+
+#: Canonical sample-block size for the rank-count store. Every request
+#: is decomposed into full blocks of this size plus one remainder piece;
+#: block ``i`` is always drawn under call seed ``i``, which is what makes
+#: warm results bit-identical to cold runs at any budget.
+SAMPLE_BLOCK = 4096
+
+#: A sampler front-end usable by the rank-count store: both
+#: :class:`~repro.core.montecarlo.MonteCarloEvaluator` and
+#: :class:`~repro.core.parallel.ParallelSampler` satisfy it.
+RankCountSampler = Union[MonteCarloEvaluator, ParallelSampler]
+
+
+def fingerprint_records(records: Sequence[UncertainRecord]) -> str:
+    """Content digest of a record list (order-sensitive, blake2b).
+
+    Covers, per record: the record id (also the paper's tie-breaker
+    ``tau``), the interval bounds, and the distribution's canonical
+    parameter token (:meth:`~repro.core.distributions.ScoreDistribution.
+    fingerprint`). Unknown distribution families fall back to an
+    identity-based token, which keeps the digest conservative: such
+    databases never alias a cache entry they did not themselves create.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(b"records-v1")
+    for rec in records:
+        h.update(rec.record_id.encode("utf-8"))
+        h.update(b"\x00")
+        h.update(struct.pack("<dd", rec.lower, rec.upper))
+        h.update(rec.score.fingerprint().encode("utf-8"))
+        h.update(b"\x01")
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time counters of a :class:`ComputationCache`.
+
+    ``topups`` counts rank-count requests that were *partially* covered
+    by cached sample blocks and extended deterministically, as opposed
+    to full ``hits`` and cold ``misses``.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bytes: int = 0
+    topups: int = 0
+    entries: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendition (used by ``explain()`` and results)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "bytes": self.bytes,
+            "topups": self.topups,
+            "entries": self.entries,
+        }
+
+    def delta(self, since: "CacheStats") -> "CacheStats":
+        """Counter increments between ``since`` and this snapshot."""
+        return CacheStats(
+            hits=self.hits - since.hits,
+            misses=self.misses - since.misses,
+            evictions=self.evictions - since.evictions,
+            bytes=self.bytes,
+            topups=self.topups - since.topups,
+            entries=self.entries,
+        )
+
+
+class RankCountStore:
+    """Block-structured Monte-Carlo rank counts for one sampler stream.
+
+    One store exists per ``(database fingerprint, sampling backend)``
+    pair. Counts are kept in pieces keyed ``(block index, piece size)``;
+    piece ``(i, s)`` always holds the counts of
+    ``sampler.rank_counts(s, seed=i)``, so its content is a pure
+    function of the key and the backend — never of request history.
+    Requests for ``N`` samples decompose into full :data:`SAMPLE_BLOCK`
+    pieces plus one remainder piece, which is exactly how a cold run at
+    ``N`` would be drawn; serving cached pieces therefore reproduces the
+    cold result bit for bit.
+
+    Pieces are stored at the deepest ``max_rank`` seen so far and served
+    by column slicing (counts are exact integers, so a slice of a deep
+    count matrix equals a directly computed shallow one).
+    """
+
+    def __init__(self, block: int = SAMPLE_BLOCK) -> None:
+        if block < 1:
+            raise QueryError("block size must be positive")
+        self.block = int(block)
+        self._pieces: Dict[Tuple[int, int], Tuple[int, np.ndarray]] = {}
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate retained bytes across all cached pieces."""
+        return sum(
+            counts.nbytes + 64 for _, counts in self._pieces.values()
+        )
+
+    def pieces(self, samples: int) -> List[Tuple[int, int]]:
+        """The canonical ``(block index, size)`` decomposition of a request."""
+        if samples < 1:
+            raise QueryError("need at least one sample")
+        full, rest = divmod(samples, self.block)
+        out = [(idx, self.block) for idx in range(full)]
+        if rest:
+            out.append((full, rest))
+        return out
+
+    def coverage(self, samples: int, limit: int) -> int:
+        """How many of ``samples`` are already served by cached pieces."""
+        covered = 0
+        for idx, size in self.pieces(samples):
+            cached = self._pieces.get((idx, size))
+            if cached is not None and cached[0] >= limit:
+                covered += size
+        return covered
+
+    def counts_for(
+        self,
+        sampler: RankCountSampler,
+        samples: int,
+        limit: int,
+        budget: Optional[Budget] = None,
+    ) -> Tuple[SampleCounts, int]:
+        """Merged counts for ``samples`` draws at rank depth ``limit``.
+
+        Returns ``(counts, covered)`` where ``covered`` is the number of
+        samples served from cache. Missing pieces are drawn through
+        ``sampler.rank_counts(size, seed=block_index)`` — the spawn-key
+        contract makes each piece independent of call order — and cached
+        when they complete cleanly. Under a ``budget``, only the *new*
+        samples are charged via :meth:`Budget.take_samples`; cached
+        coverage is free. A clipped draw is returned (and the clipped
+        piece cached under its actual size) but the requested piece is
+        left uncached, so a later request re-extends deterministically.
+        """
+        n = len(sampler.records)
+        merged = np.zeros((n, limit))
+        covered = 0
+        done = 0
+        missing: List[Tuple[int, int]] = []
+        for idx, size in self.pieces(samples):
+            cached = self._pieces.get((idx, size))
+            if cached is not None and cached[0] >= limit:
+                merged += cached[1][:, :limit]
+                covered += size
+                done += size
+            else:
+                missing.append((idx, size))
+        reason: Optional[str] = None
+        to_draw = sum(size for _, size in missing)
+        grant = to_draw
+        if budget is not None and to_draw:
+            grant = budget.take_samples(to_draw)
+            if grant < to_draw:
+                reason = budget.exhausted_reason() or "samples"
+        for idx, size in missing:
+            if grant <= 0:
+                break
+            take = min(size, grant)
+            grant -= take
+            sc = sampler.rank_counts(
+                take, max_rank=limit, seed=idx, budget=budget
+            )
+            merged += sc.counts
+            done += sc.done
+            if sc.done == take:
+                # A clean piece — full or budget-clipped to ``take`` —
+                # is a pure function of (backend, idx, take): cache it.
+                self._pieces[(idx, take)] = (limit, sc.counts)
+            else:
+                # The draw itself was interrupted mid-chunk (deadline);
+                # the counts are a usable prefix but not addressable.
+                reason = sc.reason or reason
+                break
+            if sc.reason is not None:
+                reason = sc.reason
+                break
+        return (
+            SampleCounts(
+                counts=merged, done=done, requested=samples, reason=reason
+            ),
+            covered,
+        )
+
+
+@dataclass
+class _Entry:
+    value: Any
+    size_fn: Callable[[], int]
+    nbytes: int = 0
+
+
+def _default_size(value: Any) -> int:
+    """Rough byte estimate for values without an explicit size hook."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    nbytes = getattr(value, "nbytes", None)
+    if isinstance(nbytes, (int, np.integer)):
+        return int(nbytes)
+    return 256
+
+
+class ComputationCache:
+    """LRU, byte-accounted store of fingerprint-keyed computations.
+
+    Each :class:`~repro.core.engine.RankingEngine` gets a private
+    instance by default; pass ``cache="shared"`` (the process-wide
+    :func:`shared_cache`) or one explicit instance to several engines to
+    serve repeated query traffic across engines. All methods are thread-safe behind one reentrant lock;
+    cached values themselves are treated as immutable once stored
+    (rank-count stores mutate only under the lock via :meth:`rank_counts`).
+
+    Parameters
+    ----------
+    max_bytes:
+        Eviction threshold for the summed byte estimates of all
+        entries. Least-recently-used entries are dropped first; the
+        most recent entry always survives even when it alone exceeds
+        the limit (evicting it would make the cache useless).
+    max_entries:
+        Hard cap on the entry count, independent of size.
+    block:
+        Sample-block size handed to new :class:`RankCountStore` entries.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = 256 * 1024 * 1024,
+        max_entries: int = 4096,
+        block: int = SAMPLE_BLOCK,
+    ) -> None:
+        if max_bytes < 1:
+            raise QueryError("max_bytes must be positive")
+        if max_entries < 1:
+            raise QueryError("max_entries must be positive")
+        self.max_bytes = int(max_bytes)
+        self.max_entries = int(max_entries)
+        self.block = int(block)
+        self._entries: "OrderedDict[Tuple[str, Hashable], _Entry]" = (
+            OrderedDict()
+        )
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._topups = 0
+
+    # ------------------------------------------------------------------
+    # generic artifacts
+    # ------------------------------------------------------------------
+
+    def artifact(
+        self,
+        kind: str,
+        key: Hashable,
+        builder: Callable[[], Any],
+        size_fn: Optional[Callable[[], int]] = None,
+        count: bool = True,
+    ) -> Any:
+        """The cached value for ``(kind, key)``, building it on a miss.
+
+        ``size_fn`` supplies the byte estimate (re-evaluated on every
+        eviction pass, so growing values stay honestly accounted);
+        ``count=False`` suppresses hit/miss accounting for internal
+        lookups whose cost is accounted elsewhere.
+        """
+        full_key = (kind, key)
+        with self._lock:
+            entry = self._entries.get(full_key)
+            if entry is not None:
+                self._entries.move_to_end(full_key)
+                if count:
+                    self._hits += 1
+                return entry.value
+            value = builder()
+            if count:
+                self._misses += 1
+            fn = size_fn if size_fn is not None else (
+                lambda: _default_size(value)
+            )
+            self._entries[full_key] = _Entry(value=value, size_fn=fn)
+            self._evict()
+            return value
+
+    def contains(self, kind: str, key: Hashable) -> bool:
+        """Whether ``(kind, key)`` is currently cached (no LRU touch)."""
+        with self._lock:
+            return (kind, key) in self._entries
+
+    def invalidate(self, kind: str, key: Hashable) -> bool:
+        """Drop one entry; returns whether it existed."""
+        with self._lock:
+            return self._entries.pop((kind, key), None) is not None
+
+    def clear(self) -> None:
+        """Drop every entry and reset all counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+            self._topups = 0
+
+    # ------------------------------------------------------------------
+    # pairwise integrals (paper §VI-D)
+    # ------------------------------------------------------------------
+
+    def pairwise(self, fingerprint: str) -> PairwiseCache:
+        """The shared Eq. 1 memo for one database fingerprint.
+
+        Keyed by fingerprint because :class:`PairwiseCache` stores by
+        record-id pair: sharing across *different* databases could
+        alias ids, while sharing across subsets of the same database is
+        sound (``Pr(a > b)`` depends only on the two records). The
+        exact, MCMC, and rank-aggregation paths all draw from this one
+        memo.
+        """
+        return self.artifact("pairwise", fingerprint, PairwiseCache)
+
+    # ------------------------------------------------------------------
+    # rank counts (Eq. 7) with deterministic top-up
+    # ------------------------------------------------------------------
+
+    def rank_counts(
+        self,
+        fingerprint: str,
+        backend: Hashable,
+        sampler: RankCountSampler,
+        samples: int,
+        max_rank: Optional[int] = None,
+        budget: Optional[Budget] = None,
+    ) -> SampleCounts:
+        """Memoized ``rank_counts`` with cross-query deterministic top-up.
+
+        ``backend`` must identify everything besides the fingerprint
+        that affects sampled values: the sampler kind and seed, shard
+        count, and any correlation model. Under a ``budget``, cached
+        coverage is free and only missing samples are charged. The
+        returned counts are bit-identical to
+        ``sampler.rank_counts`` run cold piece by piece at the same
+        total, whatever mixture of cache and fresh drawing produced
+        them.
+        """
+        if samples < 1:
+            raise QueryError("need at least one sample")
+        n = len(sampler.records)
+        limit = n if max_rank is None else max(1, min(int(max_rank), n))
+        with self._lock:
+            store: RankCountStore = self.artifact(
+                "rank-counts",
+                (fingerprint, backend),
+                lambda: RankCountStore(block=self.block),
+                count=False,
+            )
+            covered = store.coverage(samples, limit)
+            if covered >= samples:
+                self._hits += 1
+            elif covered > 0:
+                self._topups += 1
+            else:
+                self._misses += 1
+            result, _ = store.counts_for(
+                sampler, samples, limit, budget=budget
+            )
+            self._evict()
+            return result
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the live counters (safe to diff across queries)."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                bytes=self._refresh_bytes(),
+                topups=self._topups,
+                entries=len(self._entries),
+            )
+
+    def _refresh_bytes(self) -> int:
+        total = 0
+        for entry in self._entries.values():
+            entry.nbytes = max(0, int(entry.size_fn()))
+            total += entry.nbytes
+        return total
+
+    def _evict(self) -> None:
+        """Drop LRU entries until both the byte and entry caps hold."""
+        total = self._refresh_bytes()
+        while len(self._entries) > 1 and (
+            total > self.max_bytes or len(self._entries) > self.max_entries
+        ):
+            _, entry = self._entries.popitem(last=False)
+            total -= entry.nbytes
+            self._evictions += 1
+
+
+_SHARED_LOCK = threading.Lock()
+_SHARED: Optional[ComputationCache] = None
+
+
+def shared_cache() -> ComputationCache:
+    """The process-wide cache engines opt into with ``cache="shared"``.
+
+    Created lazily on first use; every engine constructed with
+    ``cache="shared"`` joins it, which is what lets one engine's
+    sampling work answer another engine's queries over content-identical
+    data. (Engines default to a private cache so tests and benchmarks
+    stay isolated unless they ask to share.)
+    """
+    global _SHARED
+    with _SHARED_LOCK:
+        if _SHARED is None:
+            _SHARED = ComputationCache()
+        return _SHARED

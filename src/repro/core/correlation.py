@@ -26,6 +26,7 @@ from typing import Iterable, NoReturn, Optional, Sequence
 import numpy as np
 from scipy import special
 
+from .distributions import SamplingPlan
 from .errors import ModelError, QueryError
 from .montecarlo import MonteCarloEvaluator
 from .records import UncertainRecord
@@ -109,8 +110,9 @@ class CorrelatedMonteCarloEvaluator(MonteCarloEvaluator):
         copula: GaussianCopula,
         rng: Optional[np.random.Generator] = None,
         seed: int = 0,
+        plan: Optional[SamplingPlan] = None,
     ) -> None:
-        super().__init__(records, rng=rng, seed=seed)
+        super().__init__(records, rng=rng, seed=seed, plan=plan)
         if copula.dimension != len(self.records):
             raise ModelError(
                 f"copula dimension {copula.dimension} does not match "

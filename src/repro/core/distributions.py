@@ -31,6 +31,7 @@ Carlo and MCMC evaluators are built on these plans (see
 
 from __future__ import annotations
 
+import hashlib
 import math
 from abc import ABC, abstractmethod
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -135,6 +136,20 @@ class ScoreDistribution(ABC):
         masses = np.diff(self.cdf(edges))
         return HistogramScore(edges, masses)
 
+    def fingerprint(self) -> str:
+        """Stable content token used in computation-cache keys.
+
+        Families with canonical parameters override this so that two
+        parameter-identical instances produce the same token (letting
+        the :mod:`repro.core.cache` layer share compiled artifacts
+        across separately constructed databases). The fallback is
+        identity-based: conservative — it never aliases two different
+        models — but unique per instance, so unknown families (custom
+        subclasses, fault-injection wrappers) simply never share cache
+        entries.
+        """
+        return f"{type(self).__name__}@{id(self):x}"
+
     def _check_interval(self) -> None:
         if not (math.isfinite(self.lower) and math.isfinite(self.upper)):
             raise ModelError("score interval bounds must be finite")
@@ -142,6 +157,14 @@ class ScoreDistribution(ABC):
             raise ModelError(
                 f"invalid score interval [{self.lower}, {self.upper}]"
             )
+
+
+def _digest_arrays(label: str, *arrays: np.ndarray) -> str:
+    """Blake2b token over raw float buffers (histogram/discrete params)."""
+    h = hashlib.blake2b(digest_size=12)
+    for arr in arrays:
+        h.update(np.ascontiguousarray(arr, dtype=float).tobytes())
+    return f"{label}:{h.hexdigest()}"
 
 
 class PointScore(ScoreDistribution):
@@ -188,6 +211,9 @@ class PointScore(ScoreDistribution):
 
     def cdf_piecewise(self) -> PiecewisePolynomial:
         return PiecewisePolynomial.step(self.value, 1.0)
+
+    def fingerprint(self) -> str:
+        return f"point:{self.value!r}"
 
     def __repr__(self) -> str:
         return f"PointScore({self.value})"
@@ -238,6 +264,9 @@ class UniformScore(ScoreDistribution):
 
     def cdf_piecewise(self) -> PiecewisePolynomial:
         return PiecewisePolynomial.ramp(self.lower, self.upper)
+
+    def fingerprint(self) -> str:
+        return f"uniform:{self.lower!r}:{self.upper!r}"
 
     def __repr__(self) -> str:
         return f"UniformScore({self.lower}, {self.upper})"
@@ -321,6 +350,9 @@ class HistogramScore(ScoreDistribution):
             self.edges, [[d] for d in self._densities], left=0.0, right=0.0
         )
 
+    def fingerprint(self) -> str:
+        return _digest_arrays("hist", self.edges, self.masses)
+
     def __repr__(self) -> str:
         return f"HistogramScore({self.masses.size} bins on [{self.lower}, {self.upper}])"
 
@@ -381,6 +413,11 @@ class TruncatedGaussianScore(ScoreDistribution):
         phi_b = math.exp(-0.5 * self._beta**2) / math.sqrt(2.0 * math.pi)
         return self.mu + self.sigma * (phi_a - phi_b) / self._z
 
+    def fingerprint(self) -> str:
+        return (
+            f"gauss:{self.mu!r}:{self.sigma!r}:{self.lower!r}:{self.upper!r}"
+        )
+
     def __repr__(self) -> str:
         return (
             f"TruncatedGaussianScore(mu={self.mu}, sigma={self.sigma}, "
@@ -427,6 +464,9 @@ class TruncatedExponentialScore(ScoreDistribution):
         width = self.upper - self.lower
         expw = math.exp(-self.rate * width)
         return self.lower + (1.0 / self.rate) - width * expw / self._z
+
+    def fingerprint(self) -> str:
+        return f"exp:{self.rate!r}:{self.lower!r}:{self.upper!r}"
 
     def __repr__(self) -> str:
         return (
@@ -537,6 +577,9 @@ class TriangularScore(ScoreDistribution):
             right=0.0,
         )
 
+    def fingerprint(self) -> str:
+        return f"tri:{self.lower!r}:{self.mode!r}:{self.upper!r}"
+
     def __repr__(self) -> str:
         return (
             f"TriangularScore({self.lower}, mode={self.mode}, {self.upper})"
@@ -617,6 +660,9 @@ class DiscreteScore(ScoreDistribution):
         for value, weight in zip(self.values, self.weights):
             out = out + PiecewisePolynomial.step(float(value), float(weight))
         return out
+
+    def fingerprint(self) -> str:
+        return _digest_arrays("disc", self.values, self.weights)
 
     def __repr__(self) -> str:
         return f"DiscreteScore({self.values.size} atoms on [{self.lower}, {self.upper}])"
@@ -744,6 +790,11 @@ class ConvolutionScore(ScoreDistribution):
             sum(w * c.mean() for w, c in zip(self.weights, self.components))
         )
 
+    def fingerprint(self) -> str:
+        inner = ",".join(c.fingerprint() for c in self.components)
+        weights = _digest_arrays("w", self.weights)
+        return f"conv:[{inner}]:{weights}:g{self._grid_x.size}"
+
     def __repr__(self) -> str:
         return (
             f"ConvolutionScore({len(self.components)} components on "
@@ -836,6 +887,10 @@ class MixtureScore(ScoreDistribution):
         for w, comp in zip(self.weights, self.components):
             out = out + comp.pdf_piecewise() * float(w)
         return out
+
+    def fingerprint(self) -> str:
+        inner = ",".join(c.fingerprint() for c in self.components)
+        return f"mix:[{inner}]:{_digest_arrays('w', self.weights)}"
 
     def __repr__(self) -> str:
         return f"MixtureScore({len(self.components)} components)"

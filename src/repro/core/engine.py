@@ -24,6 +24,7 @@ Example
 
 from __future__ import annotations
 
+import hashlib
 import logging
 import math
 import time
@@ -32,13 +33,18 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from .budget import Budget
+from .cache import CacheStats, ComputationCache, fingerprint_records, shared_cache
 from .errors import EvaluationError, QueryError
 from .exact import ExactEvaluator, supports_exact
 from .linext import count_prefixes, enumerate_prefixes
 from .mcmc import TopKSimulation
-from .montecarlo import MonteCarloEvaluator, select_top_rank_candidates
+from .montecarlo import (
+    MonteCarloEvaluator,
+    compile_plan,
+    select_top_rank_candidates,
+)
 from .numeric import wilson_half_width
-from .parallel import ParallelSampler, resolve_workers
+from .parallel import DEFAULT_SHARDS, ParallelSampler, resolve_workers
 from .ppo import ProbabilisticPartialOrder
 from .pruning import shrink_database
 from .queries import (
@@ -112,6 +118,20 @@ class RankingEngine:
         stage on the result; Monte-Carlo stages return best-so-far
         partial estimates with a Wilson confidence half-width when the
         budget drains mid-run.
+    cache:
+        The computation cache backing this engine (see
+        :mod:`repro.core.cache`). ``None`` (default) gives the engine a
+        private cache: every compiled plan, evaluator, pairwise
+        integral, and Monte-Carlo sample block is reused across this
+        engine's queries, with no coupling to other engines.
+        ``"shared"`` joins the process-wide :func:`~repro.core.cache.
+        shared_cache`, so engines over content-identical databases
+        serve each other's work. Passing a
+        :class:`~repro.core.cache.ComputationCache` instance shares
+        exactly with whoever else holds it. Answers are unaffected by
+        the choice — cached sample blocks reproduce cold runs bit for
+        bit — only time and memory change; budgeted queries charge
+        their budget only for samples the cache cannot supply.
     """
 
     def __init__(
@@ -128,6 +148,7 @@ class RankingEngine:
         copula=None,
         workers: Union[int, str, None] = None,
         budget: Optional[Budget] = None,
+        cache: Union[ComputationCache, str, None] = None,
     ) -> None:
         if not records:
             raise QueryError("cannot rank an empty database")
@@ -152,25 +173,113 @@ class RankingEngine:
                 f"copula dimension {copula.dimension} does not match "
                 f"database size {len(self.records)}"
             )
+        if cache is None:
+            self.cache: ComputationCache = ComputationCache()
+        elif isinstance(cache, str):
+            if cache != "shared":
+                raise QueryError(f"unknown cache setting {cache!r}")
+            self.cache = shared_cache()
+        else:
+            self.cache = cache
+        # Stable per-engine stream roots, drawn once: queries become
+        # pure functions of (records, constructor seed, query args), so
+        # their sampled artifacts are addressable across queries — the
+        # old per-call rng draws made every call a fresh stream and
+        # therefore uncacheable. Two engines with equal seeds still
+        # agree, and different seeds still diverge.
+        self._sampler_seed = int(self.rng.integers(2**63))
+        self._mcmc_seed = int(self.rng.integers(2**63))
+        self._db_fp = fingerprint_records(self.records)
+        if copula is None:
+            self._copula_token: Optional[str] = None
+        else:
+            digest = hashlib.blake2b(
+                np.ascontiguousarray(
+                    copula.correlation, dtype=float
+                ).tobytes(),
+                digest_size=12,
+            )
+            self._copula_token = digest.hexdigest()
 
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
 
     def ppo(self) -> ProbabilisticPartialOrder:
-        """The partial order induced by the full database."""
-        return ProbabilisticPartialOrder(self.records)
+        """The partial order induced by the full database (cached)."""
+        return self._ppo(self._db_fp, self.records)
+
+    def _pairwise_cache(self):
+        """The per-database Eq. 1 memo shared by exact/MCMC/rank-agg."""
+        return self.cache.pairwise(self._db_fp)
+
+    def _ppo(
+        self, fp: str, subset: Sequence[UncertainRecord]
+    ) -> ProbabilisticPartialOrder:
+        return self.cache.artifact(
+            "ppo",
+            fp,
+            lambda: ProbabilisticPartialOrder(
+                subset, cache=self._pairwise_cache()
+            ),
+        )
+
+    def _pruned_entry(
+        self, level: int
+    ) -> Tuple[List[UncertainRecord], str]:
+        """``(pruned records, their fingerprint)`` for a dominance level."""
+        if not self.prune or level >= len(self.records):
+            return self.records, self._db_fp
+
+        def build() -> Tuple[List[UncertainRecord], str]:
+            kept = shrink_database(self.records, level).kept
+            return kept, fingerprint_records(kept)
+
+        return self.cache.artifact("prune", (self._db_fp, level), build)
 
     def _pruned(self, level: int) -> List[UncertainRecord]:
-        if not self.prune or level >= len(self.records):
-            return self.records
-        return shrink_database(self.records, level).kept
+        return self._pruned_entry(level)[0]
 
-    def _child_rng(self) -> np.random.Generator:
-        return np.random.default_rng(self.rng.integers(2**63))
+    def _plan_for(self, fp: str, subset: Sequence[UncertainRecord]):
+        """The compiled sampling plan for ``subset``, by fingerprint."""
+        return self.cache.artifact("plan", fp, lambda: compile_plan(subset))
+
+    def _exact(
+        self, fp: str, subset: Sequence[UncertainRecord]
+    ) -> ExactEvaluator:
+        """The (memoizing) exact evaluator for ``subset``, by fingerprint."""
+        return self.cache.artifact("exact", fp, lambda: ExactEvaluator(subset))
+
+    def _backend_key(self) -> Tuple:
+        """Identity of this engine's sampling stream, minus the workers.
+
+        Keys every sampled artifact together with the database
+        fingerprint. Includes the sampler kind (serial vs sharded —
+        different stream layouts), the engine's sampler seed, the fixed
+        shard count, and the copula, but deliberately *not* the worker
+        count: results are worker-invariant by contract, so engines
+        that differ only in ``workers`` share sampled counts.
+        """
+        base: Tuple = (
+            ("mc", self._sampler_seed)
+            if self.workers is None
+            else ("shard", self._sampler_seed, DEFAULT_SHARDS)
+        )
+        if self._copula_token is not None:
+            base = base + ("copula", self._copula_token)
+        return base
+
+    def _mcmc_call_seed(self, target: str, k: int, l: int) -> int:
+        """Deterministic per-query MCMC seed (stable across repeats)."""
+        token = (
+            f"{self._mcmc_seed}:{target}:{k}:{l}:"
+            f"{self.mcmc_chains}:{self.mcmc_steps}"
+        )
+        digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8)
+        return int.from_bytes(digest.digest(), "big")
 
     def _sampler_factory(
-        self, subset: Sequence[UncertainRecord]
+        self, subset: Sequence[UncertainRecord], plan
     ) -> Callable[[int], MonteCarloEvaluator]:
         """Seed-to-evaluator constructor over ``subset``, honoring the copula.
 
@@ -178,10 +287,11 @@ class RankingEngine:
         the corresponding correlation submatrix, so pruned databases
         keep exactly the joint distribution of the surviving records.
         The factory form lets :class:`ParallelSampler` build one
-        copula-aware evaluator per shard.
+        copula-aware evaluator per shard; ``plan`` is the shared
+        compiled sampling plan for ``subset``.
         """
         if self.copula is None:
-            return lambda s: MonteCarloEvaluator(subset, seed=s)
+            return lambda s: MonteCarloEvaluator(subset, seed=s, plan=plan)
         from .correlation import CorrelatedMonteCarloEvaluator, GaussianCopula
 
         wanted = {rec.record_id for rec in subset}
@@ -192,24 +302,54 @@ class RankingEngine:
         ]
         sub = self.copula.correlation[np.ix_(idx, idx)]
         return lambda s: CorrelatedMonteCarloEvaluator(
-            subset, GaussianCopula(sub), seed=s
+            subset, GaussianCopula(sub), seed=s, plan=plan
         )
 
     def _sampler(
-        self, subset: Sequence[UncertainRecord]
+        self, subset: Sequence[UncertainRecord], fp: str
     ) -> Union[MonteCarloEvaluator, ParallelSampler]:
-        """Monte-Carlo front-end over ``subset``.
+        """Monte-Carlo front-end over ``subset``, cached by fingerprint.
 
-        With ``workers=None`` this is a single evaluator (legacy
-        behavior); otherwise a sharded :class:`ParallelSampler` whose
-        results are worker-count invariant.
+        With ``workers=None`` this is a single evaluator; otherwise a
+        sharded :class:`ParallelSampler` whose results are worker-count
+        invariant. The evaluator object is keyed by the worker count
+        too (a sampler built for one thread pool should not decide
+        another engine's parallelism), but the *counts* it produces are
+        keyed by :meth:`_backend_key` alone and therefore shared.
         """
-        factory = self._sampler_factory(subset)
-        seed = int(self.rng.integers(2**63))
-        if self.workers is None:
-            return factory(seed)
-        return ParallelSampler(
-            subset, seed=seed, workers=self.workers, factory=factory
+
+        def build() -> Union[MonteCarloEvaluator, ParallelSampler]:
+            plan = self._plan_for(fp, subset)
+            factory = self._sampler_factory(subset, plan)
+            if self.workers is None:
+                return factory(self._sampler_seed)
+            return ParallelSampler(
+                subset,
+                seed=self._sampler_seed,
+                workers=self.workers,
+                factory=factory,
+            )
+
+        return self.cache.artifact(
+            "sampler", (fp, self._backend_key(), self.workers), build
+        )
+
+    def _rank_counts(
+        self,
+        fp: str,
+        sampler: Union[MonteCarloEvaluator, ParallelSampler],
+        samples: int,
+        max_rank: Optional[int] = None,
+        budget: Optional[Budget] = None,
+    ):
+        """Memoized rank counts with deterministic top-up (see cache)."""
+        return self.cache.rank_counts(
+            fp,
+            self._backend_key(),
+            sampler,
+            samples,
+            max_rank=max_rank,
+            budget=budget,
         )
 
     def _guard_copula(self, method: str) -> str:
@@ -228,6 +368,20 @@ class RankingEngine:
     def _effective_budget(self, budget: Optional[Budget]) -> Optional[Budget]:
         """Per-query budget override, falling back to the engine default."""
         return budget if budget is not None else self.budget
+
+    def cache_stats(self) -> CacheStats:
+        """Live counters of this engine's computation cache.
+
+        Hits, misses, LRU evictions, retained bytes, and top-up
+        extensions (rank-count requests partially served from cached
+        sample blocks). For a ``"shared"`` cache the counters cover all
+        participating engines.
+        """
+        return self.cache.stats()
+
+    def _cache_delta(self, before: CacheStats) -> dict:
+        """Counter increments since ``before``, for per-query reporting."""
+        return self.cache.stats().delta(before).to_dict()
 
     def _median_ranking(
         self, subset: Sequence[UncertainRecord]
@@ -351,16 +505,17 @@ class RankingEngine:
         if l < 1:
             raise QueryError("l must be positive")
         start = time.perf_counter()
+        stats_before = self.cache.stats()
         budget = self._effective_budget(budget)
         method = self._guard_copula(method)
-        pruned = self._pruned(j)
+        pruned, fp = self._pruned_entry(j)
         requested = samples or self.samples
         events: List[DegradationEvent] = []
         partial = False
         half_width: Optional[float] = None
 
         def run_exact() -> List[RecordAnswer]:
-            evaluator = ExactEvaluator(pruned)
+            evaluator = self._exact(fp, pruned)
             matrix = evaluator.rank_probability_matrix(
                 max_rank=j, budget=budget
             )
@@ -376,38 +531,30 @@ class RankingEngine:
 
         def run_montecarlo() -> List[RecordAnswer]:
             nonlocal partial, half_width
-            sampler = self._sampler(pruned)
-            if budget is None:
-                pairs = sampler.top_rank_candidates(i, j, l, requested)
-                return [
-                    RecordAnswer(rec.record_id, prob) for rec, prob in pairs
-                ]
-            # The engine — not the shards — takes the sample grant, so
-            # the number of samples drawn is a pure function of budget
-            # state, never of shard scheduling (the determinism-under-
-            # budget contract).
-            grant = budget.take_samples(requested)
-            if grant == 0:
-                raise _StageSkipped(
-                    "sample budget exhausted "
-                    f"({budget.exhausted_reason() or 'samples'})"
-                )
-            sc = sampler.rank_counts(grant, max_rank=j, budget=budget)
+            sampler = self._sampler(pruned, fp)
+            # The cache — not the shards — takes the sample grant for
+            # whatever cached blocks cannot cover, so the number of
+            # fresh samples drawn is a pure function of budget state
+            # and cache contents, never of shard scheduling (the
+            # determinism-under-budget contract).
+            sc = self._rank_counts(
+                fp, sampler, requested, max_rank=j, budget=budget
+            )
             if sc.done == 0:
                 raise _StageSkipped(
-                    f"budget expired before the first sample chunk "
-                    f"({sc.reason or 'deadline'})"
+                    "sample budget exhausted "
+                    f"({sc.reason or 'samples'})"
                 )
             matrix = sc.counts / sc.done
             pairs = select_top_rank_candidates(pruned, matrix, i, j, l)
-            if grant < requested or sc.partial:
+            if sc.partial:
                 partial = True
                 events.append(
                     DegradationEvent(
                         "montecarlo",
                         "clipped",
                         sc.reason
-                        or f"sample cap granted {grant}/{requested}",
+                        or f"sample cap granted {sc.done}/{requested}",
                     )
                 )
                 if pairs:
@@ -458,6 +605,7 @@ class RankingEngine:
             partial=partial,
             confidence_half_width=half_width,
             degradation=events,
+            cache=self._cache_delta(stats_before),
         )
 
     def rank_distribution(
@@ -485,15 +633,16 @@ class RankingEngine:
             )
             method = "exact" if use_exact else "montecarlo"
         if method == "exact":
-            return ExactEvaluator(self.records).rank_probabilities(
+            return self._exact(self._db_fp, self.records).rank_probabilities(
                 record_id, max_rank=max_rank
             )
         if method != "montecarlo":
             raise QueryError(f"unknown method {method!r}")
-        sampler = self._sampler(self.records)
-        matrix = sampler.rank_probability_matrix(
-            samples or self.samples, max_rank=max_rank
+        sampler = self._sampler(self.records, self._db_fp)
+        sc = self._rank_counts(
+            self._db_fp, sampler, samples or self.samples, max_rank=max_rank
         )
+        matrix = sc.counts / sc.done
         index = next(
             i
             for i, rec in enumerate(self.records)
@@ -549,17 +698,78 @@ class RankingEngine:
     # TOP-k queries (Defs. 5 and 6)
     # ------------------------------------------------------------------
 
-    def _enumerable(self, pruned: Sequence[UncertainRecord], k: int) -> bool:
+    def _prefix_space(
+        self, fp: str, subset: Sequence[UncertainRecord], k: int
+    ) -> Optional[int]:
+        """Cached ``count_prefixes`` over the (cached) partial order.
+
+        ``None`` means the space exceeds the counting cap — cached too,
+        so an uncountably large order is not re-walked on every query.
+        """
+
+        def build() -> Optional[int]:
+            try:
+                return count_prefixes(
+                    self._ppo(fp, subset), k, max_states=200_000
+                )
+            except EvaluationError:
+                return None
+
+        return self.cache.artifact("prefix-space", (fp, k), build)
+
+    def _enumerable(
+        self, pruned: Sequence[UncertainRecord], fp: str, k: int
+    ) -> bool:
         if not supports_exact(pruned):
             return False
-        try:
-            ppo = ProbabilisticPartialOrder(pruned)
-            return (
-                count_prefixes(ppo, k, max_states=200_000)
-                <= self.prefix_enumeration_limit
+        space = self._prefix_space(fp, pruned, k)
+        return space is not None and space <= self.prefix_enumeration_limit
+
+    def _exact_prefixes(
+        self, fp: str, subset: Sequence[UncertainRecord], k: int
+    ) -> Tuple[List[Tuple[Tuple[str, ...], float]], bool]:
+        """Scored k-prefixes, best-first, plus an enumeration-cap flag.
+
+        The unbudgeted exact TOP-k computation in one cacheable piece:
+        independent of ``l`` (answers are a slice of the sorted list),
+        so one enumeration serves every follow-up ``l``.
+        """
+        evaluator = self._exact(fp, subset)
+        ppo = self._ppo(fp, subset)
+        scored: List[Tuple[Tuple[str, ...], float]] = []
+        clipped = False
+        for prefix in enumerate_prefixes(ppo, k):
+            if len(scored) >= self.prefix_enumeration_limit:
+                clipped = True
+                break
+            scored.append(
+                (
+                    tuple(rec.record_id for rec in prefix),
+                    evaluator.prefix_probability(prefix),
+                )
             )
-        except EvaluationError:
-            return False
+        scored.sort(key=lambda kv: (-kv[1], kv[0]))
+        return scored, clipped
+
+    def _exact_sets(
+        self, fp: str, subset: Sequence[UncertainRecord], k: int
+    ) -> Tuple[List[Tuple[frozenset, float]], bool]:
+        """Scored top-k sets, best-first, plus an enumeration-cap flag."""
+        evaluator = self._exact(fp, subset)
+        ppo = self._ppo(fp, subset)
+        candidate_sets = set()
+        clipped = False
+        for prefix in enumerate_prefixes(ppo, k):
+            if len(candidate_sets) >= self.prefix_enumeration_limit:
+                clipped = True
+                break
+            candidate_sets.add(frozenset(rec.record_id for rec in prefix))
+        scored = [
+            (members, evaluator.top_set_probability(members))
+            for members in candidate_sets
+        ]
+        scored.sort(key=lambda kv: (-kv[1], sorted(kv[0])))
+        return scored, clipped
 
     def utop_prefix(
         self,
@@ -583,9 +793,10 @@ class RankingEngine:
         if l < 1:
             raise QueryError("l must be positive")
         start = time.perf_counter()
+        stats_before = self.cache.stats()
         budget = self._effective_budget(budget)
         method = self._guard_copula(method)
-        pruned = self._pruned(k)
+        pruned, fp = self._pruned_entry(k)
         k_eff = min(k, len(pruned))
         events: List[DegradationEvent] = []
         partial = False
@@ -596,11 +807,13 @@ class RankingEngine:
 
         def run_exact() -> List[PrefixAnswer]:
             nonlocal partial, truncated
-            evaluator = ExactEvaluator(pruned)
-            ppo = ProbabilisticPartialOrder(pruned)
-            scored: List[Tuple[Tuple[str, ...], float]] = []
-            for prefix in enumerate_prefixes(ppo, k_eff):
-                if len(scored) >= self.prefix_enumeration_limit:
+            if budget is None:
+                scored, clipped = self.cache.artifact(
+                    "exact-prefix",
+                    (fp, k_eff, self.prefix_enumeration_limit),
+                    lambda: self._exact_prefixes(fp, pruned, k_eff),
+                )
+                if clipped:
                     # Another prefix exists beyond the cap: the answer
                     # space was clipped, and the best prefix may be
                     # outside the enumerated region.
@@ -613,8 +826,26 @@ class RankingEngine:
                             f"{self.prefix_enumeration_limit} reached",
                         )
                     )
+                return [PrefixAnswer(p, prob) for p, prob in scored[:l]]
+            # Budgeted enumeration is driven (and charged) live — a
+            # budget-truncated answer set must never be cached, and the
+            # cache must not silently bypass the enumeration meter.
+            evaluator = self._exact(fp, pruned)
+            ppo = self._ppo(fp, pruned)
+            scored: List[Tuple[Tuple[str, ...], float]] = []
+            for prefix in enumerate_prefixes(ppo, k_eff):
+                if len(scored) >= self.prefix_enumeration_limit:
+                    truncated = True
+                    events.append(
+                        DegradationEvent(
+                            "exact",
+                            "clipped",
+                            f"enumeration cap "
+                            f"{self.prefix_enumeration_limit} reached",
+                        )
+                    )
                     break
-                if budget is not None and not budget.consume_enumeration():
+                if not budget.consume_enumeration():
                     truncated = True
                     partial = True
                     events.append(
@@ -640,36 +871,55 @@ class RankingEngine:
 
         def run_mcmc() -> List[PrefixAnswer]:
             nonlocal partial, error_bound, diagnostics
-            sampler = self._sampler(pruned)
+            sampler = self._sampler(pruned, fp)
             matrix_samples = max(2000, self.samples // 5)
             rank_matrix: Optional[np.ndarray] = None
+            sc = self._rank_counts(
+                fp, sampler, matrix_samples, max_rank=k_eff, budget=budget
+            )
+            if sc.done > 0:
+                rank_matrix = sc.counts / sc.done
+
+            def simulate():
+                sim = TopKSimulation(
+                    pruned,
+                    k_eff,
+                    target="prefix",
+                    n_chains=self.mcmc_chains,
+                    seed=self._mcmc_call_seed("prefix", k_eff, l),
+                    workers=self.workers,
+                    plan=self._plan_for(fp, pruned),
+                    pairwise_cache=self._pairwise_cache(),
+                )
+                return sim.run(
+                    max_steps=self.mcmc_steps,
+                    psrf_threshold=self.psrf_threshold,
+                    top_l=l,
+                    rank_matrix=rank_matrix,
+                    budget=budget,
+                )
+
             if budget is None:
-                rank_matrix = sampler.rank_probability_matrix(
-                    matrix_samples, max_rank=k_eff
+                result = self.cache.artifact(
+                    "mcmc",
+                    (
+                        fp,
+                        self._backend_key(),
+                        "prefix",
+                        k_eff,
+                        l,
+                        matrix_samples,
+                        self.mcmc_chains,
+                        self.mcmc_steps,
+                        self.psrf_threshold,
+                        self._mcmc_seed,
+                    ),
+                    simulate,
                 )
             else:
-                grant = budget.take_samples(matrix_samples)
-                if grant > 0:
-                    sc = sampler.rank_counts(
-                        grant, max_rank=k_eff, budget=budget
-                    )
-                    if sc.done > 0:
-                        rank_matrix = sc.counts / sc.done
-            sim = TopKSimulation(
-                pruned,
-                k_eff,
-                target="prefix",
-                n_chains=self.mcmc_chains,
-                rng=self._child_rng(),
-                workers=self.workers,
-            )
-            result = sim.run(
-                max_steps=self.mcmc_steps,
-                psrf_threshold=self.psrf_threshold,
-                top_l=l,
-                rank_matrix=rank_matrix,
-                budget=budget,
-            )
+                # A budgeted walk reflects *this* query's budget state;
+                # neither read nor write the cache for it.
+                result = simulate()
             if result.partial:
                 partial = True
                 events.append(
@@ -692,7 +942,7 @@ class RankingEngine:
 
         def run_montecarlo() -> List[PrefixAnswer]:
             nonlocal partial, half_width
-            sampler = self._sampler(pruned)
+            sampler = self._sampler(pruned, fp)
             requested = self.samples
             denom = requested
             if budget is not None:
@@ -712,7 +962,15 @@ class RankingEngine:
                         )
                     )
                 denom = grant
-            freq = sampler.empirical_top_prefixes(k_eff, denom)
+                freq = sampler.empirical_top_prefixes(k_eff, denom, seed=0)
+            else:
+                freq = self.cache.artifact(
+                    "empirical-prefix",
+                    (fp, self._backend_key(), k_eff, denom),
+                    lambda: sampler.empirical_top_prefixes(
+                        k_eff, denom, seed=0
+                    ),
+                )
             ranked = sorted(freq.items(), key=lambda kv: (-kv[1], kv[0]))
             if partial and ranked:
                 half_width = wilson_half_width(ranked[0][1], denom)
@@ -727,7 +985,7 @@ class RankingEngine:
 
         if method == "auto":
             stages: List[Tuple[str, Callable[[], List]]] = []
-            if self._enumerable(pruned, k_eff):
+            if self._enumerable(pruned, fp, k_eff):
                 stages.append(("exact", run_exact))
             stages.append(("mcmc", run_mcmc))
             stages.append(("montecarlo", run_montecarlo))
@@ -755,6 +1013,7 @@ class RankingEngine:
             truncated=truncated,
             confidence_half_width=half_width,
             degradation=events,
+            cache=self._cache_delta(stats_before),
         )
 
     def utop_set(
@@ -770,9 +1029,10 @@ class RankingEngine:
         if l < 1:
             raise QueryError("l must be positive")
         start = time.perf_counter()
+        stats_before = self.cache.stats()
         budget = self._effective_budget(budget)
         method = self._guard_copula(method)
-        pruned = self._pruned(k)
+        pruned, fp = self._pruned_entry(k)
         k_eff = min(k, len(pruned))
         events: List[DegradationEvent] = []
         partial = False
@@ -783,8 +1043,25 @@ class RankingEngine:
 
         def run_exact() -> List[SetAnswer]:
             nonlocal partial, truncated
-            evaluator = ExactEvaluator(pruned)
-            ppo = ProbabilisticPartialOrder(pruned)
+            if budget is None:
+                scored, clipped = self.cache.artifact(
+                    "exact-set",
+                    (fp, k_eff, self.prefix_enumeration_limit),
+                    lambda: self._exact_sets(fp, pruned, k_eff),
+                )
+                if clipped:
+                    truncated = True
+                    events.append(
+                        DegradationEvent(
+                            "exact",
+                            "clipped",
+                            f"enumeration cap "
+                            f"{self.prefix_enumeration_limit} reached",
+                        )
+                    )
+                return [SetAnswer(m, prob) for m, prob in scored[:l]]
+            evaluator = self._exact(fp, pruned)
+            ppo = self._ppo(fp, pruned)
             candidate_sets = set()
             for prefix in enumerate_prefixes(ppo, k_eff):
                 if len(candidate_sets) >= self.prefix_enumeration_limit:
@@ -798,7 +1075,7 @@ class RankingEngine:
                         )
                     )
                     break
-                if budget is not None and not budget.consume_enumeration():
+                if not budget.consume_enumeration():
                     truncated = True
                     partial = True
                     events.append(
@@ -826,36 +1103,53 @@ class RankingEngine:
 
         def run_mcmc() -> List[SetAnswer]:
             nonlocal partial, error_bound, diagnostics
-            sampler = self._sampler(pruned)
+            sampler = self._sampler(pruned, fp)
             matrix_samples = max(2000, self.samples // 5)
             rank_matrix: Optional[np.ndarray] = None
+            sc = self._rank_counts(
+                fp, sampler, matrix_samples, max_rank=k_eff, budget=budget
+            )
+            if sc.done > 0:
+                rank_matrix = sc.counts / sc.done
+
+            def simulate():
+                sim = TopKSimulation(
+                    pruned,
+                    k_eff,
+                    target="set",
+                    n_chains=self.mcmc_chains,
+                    seed=self._mcmc_call_seed("set", k_eff, l),
+                    workers=self.workers,
+                    plan=self._plan_for(fp, pruned),
+                    pairwise_cache=self._pairwise_cache(),
+                )
+                return sim.run(
+                    max_steps=self.mcmc_steps,
+                    psrf_threshold=self.psrf_threshold,
+                    top_l=l,
+                    rank_matrix=rank_matrix,
+                    budget=budget,
+                )
+
             if budget is None:
-                rank_matrix = sampler.rank_probability_matrix(
-                    matrix_samples, max_rank=k_eff
+                result = self.cache.artifact(
+                    "mcmc",
+                    (
+                        fp,
+                        self._backend_key(),
+                        "set",
+                        k_eff,
+                        l,
+                        matrix_samples,
+                        self.mcmc_chains,
+                        self.mcmc_steps,
+                        self.psrf_threshold,
+                        self._mcmc_seed,
+                    ),
+                    simulate,
                 )
             else:
-                grant = budget.take_samples(matrix_samples)
-                if grant > 0:
-                    sc = sampler.rank_counts(
-                        grant, max_rank=k_eff, budget=budget
-                    )
-                    if sc.done > 0:
-                        rank_matrix = sc.counts / sc.done
-            sim = TopKSimulation(
-                pruned,
-                k_eff,
-                target="set",
-                n_chains=self.mcmc_chains,
-                rng=self._child_rng(),
-                workers=self.workers,
-            )
-            result = sim.run(
-                max_steps=self.mcmc_steps,
-                psrf_threshold=self.psrf_threshold,
-                top_l=l,
-                rank_matrix=rank_matrix,
-                budget=budget,
-            )
+                result = simulate()
             if result.partial:
                 partial = True
                 events.append(
@@ -877,7 +1171,7 @@ class RankingEngine:
 
         def run_montecarlo() -> List[SetAnswer]:
             nonlocal partial, half_width
-            sampler = self._sampler(pruned)
+            sampler = self._sampler(pruned, fp)
             requested = self.samples
             denom = requested
             if budget is not None:
@@ -897,7 +1191,13 @@ class RankingEngine:
                         )
                     )
                 denom = grant
-            freq = sampler.empirical_top_sets(k_eff, denom)
+                freq = sampler.empirical_top_sets(k_eff, denom, seed=0)
+            else:
+                freq = self.cache.artifact(
+                    "empirical-set",
+                    (fp, self._backend_key(), k_eff, denom),
+                    lambda: sampler.empirical_top_sets(k_eff, denom, seed=0),
+                )
             ranked = sorted(
                 freq.items(), key=lambda kv: (-kv[1], sorted(kv[0]))
             )
@@ -912,7 +1212,7 @@ class RankingEngine:
 
         if method == "auto":
             stages: List[Tuple[str, Callable[[], List]]] = []
-            if self._enumerable(pruned, k_eff):
+            if self._enumerable(pruned, fp, k_eff):
                 stages.append(("exact", run_exact))
             stages.append(("mcmc", run_mcmc))
             stages.append(("montecarlo", run_montecarlo))
@@ -940,6 +1240,7 @@ class RankingEngine:
             truncated=truncated,
             confidence_half_width=half_width,
             degradation=events,
+            cache=self._cache_delta(stats_before),
         )
 
     # ------------------------------------------------------------------
@@ -969,7 +1270,7 @@ class RankingEngine:
             raise QueryError(f"unknown query kind {query!r}")
         if k < 1:
             raise QueryError("k must be positive")
-        pruned = self._pruned(k)
+        pruned, fp = self._pruned_entry(k)
         k_eff = min(k, len(pruned))
         plan = {
             "query": query,
@@ -979,6 +1280,8 @@ class RankingEngine:
             "pruning_enabled": self.prune,
             "exact_densities": supports_exact(pruned),
             "workers": self.workers,
+            "fingerprint": fp,
+            "cache": self.cache.stats().to_dict(),
         }
         if query == "utop_rank":
             plan["method"] = (
@@ -989,13 +1292,7 @@ class RankingEngine:
             )
             plan["samples"] = self.samples
             return plan
-        space: Optional[int]
-        try:
-            space = count_prefixes(
-                ProbabilisticPartialOrder(pruned), k_eff, max_states=200_000
-            )
-        except EvaluationError:
-            space = None
+        space = self._prefix_space(fp, pruned, k_eff)
         plan["prefix_space"] = space
         plan["enumeration_limit"] = self.prefix_enumeration_limit
         plan["truncated"] = (
@@ -1026,24 +1323,48 @@ class RankingEngine:
         ``"montecarlo"`` (selects how the ``eta`` matrix is obtained).
         """
         start = time.perf_counter()
+        stats_before = self.cache.stats()
         method = self._guard_copula(method)
         records = self.records
+        fp = self._db_fp
         if method == "auto":
             use_exact = (
                 supports_exact(records)
                 and len(records) <= self.exact_record_limit
             )
             method = "exact" if use_exact else "montecarlo"
+        requested = samples or self.samples
+
+        def aggregate() -> Tuple[Tuple[str, ...], float]:
+            if method == "exact":
+                # The exact evaluator shares the per-database pairwise
+                # memo through its probability_greater entry point; the
+                # eta matrix itself is memoized inside the evaluator.
+                matrix = self._exact(fp, records).rank_probability_matrix()
+                tolerance = 1e-9
+            else:
+                sampler = self._sampler(records, fp)
+                sc = self._rank_counts(fp, sampler, requested)
+                matrix = sc.counts / sc.done
+                # Sampling noise perturbs footrule costs by roughly
+                # n / sqrt(samples); ties inside that band canonicalize
+                # to the expected-rank order so the Monte-Carlo
+                # consensus agrees with the exact one on tied optima.
+                tolerance = len(records) / math.sqrt(max(sc.done, 1))
+            ranking, cost = optimal_rank_aggregation(
+                matrix, records, tie_tolerance=tolerance
+            )
+            return tuple(rec.record_id for rec in ranking), cost
+
         if method == "exact":
-            matrix = ExactEvaluator(records).rank_probability_matrix()
+            key: Tuple = (fp, "exact")
         elif method == "montecarlo":
-            sampler = self._sampler(records)
-            matrix = sampler.rank_probability_matrix(samples or self.samples)
+            key = (fp, self._backend_key(), requested)
         else:
             raise QueryError(f"unknown method {method!r} for Rank-Agg")
-        ranking, cost = optimal_rank_aggregation(matrix, records)
+        ranking_ids, cost = self.cache.artifact("rank-agg", key, aggregate)
         answer = RankAggAnswer(
-            ranking=tuple(rec.record_id for rec in ranking),
+            ranking=ranking_ids,
             expected_distance=cost,
         )
         return QueryResult(
@@ -1052,4 +1373,5 @@ class RankingEngine:
             elapsed=time.perf_counter() - start,
             database_size=len(records),
             pruned_size=len(records),
+            cache=self._cache_delta(stats_before),
         )

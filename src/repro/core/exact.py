@@ -106,6 +106,8 @@ class ExactEvaluator:
                 )
             self._by_id[rec.record_id] = rec
         self._point_value = _tie_perturbations(self.records)
+        # Deepest-seen eta matrix memo; see rank_probability_matrix.
+        self._matrix: Optional[np.ndarray] = None
         self._pdf: Dict[str, Optional[PiecewisePolynomial]] = {}
         self._cdf: Dict[str, PiecewisePolynomial] = {}
         for rec in self.records:
@@ -352,12 +354,32 @@ class ExactEvaluator:
         matrix would misrepresent the remaining records, so exhaustion
         raises :class:`EvaluationError` (feeding the degradation ladder)
         rather than returning a partial answer.
+
+        Unbudgeted calls memoize the matrix at the deepest ``max_rank``
+        requested so far and serve shallower requests as column slices,
+        which is exact: the Poisson-binomial recurrence fills entry
+        ``m`` identically whatever the requested ``max_rank >= m + 1``
+        is, so the sliced deep matrix is bit-identical to a directly
+        computed shallow one. The memo is *not* eagerly full-depth —
+        the DP cost grows with the rank window, and top-k queries only
+        ever need a few columns. Budgeted calls bypass the memo both
+        ways — they must poll the budget row by row, and a
+        budget-truncated run must not poison later queries.
         """
         n = len(self.records)
         limit = n if max_rank is None else min(max_rank, n)
+        if budget is None:
+            if self._matrix is None or self._matrix.shape[1] < limit:
+                stored = np.zeros((n, limit))
+                for idx, rec in enumerate(self.records):
+                    stored[idx] = self.rank_probabilities(
+                        rec, max_rank=limit
+                    )
+                self._matrix = stored
+            return self._matrix[:, :limit].copy()
         out = np.zeros((n, limit))
         for idx, rec in enumerate(self.records):
-            if budget is not None and budget.expired():
+            if budget.expired():
                 raise EvaluationError(
                     f"budget {budget.exhausted_reason()} after "
                     f"{idx} of {n} exact rank rows"

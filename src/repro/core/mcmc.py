@@ -362,6 +362,16 @@ class TopKSimulation:
     retry_backoff:
         Base sleep in seconds before the ``i``-th oracle retry
         (``retry_backoff * 2**i``); set to 0 in tests.
+    plan:
+        Optional precompiled sampling plan for the same records (used
+        only to draw initial chain states); lets the computation cache
+        share one compiled plan across simulations.
+    pairwise_cache:
+        Optional externally owned Eq. 1 memo. When given (and
+        ``use_pairwise_cache`` is on) the simulation reads and feeds
+        this shared cache instead of a private one, so pairwise
+        integrals are shared with the exact and rank-aggregation
+        paths.
     """
 
     def __init__(
@@ -380,6 +390,8 @@ class TopKSimulation:
         workers: Union[int, str, None] = None,
         oracle_retries: int = 2,
         retry_backoff: float = 0.05,
+        plan: Optional[SamplingPlan] = None,
+        pairwise_cache: Optional[PairwiseCache] = None,
     ) -> None:
         if target not in ("prefix", "set"):
             raise QueryError(f"unknown simulation target {target!r}")
@@ -394,9 +406,16 @@ class TopKSimulation:
         self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.workers = resolve_workers(workers, tasks=n_chains)
         self._by_id = {rec.record_id: rec for rec in self.records}
-        self._plan: SamplingPlan = build_sampling_plan(
-            [rec.score for rec in self.records]
-        )
+        if plan is not None:
+            # A shared precompiled plan (typically the engine cache's
+            # compile_plan result). It only seeds initial chain states,
+            # so tie-perturbed shared plans are fine — if anything they
+            # respect the tie semantics better than a bare rebuild.
+            self._plan: SamplingPlan = plan
+        else:
+            self._plan = build_sampling_plan(
+                [rec.score for rec in self.records]
+            )
         if oracle_retries < 0:
             raise QueryError("oracle_retries must be non-negative")
         self.oracle_retries = oracle_retries
@@ -406,7 +425,12 @@ class TopKSimulation:
             oracle, pi_samples, exact_oracle_limit
         )
         if use_pairwise_cache:
-            self._pairwise_cache: Optional[PairwiseCache] = PairwiseCache()
+            # An injected cache (the engine's per-database Eq. 1 memo)
+            # lets MCMC proposals reuse integrals computed by the exact
+            # and rank-aggregation paths, and vice versa.
+            if pairwise_cache is None:
+                pairwise_cache = PairwiseCache()
+            self._pairwise_cache: Optional[PairwiseCache] = pairwise_cache
             self._pairwise = self._pairwise_cache.probability
         else:
             self._pairwise_cache = None

@@ -45,7 +45,29 @@ from .exact import _tie_perturbations
 from .numeric import clamp_probability
 from .records import UncertainRecord
 
-__all__ = ["MonteCarloEvaluator", "select_top_rank_candidates"]
+__all__ = ["MonteCarloEvaluator", "compile_plan", "select_top_rank_candidates"]
+
+
+def compile_plan(records: Sequence[UncertainRecord]) -> SamplingPlan:
+    """Compile the columnar sampling plan for a database.
+
+    This is exactly the plan :class:`MonteCarloEvaluator` builds at
+    construction — family-grouped columns with tie-breaker perturbations
+    applied to duplicated deterministic scores — exposed as a module
+    function so the computation cache can compile once per database
+    fingerprint and hand the shared plan to every evaluator
+    (``MonteCarloEvaluator(records, plan=...)``).
+    """
+    recs = list(records)
+    tie_values = _tie_perturbations(recs)
+    overrides = {
+        i: tie_values[rec.record_id]
+        for i, rec in enumerate(recs)
+        if rec.record_id in tie_values
+    }
+    return build_sampling_plan(
+        [rec.score for rec in recs], sample_overrides=overrides
+    )
 
 
 def select_top_rank_candidates(
@@ -88,6 +110,12 @@ class MonteCarloEvaluator:
         defaults to ``0`` so estimates are reproducible by default. Also
         the root of the evaluator's :class:`numpy.random.SeedSequence`,
         from which per-call streams are spawned (below).
+    plan:
+        Optional precompiled :func:`compile_plan` result for the same
+        records; skips the per-evaluator plan build so one compiled
+        plan can serve many evaluators (the computation cache relies
+        on this). The plan carries no random state, so sharing it does
+        not couple the evaluators' streams.
 
     Determinism contract
     --------------------
@@ -116,6 +144,7 @@ class MonteCarloEvaluator:
         records: Sequence[UncertainRecord],
         rng: Optional[np.random.Generator] = None,
         seed: int = 0,
+        plan: Optional[SamplingPlan] = None,
     ) -> None:
         self.records = list(records)
         self._seed_seq = np.random.SeedSequence(seed)
@@ -133,9 +162,17 @@ class MonteCarloEvaluator:
             for i, rec in enumerate(self.records)
             if rec.record_id in self._tie_values
         }
-        self._plan: SamplingPlan = build_sampling_plan(
-            [rec.score for rec in self.records], sample_overrides=overrides
-        )
+        if plan is not None:
+            # A precompiled plan (``compile_plan`` over the same records,
+            # typically via the computation cache) — sharing it skips the
+            # per-evaluator compile. Plans are immutable after build, so
+            # sharing one across evaluators is safe.
+            self._plan: SamplingPlan = plan
+        else:
+            self._plan = build_sampling_plan(
+                [rec.score for rec in self.records],
+                sample_overrides=overrides,
+            )
         self._subplans: Dict[Tuple[int, ...], SamplingPlan] = {}
 
     # ------------------------------------------------------------------

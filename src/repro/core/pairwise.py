@@ -138,6 +138,11 @@ class PairwiseCache:
     def __len__(self) -> int:
         return len(self._store)
 
+    @property
+    def nbytes(self) -> int:
+        """Rough retained size: two keyed floats per unordered pair."""
+        return 120 * len(self._store)
+
     def clear(self) -> None:
         """Drop all cached entries and reset counters."""
         self._store.clear()

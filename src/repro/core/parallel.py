@@ -42,6 +42,7 @@ from typing import (
 import numpy as np
 
 from .budget import Budget, SampleCounts
+from .distributions import SamplingPlan
 from .errors import EvaluationError, QueryError
 from .montecarlo import MonteCarloEvaluator, select_top_rank_candidates
 from .numeric import clamp_probability
@@ -111,6 +112,11 @@ class ParallelSampler:
     factory:
         Optional ``(seed) -> MonteCarloEvaluator`` constructor for the
         per-shard evaluators; inject a copula-aware builder here.
+    plan:
+        Optional precompiled sampling plan (``compile_plan`` over the
+        same records) forwarded to the default factory so the shard
+        evaluators share one compiled plan instead of building
+        ``shards`` copies. Ignored when ``factory`` is given.
 
     Determinism contract
     --------------------
@@ -127,6 +133,7 @@ class ParallelSampler:
         workers: Union[int, str, None] = "auto",
         shards: int = DEFAULT_SHARDS,
         factory: Optional[Callable[[int], MonteCarloEvaluator]] = None,
+        plan: Optional[SamplingPlan] = None,
     ) -> None:
         if shards < 1:
             raise QueryError("shards must be a positive integer")
@@ -135,7 +142,9 @@ class ParallelSampler:
         self.workers = resolve_workers(workers, tasks=self.shards)
         self._seed_seq = np.random.SeedSequence(seed)
         if factory is None:
-            factory = lambda s: MonteCarloEvaluator(self.records, seed=s)
+            factory = lambda s: MonteCarloEvaluator(
+                self.records, seed=s, plan=plan
+            )
         # Child seeds depend only on (seed, shard index): hash the
         # spawned child sequences down to ints so each shard evaluator
         # owns a full SeedSequence root for its per-call streams.

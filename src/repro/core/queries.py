@@ -183,6 +183,9 @@ class QueryResult:
     degradation:
         Structured :class:`DegradationEvent` log of every ladder step
         taken under ``method="auto"`` (empty for clean evaluations).
+    cache:
+        Computation-cache increments attributed to this query (hits,
+        misses, top-up extensions), when the engine ran with a cache.
     """
 
     answers: List
@@ -196,6 +199,7 @@ class QueryResult:
     truncated: bool = False
     confidence_half_width: Optional[float] = None
     degradation: List[DegradationEvent] = field(default_factory=list)
+    cache: Optional[dict] = None
 
     @property
     def top(self) -> Any:
@@ -253,4 +257,5 @@ class QueryResult:
                 {"stage": e.stage, "action": e.action, "reason": e.reason}
                 for e in self.degradation
             ],
+            "cache": None if self.cache is None else dict(self.cache),
         }

@@ -89,6 +89,7 @@ def footrule_weights(rank_matrix: np.ndarray) -> np.ndarray:
 def optimal_rank_aggregation(
     rank_matrix: np.ndarray,
     records: Sequence[UncertainRecord],
+    tie_tolerance: float = 1e-9,
 ) -> Tuple[List[UncertainRecord], float]:
     """Footrule-optimal aggregate ranking (paper Theorem 2).
 
@@ -100,12 +101,24 @@ def optimal_rank_aggregation(
         :class:`~repro.core.montecarlo.MonteCarloEvaluator`).
     records:
         Records in the same row order as the matrix.
+    tie_tolerance:
+        The footrule optimum is frequently non-unique (swapping two
+        records with symmetric rank distributions leaves the cost
+        unchanged), and ``linear_sum_assignment`` breaks such ties by
+        row index — an order that is not stable under estimation noise
+        in the matrix. Among rankings whose cost is within this
+        tolerance of the optimum, the expected-rank ordering (record id
+        as final tie-break) is preferred, so exact and sampled matrices
+        of the same database canonicalize to the same consensus.
+        Callers holding a sampled matrix should widen this to the
+        sampling-noise scale (roughly ``n / sqrt(samples)``).
 
     Returns
     -------
     (ranking, cost):
         The optimal ranking (top first) and its expected footrule
-        distance to the extension distribution.
+        distance to the extension distribution (the returned ranking's
+        own cost, within ``tie_tolerance`` of the true optimum).
     """
     matrix = np.asarray(rank_matrix, dtype=float)
     n = len(records)
@@ -116,10 +129,17 @@ def optimal_rank_aggregation(
         )
     weights = footrule_weights(matrix)
     rows, cols = linear_sum_assignment(weights)
+    cost = float(weights[rows, cols].sum())
+    expected = matrix @ np.arange(1.0, n + 1.0)
+    order = sorted(
+        range(n), key=lambda t: (expected[t], records[t].record_id)
+    )
+    canonical_cost = float(weights[order, np.arange(n)].sum())
+    if canonical_cost <= cost + tie_tolerance:
+        return [records[t] for t in order], canonical_cost
     ranking: List[Optional[UncertainRecord]] = [None] * n
     for t, r in zip(rows, cols):
         ranking[r] = records[t]
-    cost = float(weights[rows, cols].sum())
     assert all(rec is not None for rec in ranking)
     return [rec for rec in ranking if rec is not None], cost
 

@@ -9,6 +9,7 @@ lists via a :class:`~repro.db.scoring.ScoringFunction`.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from ..core.errors import ModelError
@@ -73,42 +74,110 @@ class UncertainTable:
             None if uncertain_columns is None else set(uncertain_columns)
         )
         self.rows: List[Dict] = []
+        self.version = 0
         seen = set()
         for raw_row in rows:
-            row = {}
-            for col in self.columns:
-                if col not in raw_row:
-                    raise ModelError(
-                        f"row is missing column {col!r}: {raw_row!r}"
-                    )
-                cell = raw_row[col]
-                wrap = (
-                    col != self.key
-                    and not isinstance(cell, str)
-                    and (
-                        self.uncertain_columns is None
-                        or col in self.uncertain_columns
-                    )
-                )
-                if not wrap:
-                    row[col] = cell
-                else:
-                    try:
-                        row[col] = wrap_value(cell)
-                    except ModelError:
-                        row[col] = cell
-            key_value = str(row[self.key])
+            row = self._coerce_row(raw_row)
+            key_value = row[self.key]
             if key_value in seen:
                 raise ModelError(f"duplicate key {key_value!r}")
             seen.add(key_value)
-            row[self.key] = key_value
             self.rows.append(row)
+
+    def _coerce_row(self, raw_row: Dict) -> Dict:
+        """One row coerced exactly like construction-time rows."""
+        row = {}
+        for col in self.columns:
+            if col not in raw_row:
+                raise ModelError(
+                    f"row is missing column {col!r}: {raw_row!r}"
+                )
+            row[col] = self._coerce_cell(col, raw_row[col])
+        row[self.key] = str(row[self.key])
+        return row
+
+    def _coerce_cell(self, col: str, cell: object) -> object:
+        wrap = (
+            col != self.key
+            and not isinstance(cell, str)
+            and (
+                self.uncertain_columns is None
+                or col in self.uncertain_columns
+            )
+        )
+        if not wrap:
+            return cell
+        try:
+            return wrap_value(cell)
+        except ModelError:
+            return cell
 
     def __len__(self) -> int:
         return len(self.rows)
 
     def __iter__(self) -> Iterator[Dict]:
         return iter(self.rows)
+
+    # ------------------------------------------------------------------
+    # mutation (every mutation bumps ``version``)
+    # ------------------------------------------------------------------
+
+    def add_row(self, raw_row: Dict) -> None:
+        """Append one row (coerced like construction) and bump ``version``."""
+        row = self._coerce_row(raw_row)
+        key_value = row[self.key]
+        if any(r[self.key] == key_value for r in self.rows):
+            raise ModelError(f"duplicate key {key_value!r}")
+        self.rows.append(row)
+        self.version += 1
+
+    def remove_row(self, key_value: str) -> None:
+        """Delete the row keyed ``key_value`` and bump ``version``."""
+        key_value = str(key_value)
+        for i, row in enumerate(self.rows):
+            if row[self.key] == key_value:
+                del self.rows[i]
+                self.version += 1
+                return
+        raise ModelError(f"no row with key {key_value!r}")
+
+    def update_cell(self, key_value: str, column: str, value: object) -> None:
+        """Replace one cell (coerced like construction) and bump ``version``."""
+        if column not in self.columns:
+            raise ModelError(f"unknown column {column!r}")
+        if column == self.key:
+            raise ModelError("use remove_row/add_row to change keys")
+        key_value = str(key_value)
+        for row in self.rows:
+            if row[self.key] == key_value:
+                row[column] = self._coerce_cell(column, value)
+                self.version += 1
+                return
+        raise ModelError(f"no row with key {key_value!r}")
+
+    def fingerprint(self) -> str:
+        """Content digest of the table, distinct after every mutation.
+
+        Hashes the schema, the version counter, and every cell (via
+        ``repr``, which the uncertain value types define structurally).
+        The version term makes invalidation unconditional: even a
+        mutation that round-trips back to equal-looking cells yields a
+        fresh fingerprint, so a computation cache can never serve
+        results derived from a superseded table state.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(
+            f"table-v1:{self.name}:{self.key}:{self.version}".encode("utf-8")
+        )
+        for col in self.columns:
+            h.update(col.encode("utf-8"))
+            h.update(b"\x00")
+        for row in self.rows:
+            for col in self.columns:
+                h.update(repr(row[col]).encode("utf-8"))
+                h.update(b"\x1f")
+            h.update(b"\x1e")
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     # relational operations
@@ -122,6 +191,7 @@ class UncertainTable:
         table.key = self.key
         table.uncertain_columns = self.uncertain_columns
         table.rows = [row for row in self.rows if predicate(row)]
+        table.version = 0
         return table
 
     def project(self, columns: Sequence[str]) -> "UncertainTable":
@@ -138,6 +208,7 @@ class UncertainTable:
         table.key = self.key
         table.uncertain_columns = self.uncertain_columns
         table.rows = [{c: row[c] for c in cols} for row in self.rows]
+        table.version = 0
         return table
 
     def head(self, n: int) -> "UncertainTable":
@@ -148,6 +219,7 @@ class UncertainTable:
         table.key = self.key
         table.uncertain_columns = self.uncertain_columns
         table.rows = self.rows[:n]
+        table.version = 0
         return table
 
     def column(self, name: str) -> List:

@@ -10,6 +10,7 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.budget import Budget
+from ..core.cache import ComputationCache
 from ..core.engine import RankingEngine
 from ..core.montecarlo import MonteCarloEvaluator
 from ..core.parallel import ParallelSampler
@@ -62,6 +63,7 @@ def make_engine(
     workers: Union[int, str, None] = None,
     time_limit: Optional[float] = None,
     max_samples: Optional[int] = None,
+    cache: Union[ComputationCache, str, None] = None,
     **engine_kwargs: object,
 ) -> RankingEngine:
     """A :class:`RankingEngine` with an optional resource budget.
@@ -72,12 +74,24 @@ def make_engine(
     ladder instead of overrunning — the configuration an experiment
     measuring anytime behaviour wants. With both limits ``None`` the
     engine is unbudgeted (legacy behaviour).
+
+    ``cache`` selects the computation cache: ``None`` for a private
+    per-engine cache (isolated timing, the default an experiment
+    usually wants), ``"shared"`` for the process-wide cache, or an
+    explicit :class:`~repro.core.cache.ComputationCache` to share one
+    cache across a fleet of measured engines (the query-cache
+    benchmark's warm passes do exactly that).
     """
     budget = None
     if time_limit is not None or max_samples is not None:
         budget = Budget(deadline=time_limit, max_samples=max_samples)
     return RankingEngine(
-        records, seed=seed, workers=workers, budget=budget, **engine_kwargs
+        records,
+        seed=seed,
+        workers=workers,
+        budget=budget,
+        cache=cache,
+        **engine_kwargs,
     )
 
 

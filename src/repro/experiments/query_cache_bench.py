@@ -1,0 +1,272 @@
+"""Query-cache benchmark: warm-vs-cold time for a repeated workload.
+
+Measures what the session-scoped :class:`~repro.core.cache.ComputationCache`
+buys on realistic query traffic: a mixed workload of UTop-Rank /
+UTop-Prefix / UTop-Set / rank-distribution / Rank-Agg queries with
+varying ``i``/``j``/``k``/``l`` parameters is run twice over the same
+database —
+
+- **cold**: a fresh engine over an empty cache (every plan, pairwise
+  integral, sample block, and MCMC walk is paid for);
+- **warm**: a *new* engine instance with the same seed sharing the
+  now-populated cache (the traffic a long-lived service actually sees).
+
+The two passes must produce byte-identical answers — cached sample
+blocks reproduce cold runs bit for bit — so the report also carries an
+``answers_identical`` flag computed from the serialized answer streams.
+
+Regenerate the committed report with::
+
+    PYTHONPATH=src python -m repro.experiments.query_cache_bench
+
+which writes ``BENCH_query_cache.json`` at the repository root (schema
+below); ``benchmarks/bench_query_cache.py`` and the tier-1 smoke test
+reuse :func:`run_benchmark` directly.
+
+Schema::
+
+    {
+      "schema": 1,
+      "unit": "seconds",
+      "size": 1000, "queries": 50,
+      "cold_seconds": ..., "warm_seconds": ..., "speedup": ...,
+      "answers_identical": true,
+      "warm_cache": {"hits": ..., "misses": ..., ...}
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.cache import ComputationCache
+from ..core.engine import RankingEngine
+from ..core.records import UncertainRecord, uniform
+
+__all__ = [
+    "REPORT_PATH",
+    "benchmark_records",
+    "workload",
+    "run_pass",
+    "run_benchmark",
+    "write_report",
+    "main",
+]
+
+#: The committed report, at the repository root next to BENCH_sampling.json.
+REPORT_PATH = (
+    Path(__file__).resolve().parents[3] / "BENCH_query_cache.json"
+)
+
+#: A query spec: ``(kind, args)`` consumed by :func:`run_pass`.
+QuerySpec = Tuple[str, Tuple[int, ...]]
+
+
+def benchmark_records(
+    n: int, seed: int = 20090107
+) -> List[UncertainRecord]:
+    """``n`` heavily overlapping uniform-interval records.
+
+    Interval centers are spread over [0, 100] with widths up to ~8, so
+    the top region overlaps enough that k-dominance pruning keeps a
+    non-trivial candidate set and every sampled path does real work.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, 100.0, size=n)
+    widths = rng.uniform(0.5, 8.0, size=n)
+    return [
+        uniform(
+            f"r{i:05d}",
+            float(centers[i] - widths[i]),
+            float(centers[i] + widths[i]),
+        )
+        for i in range(n)
+    ]
+
+
+def workload(n_queries: int = 50) -> List[QuerySpec]:
+    """A mixed, partially repeating query workload.
+
+    Cycles through the five query families while stepping the rank
+    range / depth / answer-count parameters through small deterministic
+    progressions, so consecutive queries differ in ``i``/``j``/``k``/``l``
+    but revisit earlier parameter combinations — the traffic shape the
+    cross-query cache is built for.
+    """
+    specs: List[QuerySpec] = []
+    for q in range(n_queries):
+        kind = q % 5
+        if kind == 0:
+            i = 1 + (q // 5) % 3
+            j = i + 2 + (q // 10) % 4
+            specs.append(("utop_rank", (i, j, 1 + q % 3)))
+        elif kind == 1:
+            specs.append(("utop_prefix", (2 + (q // 5) % 3, 1 + q % 2)))
+        elif kind == 2:
+            specs.append(("utop_set", (2 + (q // 5) % 3, 1 + q % 2)))
+        elif kind == 3:
+            specs.append(("rank_distribution", (q % 7, 5 + (q // 5) % 5)))
+        else:
+            specs.append(("rank_aggregation", ()))
+    return specs
+
+
+def _execute(engine: RankingEngine, spec: QuerySpec) -> object:
+    """Run one spec and return a JSON-encodable answer payload.
+
+    Timing and per-query cache-counter fields are stripped: the identity
+    check compares *answers*, and those fields legitimately differ
+    between a cold and a warm pass.
+    """
+    kind, args = spec
+    if kind == "utop_rank":
+        i, j, l = args
+        result = engine.utop_rank(i, j, l=l)
+    elif kind == "utop_prefix":
+        k, l = args
+        result = engine.utop_prefix(k, l=l)
+    elif kind == "utop_set":
+        k, l = args
+        result = engine.utop_set(k, l=l)
+    elif kind == "rank_distribution":
+        index, max_rank = args
+        record_id = engine.records[index % len(engine.records)].record_id
+        return engine.rank_distribution(
+            record_id, max_rank=max_rank
+        ).tolist()
+    elif kind == "rank_aggregation":
+        result = engine.rank_aggregation()
+    else:
+        raise ValueError(f"unknown workload kind {kind!r}")
+    payload = result.to_dict()
+    payload.pop("elapsed", None)
+    payload.pop("cache", None)
+    return payload
+
+
+def run_pass(
+    records: Sequence[UncertainRecord],
+    specs: Sequence[QuerySpec],
+    cache: ComputationCache,
+    seed: int = 0,
+    samples: int = 2_000,
+    mcmc_chains: int = 4,
+    mcmc_steps: int = 400,
+    workers: Union[int, str, None] = None,
+) -> Tuple[List[object], float, RankingEngine]:
+    """Run the workload on a fresh engine over ``cache``.
+
+    Returns ``(answer payloads, elapsed seconds, engine)``. The engine
+    is constructed inside the timed region: fingerprinting and seed
+    derivation are part of the cost a new session pays.
+    """
+    start = time.perf_counter()
+    engine = RankingEngine(
+        records,
+        seed=seed,
+        cache=cache,
+        samples=samples,
+        mcmc_chains=mcmc_chains,
+        mcmc_steps=mcmc_steps,
+        workers=workers,
+    )
+    answers = [_execute(engine, spec) for spec in specs]
+    return answers, time.perf_counter() - start, engine
+
+
+def run_benchmark(
+    size: int = 1_000,
+    n_queries: int = 50,
+    seed: int = 0,
+    samples: int = 2_000,
+    mcmc_chains: int = 4,
+    mcmc_steps: int = 400,
+) -> Dict[str, object]:
+    """Cold pass, warm pass, identity check — one report payload."""
+    records = benchmark_records(size)
+    specs = workload(n_queries)
+    cache = ComputationCache()
+    cold_answers, cold_seconds, _ = run_pass(
+        records,
+        specs,
+        cache,
+        seed=seed,
+        samples=samples,
+        mcmc_chains=mcmc_chains,
+        mcmc_steps=mcmc_steps,
+    )
+    warm_answers, warm_seconds, warm_engine = run_pass(
+        records,
+        specs,
+        cache,
+        seed=seed,
+        samples=samples,
+        mcmc_chains=mcmc_chains,
+        mcmc_steps=mcmc_steps,
+    )
+    cold_blob = json.dumps(cold_answers, sort_keys=True)
+    warm_blob = json.dumps(warm_answers, sort_keys=True)
+    return {
+        "schema": 1,
+        "unit": "seconds",
+        "size": int(size),
+        "queries": int(n_queries),
+        "samples": int(samples),
+        "mcmc_chains": int(mcmc_chains),
+        "mcmc_steps": int(mcmc_steps),
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": (
+            cold_seconds / warm_seconds
+            if warm_seconds > 0
+            else float("inf")
+        ),
+        "answers_identical": cold_blob == warm_blob,
+        "warm_cache": warm_engine.cache_stats().to_dict(),
+    }
+
+
+def write_report(
+    payload: Dict[str, object], path: Optional[Path] = None
+) -> Path:
+    """Write the report JSON (default: ``BENCH_query_cache.json``)."""
+    target = path if path is not None else REPORT_PATH
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    return target
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate BENCH_query_cache.json"
+    )
+    parser.add_argument("--size", type=int, default=1_000)
+    parser.add_argument("--queries", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--samples", type=int, default=2_000)
+    parser.add_argument("--out", type=Path, default=None)
+    args = parser.parse_args(argv)
+    payload = run_benchmark(
+        size=args.size,
+        n_queries=args.queries,
+        seed=args.seed,
+        samples=args.samples,
+    )
+    path = write_report(payload, args.out)
+    print(
+        f"n={payload['size']} queries={payload['queries']}: "
+        f"cold {payload['cold_seconds']:.3f}s, "
+        f"warm {payload['warm_seconds']:.3f}s "
+        f"({payload['speedup']:.1f}x), "
+        f"identical={payload['answers_identical']} -> {path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,6 +25,7 @@ __all__ = [
     "MutableDefaultRule",
     "ColumnarSamplingRule",
     "UnboundedLoopRule",
+    "CachedArtifactRule",
 ]
 
 #: Function names treated as probability-returning: `probability_greater`,
@@ -637,6 +638,106 @@ class UnboundedLoopRule(Rule):
             if name is not None and name.lower() in self._BUDGET_MARKERS:
                 return True
         return False
+
+
+# ----------------------------------------------------------------------
+# CACHE001 — compiled artifacts are cached, not rebuilt per query
+# ----------------------------------------------------------------------
+
+
+@register
+class CachedArtifactRule(Rule):
+    """No cacheable-artifact construction inside loops or query methods.
+
+    Applies to files whose path contains a ``cache-paths`` fragment
+    (default: the query engine and the MCMC simulation). Fires when a
+    cacheable compiled artifact — ``SamplingPlan`` /
+    ``build_sampling_plan`` / ``compile_plan``, ``PairwiseCache``, or
+    ``ExactEvaluator`` — is constructed inside a loop, or anywhere
+    inside a per-query entry point (``utop_*``, ``rank_*``,
+    ``global_topk``, ``threshold_topk``, ``explain``) including its
+    nested closures. Those artifacts depend only on the database
+    fingerprint, so per-query construction silently repeats work the
+    :class:`~repro.core.cache.ComputationCache` exists to share —
+    route the construction through a cache handle
+    (``ComputationCache.artifact`` / the engine's ``_exact`` /
+    ``_plan_for`` / ``_pairwise_cache`` helpers) instead.
+    """
+
+    code = "CACHE001"
+    name = "cached-artifact-construction"
+    description = (
+        "cacheable compiled artifact constructed inside a loop or "
+        "per-query method"
+    )
+    rationale = (
+        "sampling plans, pairwise integral caches, and exact evaluators "
+        "are pure functions of the database fingerprint; rebuilding one "
+        "per query (or per loop iteration) discards the §VI-D shared "
+        "state and turns a cache hit into O(n) recompilation"
+    )
+
+    _BUILDERS = frozenset(
+        {
+            "SamplingPlan",
+            "build_sampling_plan",
+            "compile_plan",
+            "PairwiseCache",
+            "ExactEvaluator",
+        }
+    )
+    _QUERY_NAME = re.compile(
+        r"^(utop_\w+|rank_\w+|global_topk|threshold_topk|explain)$"
+    )
+    _LOOPS = (
+        ast.For,
+        ast.AsyncFor,
+        ast.While,
+        ast.ListComp,
+        ast.SetComp,
+        ast.DictComp,
+        ast.GeneratorExp,
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not any(
+            fragment in ctx.norm_path()
+            for fragment in ctx.config.cache_paths
+        ):
+            return
+        yield from self._visit(ctx, ctx.tree, in_loop=False, in_query=False)
+
+    def _visit(
+        self, ctx: FileContext, node: ast.AST, in_loop: bool, in_query: bool
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            child_loop = in_loop or isinstance(child, self._LOOPS)
+            child_query = in_query
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # A def body runs when called, not where it is written:
+                # reset the loop context, but closures inside a query
+                # method still execute once per query, so the query
+                # context is inherited.
+                child_loop = False
+                child_query = in_query or bool(
+                    self._QUERY_NAME.match(child.name)
+                )
+            if (
+                isinstance(child, ast.Call)
+                and _terminal_name(child.func) in self._BUILDERS
+                and (child_loop or child_query)
+            ):
+                where = "a loop" if child_loop else "a per-query method"
+                yield self.finding(
+                    ctx,
+                    child,
+                    f"{_terminal_name(child.func)}(...) constructed "
+                    f"inside {where}; fetch it through a "
+                    "ComputationCache handle keyed by the database "
+                    "fingerprint instead of rebuilding it",
+                )
+                continue
+            yield from self._visit(ctx, child, child_loop, child_query)
 
 
 # ----------------------------------------------------------------------

@@ -50,6 +50,10 @@ class LintConfig:
     robust_paths:
         Path fragments in which ROB001 forbids unbounded ``while True``
         loops that never consult a Budget/CancellationToken.
+    cache_paths:
+        Path fragments in which CACHE001 forbids constructing cacheable
+        compiled artifacts (sampling plans, pairwise caches, exact
+        evaluators) inside loops or per-query methods.
     severity:
         Per-code severity overrides.
     """
@@ -64,6 +68,10 @@ class LintConfig:
         "repro/core/mcmc.py",
     )
     robust_paths: Tuple[str, ...] = ("repro/core",)
+    cache_paths: Tuple[str, ...] = (
+        "repro/core/engine.py",
+        "repro/core/mcmc.py",
+    )
     severity: Dict[str, Severity] = field(default_factory=dict)
 
     def rule_enabled(self, code: str) -> bool:
@@ -157,6 +165,9 @@ def load_config(pyproject: Optional[Path] = None) -> LintConfig:
         config = replace(
             config, robust_paths=_str_tuple(robust, "robust-paths")
         )
+    cache = _get(table, "cache-paths")
+    if cache is not None:
+        config = replace(config, cache_paths=_str_tuple(cache, "cache-paths"))
     severity = _get(table, "severity")
     if severity is not None:
         if not isinstance(severity, Mapping):

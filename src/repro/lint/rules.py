@@ -20,7 +20,7 @@ from .findings import Finding, Severity
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
     from .config import LintConfig
 
-_CODE_PATTERN = re.compile(r"^[A-Z]{2,4}\d{3}$")
+_CODE_PATTERN = re.compile(r"^[A-Z]{2,5}\d{3}$")
 
 
 @dataclass
@@ -102,7 +102,7 @@ def register(rule_cls: Type[Rule]) -> Type[Rule]:
     code = rule_cls.code
     if not _CODE_PATTERN.match(code):
         raise ValueError(
-            f"rule code {code!r} must match AAA000 (two to four "
+            f"rule code {code!r} must match AAA000 (two to five "
             "letters, three digits)"
         )
     if code in _REGISTRY and type(_REGISTRY[code]) is not rule_cls:

@@ -1,0 +1,32 @@
+"""Tier-1 smoke run of the query-cache benchmark harness.
+
+Runs the same cold-then-warm harness as
+``benchmarks/bench_query_cache.py`` at a tiny scale. Asserts only the
+invariants that must hold at any size — byte-identical warm answers and
+warm no slower than cold — not the 5x acceptance floor, which is
+measured at n=1000 by the full benchmark.
+"""
+
+import pytest
+
+from repro.experiments.query_cache_bench import run_benchmark
+
+
+@pytest.mark.bench
+def test_query_cache_smoke():
+    payload = run_benchmark(
+        size=60,
+        n_queries=10,
+        samples=300,
+        mcmc_chains=3,
+        mcmc_steps=100,
+    )
+    assert payload["answers_identical"], (
+        "warm answers diverged from the cold pass"
+    )
+    assert payload["warm_seconds"] <= payload["cold_seconds"], (
+        f"warm pass ({payload['warm_seconds']:.3f}s) slower than cold "
+        f"({payload['cold_seconds']:.3f}s)"
+    )
+    warm = payload["warm_cache"]
+    assert warm["hits"] > 0

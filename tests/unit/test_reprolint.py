@@ -485,6 +485,101 @@ class TestPERF001:
         assert result.suppressed == 1
 
 
+class TestCACHE001:
+    CACHE_PATH = "src/repro/core/engine.py"
+
+    def test_fires_on_builder_in_loop(self):
+        result = run(
+            """
+            def warm(fps):
+                plans = []
+                for fp in fps:
+                    plans.append(SamplingPlan(fp))
+                return plans
+            """,
+            path=self.CACHE_PATH,
+        )
+        assert "CACHE001" in codes(result)
+
+    def test_fires_in_per_query_method(self):
+        result = run(
+            """
+            class Engine:
+                def utop_rank(self, i, j):
+                    cache = PairwiseCache(self.records)
+                    return cache
+            """,
+            path=self.CACHE_PATH,
+        )
+        assert "CACHE001" in codes(result)
+
+    def test_fires_in_closure_inside_query_method(self):
+        result = run(
+            """
+            class Engine:
+                def utop_prefix(self, k):
+                    def build():
+                        return ExactEvaluator(self.records)
+                    return build()
+            """,
+            path=self.CACHE_PATH,
+        )
+        assert "CACHE001" in codes(result)
+
+    def test_helper_method_passes(self):
+        result = run(
+            """
+            class Engine:
+                def _plan_for(self, fp):
+                    return self.cache.artifact(
+                        "plan", fp, lambda: build_sampling_plan(self.records)
+                    )
+            """,
+            path=self.CACHE_PATH,
+        )
+        # the lambda is a function def: it resets loop context and
+        # _plan_for is not a query-named method.
+        assert "CACHE001" not in codes(result)
+
+    def test_silent_outside_cache_paths(self):
+        result = run(
+            """
+            def warm(fps):
+                return [SamplingPlan(fp) for fp in fps]
+            """,
+            path="src/repro/core/exact.py",
+        )
+        assert "CACHE001" not in codes(result)
+
+    def test_cache_paths_configurable(self):
+        config = replace(
+            DEFAULT_CONFIG, cache_paths=("repro/core/exact.py",)
+        )
+        result = run(
+            """
+            def warm(fps):
+                return [SamplingPlan(fp) for fp in fps]
+            """,
+            path="src/repro/core/exact.py",
+            config=config,
+        )
+        assert "CACHE001" in codes(result)
+
+    def test_suppressed_by_line_pragma(self):
+        result = run(
+            """
+            def warm(fps):
+                return [
+                    SamplingPlan(fp)  # reprolint: disable=CACHE001
+                    for fp in fps
+                ]
+            """,
+            path=self.CACHE_PATH,
+        )
+        assert "CACHE001" not in codes(result)
+        assert result.suppressed == 1
+
+
 class TestROB001:
     def test_fires_on_bare_while_true(self):
         result = run(
@@ -642,6 +737,8 @@ class TestFramework:
             "TYP001",
             "ARG001",
             "PERF001",
+            "ROB001",
+            "CACHE001",
         } <= registered
         for rule in all_rules():
             assert rule.description
