@@ -1,0 +1,62 @@
+"""Tracing overhead on the Figure 11 Monte-Carlo workload.
+
+Runs the plain-vs-traced comparison from
+``repro.experiments.trace_overhead_bench`` — UTop-Rank(1, k) with
+10,000 Monte-Carlo samples for each k in the Figure 11 sweep, once with
+tracing off and once with ``trace=True`` plus a private metrics
+registry — and regenerates ``BENCH_trace_overhead.json`` at the
+repository root (also available as
+``PYTHONPATH=src python -m repro.experiments.trace_overhead_bench``).
+Asserts the acceptance bar: median overhead below 5% and byte-identical
+answers with tracing on.
+
+A fast tier-1 smoke of the traced path (span-tree JSON schema, no
+timing assertions) lives in ``tests/unit/test_trace.py`` under the
+``bench`` marker.
+"""
+
+import pytest
+
+from repro.experiments.trace_overhead_bench import (
+    run_benchmark,
+    write_report,
+)
+
+from conftest import emit
+
+#: Acceptance ceiling for the median traced-vs-plain overhead.
+MAX_OVERHEAD = 0.05
+
+
+@pytest.mark.bench
+@pytest.mark.benchmark(group="trace-overhead")
+def test_trace_overhead_under_budget(benchmark):
+    payload = run_benchmark(size=2_000, samples=10_000, repeats=5)
+    path = write_report(payload)
+    emit(
+        f"Tracing overhead, UTop-Rank(1, k) MC at n={payload['size']} "
+        f"(written to {path.name})",
+        ["k", "plain s", "traced s", "overhead", "spans"],
+        [
+            (
+                r["k"],
+                f"{r['plain_seconds']:.4f}",
+                f"{r['traced_seconds']:.4f}",
+                f"{r['overhead']:+.2%}",
+                r["spans"],
+            )
+            for r in payload["rows"]
+        ],
+    )
+    assert payload["answers_identical"], (
+        "traced answers diverged from the plain pass"
+    )
+    assert payload["median_overhead"] < MAX_OVERHEAD, (
+        f"median tracing overhead {payload['median_overhead']:+.2%} "
+        f"over the {MAX_OVERHEAD:.0%} budget"
+    )
+
+    benchmark.extra_info["median_overhead"] = payload["median_overhead"]
+    # Benchmark the traced steady state itself: one small traced query.
+    benchmark(run_benchmark, size=300, samples=1_000, repeats=1,
+              k_values=(5,))

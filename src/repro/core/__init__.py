@@ -61,6 +61,12 @@ from .mcmc import (
     prefix_probability_upper_bound,
     set_probability_upper_bound,
 )
+from .metrics import (
+    MetricsRegistry,
+    active_registry,
+    global_registry,
+    use_registry,
+)
 from .montecarlo import MonteCarloEvaluator, compile_plan
 from .naive import expected_score_ranking, mode_aggregation_ranking
 from .parallel import DEFAULT_SHARDS, ParallelSampler, resolve_workers
@@ -68,6 +74,7 @@ from .pairwise import PairwiseCache, probability_greater
 from .queries import (
     DegradationEvent,
     PrefixAnswer,
+    Query,
     QueryResult,
     RankAggAnswer,
     RankAggQuery,
@@ -87,6 +94,12 @@ from .piecewise import PiecewisePolynomial
 from .ppo import ProbabilisticPartialOrder, dominates
 from .pruning import ShrinkResult, shrink_database, upper_bound_list
 from .records import UncertainRecord, certain, tie_break, uniform
+from .trace import (
+    Span,
+    current_span,
+    render_trace,
+    span,
+)
 from .validation import ValidationIssue, validate_distribution, validate_records
 
 __all__ = [
@@ -114,6 +127,7 @@ __all__ = [
     "InjectedFault",
     "MCMCResult",
     "MetropolisHastingsChain",
+    "MetricsRegistry",
     "MonteCarloEvaluator",
     "DEFAULT_SHARDS",
     "ParallelSampler",
@@ -122,6 +136,7 @@ __all__ = [
     "build_sampling_plan",
     "resolve_workers",
     "PrefixAnswer",
+    "Query",
     "QueryResult",
     "RankAggAnswer",
     "RankAggQuery",
@@ -178,4 +193,11 @@ __all__ = [
     "ValidationIssue",
     "validate_distribution",
     "validate_records",
+    "Span",
+    "active_registry",
+    "current_span",
+    "global_registry",
+    "render_trace",
+    "span",
+    "use_registry",
 ]

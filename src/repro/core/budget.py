@@ -37,6 +37,9 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from . import metrics
+from .trace import accumulate
+
 __all__ = ["Budget", "CancellationToken", "SampleCounts"]
 
 
@@ -193,6 +196,8 @@ class Budget:
         if requested < 0:
             raise ValueError(f"requested must be non-negative, got {requested!r}")
         if self.expired():
+            metrics.inc("budget_denials_total", 1.0, resource="samples")
+            accumulate("budget_samples_denied", requested)
             return 0
         with self._lock:
             if self.max_samples is None:
@@ -200,7 +205,14 @@ class Budget:
             else:
                 grant = min(requested, max(0, self.max_samples - self._samples_used))
             self._samples_used += grant
-            return grant
+        if grant > 0:
+            metrics.inc(
+                "budget_sample_grants_total", float(grant), resource="samples"
+            )
+            accumulate("budget_samples_granted", grant)
+        if grant < requested:
+            metrics.inc("budget_denials_total", 1.0, resource="samples")
+        return grant
 
     # -- enumeration ---------------------------------------------------
 
@@ -228,15 +240,24 @@ class Budget:
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count!r}")
         if self.expired():
+            metrics.inc("budget_denials_total", 1.0, resource="enumeration")
+            accumulate("budget_enumeration_denied")
             return False
         with self._lock:
             if (
                 self.max_enumeration is not None
                 and self._enumeration_used + count > self.max_enumeration
             ):
-                return False
-            self._enumeration_used += count
-            return True
+                granted = False
+            else:
+                self._enumeration_used += count
+                granted = True
+        if granted:
+            accumulate("budget_enumeration_granted", count)
+        else:
+            metrics.inc("budget_denials_total", 1.0, resource="enumeration")
+            accumulate("budget_enumeration_denied")
+        return granted
 
     def __repr__(self) -> str:
         return (

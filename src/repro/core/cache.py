@@ -58,12 +58,14 @@ from typing import (
 
 import numpy as np
 
+from . import metrics
 from .budget import Budget, SampleCounts
 from .errors import QueryError
 from .montecarlo import MonteCarloEvaluator
 from .pairwise import PairwiseCache
 from .parallel import ParallelSampler
 from .records import UncertainRecord
+from .trace import accumulate
 
 __all__ = [
     "SAMPLE_BLOCK",
@@ -353,10 +355,14 @@ class ComputationCache:
                 self._entries.move_to_end(full_key)
                 if count:
                     self._hits += 1
+                    metrics.inc("cache_hits_total", 1.0, kind=kind)
+                    accumulate("cache_hits")
                 return entry.value
             value = builder()
             if count:
                 self._misses += 1
+                metrics.inc("cache_misses_total", 1.0, kind=kind)
+                accumulate("cache_misses")
             fn = size_fn if size_fn is not None else (
                 lambda: _default_size(value)
             )
@@ -437,10 +443,16 @@ class ComputationCache:
             covered = store.coverage(samples, limit)
             if covered >= samples:
                 self._hits += 1
+                metrics.inc("cache_hits_total", 1.0, kind="rank-counts")
+                accumulate("cache_hits")
             elif covered > 0:
                 self._topups += 1
+                metrics.inc("cache_topups_total", 1.0, kind="rank-counts")
+                accumulate("cache_topups")
             else:
                 self._misses += 1
+                metrics.inc("cache_misses_total", 1.0, kind="rank-counts")
+                accumulate("cache_misses")
             result, _ = store.counts_for(
                 sampler, samples, limit, budget=budget
             )
@@ -479,6 +491,7 @@ class ComputationCache:
             _, entry = self._entries.popitem(last=False)
             total -= entry.nbytes
             self._evictions += 1
+            metrics.inc("cache_evictions_total")
 
 
 _SHARED_LOCK = threading.Lock()

@@ -12,6 +12,16 @@ Ties the pieces of the paper together the way its evaluation does:
    spaces (§VI-D).
 3. **Return** typed answers with probabilities and execution metadata.
 
+Every query family funnels through one dispatcher,
+:meth:`RankingEngine.query`, which takes a frozen
+:class:`~repro.core.queries.Query` spec; the public ``utop_rank`` /
+``utop_prefix`` / ``utop_set`` / ``rank_aggregation`` /
+``threshold_topk`` methods are thin wrappers that build specs. The
+dispatcher owns the cross-cutting bookkeeping — timing, the cache
+delta, degradation events, the optional per-query trace
+(:mod:`repro.core.trace`), and metrics (:mod:`repro.core.metrics`) —
+so it lives in exactly one place.
+
 Example
 -------
 >>> from repro import uniform, certain
@@ -28,7 +38,17 @@ import hashlib
 import logging
 import math
 import time
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -38,6 +58,7 @@ from .errors import EvaluationError, QueryError
 from .exact import ExactEvaluator, supports_exact
 from .linext import count_prefixes, enumerate_prefixes
 from .mcmc import TopKSimulation
+from .metrics import MetricsRegistry, global_registry, use_registry
 from .montecarlo import (
     MonteCarloEvaluator,
     compile_plan,
@@ -50,6 +71,7 @@ from .pruning import shrink_database
 from .queries import (
     DegradationEvent,
     PrefixAnswer,
+    Query,
     QueryResult,
     RankAggAnswer,
     RecordAnswer,
@@ -57,6 +79,7 @@ from .queries import (
 )
 from .rank_agg import optimal_rank_aggregation
 from .records import UncertainRecord
+from .trace import Span, activate, span
 
 __all__ = ["RankingEngine"]
 
@@ -65,6 +88,31 @@ logger = logging.getLogger(__name__)
 
 class _StageSkipped(EvaluationError):
     """A ladder stage declined to run (typically: budget already drained)."""
+
+
+@dataclass
+class _EvalContext:
+    """Mutable per-query state shared between the dispatcher and evaluators.
+
+    Replaces the per-method ``nonlocal`` bookkeeping the wrapper era
+    copy-pasted: evaluators record degradation events, partial/truncated
+    flags, confidence bounds, and diagnostics here, and
+    :meth:`RankingEngine.query` folds the fields into the
+    :class:`QueryResult` exactly once.
+    """
+
+    budget: Optional[Budget]
+    method: str
+    sampler_seed: int
+    mcmc_seed: int
+    events: List[DegradationEvent] = field(default_factory=list)
+    partial: bool = False
+    truncated: bool = False
+    half_width: Optional[float] = None
+    error_bound: Optional[float] = None
+    diagnostics: Dict[str, Any] = field(default_factory=dict)
+    pruned_size: int = 0
+    used: str = ""
 
 
 class RankingEngine:
@@ -132,6 +180,21 @@ class RankingEngine:
         the choice — cached sample blocks reproduce cold runs bit for
         bit — only time and memory change; budgeted queries charge
         their budget only for samples the cache cannot supply.
+    trace:
+        When ``True``, every query opens a root :class:`~repro.core.
+        trace.Span` with child spans per evaluation stage and attaches
+        the tree to ``QueryResult.trace``. Off (the default) the span
+        helpers are no-ops and answers are byte-identical to untraced
+        runs; a per-query ``trace=`` argument overrides this default in
+        either direction.
+    metrics:
+        The :class:`~repro.core.metrics.MetricsRegistry` this engine's
+        queries emit into (counters such as ``queries_total`` and
+        ``samples_drawn_total``, plus ``query_duration_seconds``
+        histograms). ``None`` (default) uses the process-wide
+        :func:`~repro.core.metrics.global_registry`; pass a private
+        registry for isolated accounting. Metrics are always on — their
+        cost is a few dictionary increments per query.
     """
 
     def __init__(
@@ -149,6 +212,8 @@ class RankingEngine:
         workers: Union[int, str, None] = None,
         budget: Optional[Budget] = None,
         cache: Union[ComputationCache, str, None] = None,
+        trace: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if not records:
             raise QueryError("cannot rank an empty database")
@@ -168,6 +233,8 @@ class RankingEngine:
         self.psrf_threshold = psrf_threshold
         self.budget = budget
         self.copula = copula
+        self.trace = trace
+        self._metrics = metrics if metrics is not None else global_registry()
         if copula is not None and copula.dimension != len(self.records):
             raise QueryError(
                 f"copula dimension {copula.dimension} does not match "
@@ -200,6 +267,79 @@ class RankingEngine:
                 digest_size=12,
             )
             self._copula_token = digest.hexdigest()
+        # from_table() subscription state: when bound to a table, the
+        # engine re-extracts records whenever the table's version
+        # counter moves (see _refresh_table).
+        self._table: Optional[Any] = None
+        self._table_scoring: Any = None
+        self._table_payload: Optional[List[str]] = None
+        self._table_version: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # construction from a table
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_table(
+        cls,
+        table: Any,
+        scoring: Any,
+        payload_columns: Optional[Sequence[str]] = None,
+        **engine_kwargs: Any,
+    ) -> "RankingEngine":
+        """Build an engine directly over an ``UncertainTable``.
+
+        Extracts records with ``table.to_records(..., validate=True)``
+        and *subscribes to the table's version counter*: every mutating
+        table operation bumps ``table.version``, and the engine
+        re-extracts records (re-fingerprinting its cache keys) at the
+        next query, so answers always reflect the live table without
+        hand-wired ``to_records`` plumbing at every call site.
+
+        Parameters
+        ----------
+        table:
+            An :class:`~repro.db.table.UncertainTable` (duck-typed:
+            anything with ``to_records`` and a ``version`` counter).
+        scoring:
+            The scoring spec forwarded to ``to_records``.
+        payload_columns:
+            Optional payload columns forwarded to ``to_records``.
+        **engine_kwargs:
+            Any :class:`RankingEngine` constructor argument
+            (``seed=``, ``workers=``, ``trace=``, ...).
+        """
+        records = table.to_records(
+            scoring, payload_columns=payload_columns, validate=True
+        )
+        engine = cls(records, **engine_kwargs)
+        engine._table = table
+        engine._table_scoring = scoring
+        engine._table_payload = (
+            list(payload_columns) if payload_columns is not None else None
+        )
+        engine._table_version = table.version
+        return engine
+
+    def _refresh_table(self) -> None:
+        """Re-extract records if the subscribed table has moved on."""
+        if self._table is None or self._table.version == self._table_version:
+            return
+        records = self._table.to_records(
+            self._table_scoring,
+            payload_columns=self._table_payload,
+            validate=True,
+        )
+        if not records:
+            raise QueryError("cannot rank an empty database")
+        if self.copula is not None and self.copula.dimension != len(records):
+            raise QueryError(
+                f"copula dimension {self.copula.dimension} does not match "
+                f"database size {len(records)}"
+            )
+        self.records = list(records)
+        self._db_fp = fingerprint_records(self.records)
+        self._table_version = self._table.version
 
     # ------------------------------------------------------------------
     # helpers
@@ -216,13 +356,13 @@ class RankingEngine:
     def _ppo(
         self, fp: str, subset: Sequence[UncertainRecord]
     ) -> ProbabilisticPartialOrder:
-        return self.cache.artifact(
-            "ppo",
-            fp,
-            lambda: ProbabilisticPartialOrder(
-                subset, cache=self._pairwise_cache()
-            ),
-        )
+        def build() -> ProbabilisticPartialOrder:
+            with span("pairwise", records=len(subset)):
+                return ProbabilisticPartialOrder(
+                    subset, cache=self._pairwise_cache()
+                )
+
+        return self.cache.artifact("ppo", fp, build)
 
     def _pruned_entry(
         self, level: int
@@ -242,7 +382,12 @@ class RankingEngine:
 
     def _plan_for(self, fp: str, subset: Sequence[UncertainRecord]):
         """The compiled sampling plan for ``subset``, by fingerprint."""
-        return self.cache.artifact("plan", fp, lambda: compile_plan(subset))
+
+        def build():
+            with span("plan-compile", records=len(subset)):
+                return compile_plan(subset)
+
+        return self.cache.artifact("plan", fp, build)
 
     def _exact(
         self, fp: str, subset: Sequence[UncertainRecord]
@@ -250,29 +395,58 @@ class RankingEngine:
         """The (memoizing) exact evaluator for ``subset``, by fingerprint."""
         return self.cache.artifact("exact", fp, lambda: ExactEvaluator(subset))
 
-    def _backend_key(self) -> Tuple:
+    def _stream_seeds(self, seed: Optional[int]) -> Tuple[int, int]:
+        """``(sampler root, mcmc root)`` for a per-query seed override.
+
+        ``None`` keeps the engine's constructor-derived streams (the
+        cache-addressable default). An explicit override is hashed into
+        the same 63-bit space, independently of the constructor seed:
+        two engines built with different seeds still agree on a query
+        carrying the same ``seed=``, which is what makes per-query
+        seeds a cross-engine reproducibility handle.
+        """
+        if seed is None:
+            return self._sampler_seed, self._mcmc_seed
+        digest = hashlib.blake2b(
+            f"query-seed:{int(seed)}".encode("utf-8"), digest_size=16
+        ).digest()
+        return (
+            int.from_bytes(digest[:8], "big") % (2**63),
+            int.from_bytes(digest[8:], "big") % (2**63),
+        )
+
+    def _backend_key(self, sampler_seed: Optional[int] = None) -> Tuple:
         """Identity of this engine's sampling stream, minus the workers.
 
         Keys every sampled artifact together with the database
         fingerprint. Includes the sampler kind (serial vs sharded —
-        different stream layouts), the engine's sampler seed, the fixed
-        shard count, and the copula, but deliberately *not* the worker
-        count: results are worker-invariant by contract, so engines
-        that differ only in ``workers`` share sampled counts.
+        different stream layouts), the sampler seed (the engine's, or a
+        per-query override), the fixed shard count, and the copula, but
+        deliberately *not* the worker count: results are
+        worker-invariant by contract, so engines that differ only in
+        ``workers`` share sampled counts.
         """
+        seed = self._sampler_seed if sampler_seed is None else sampler_seed
         base: Tuple = (
-            ("mc", self._sampler_seed)
+            ("mc", seed)
             if self.workers is None
-            else ("shard", self._sampler_seed, DEFAULT_SHARDS)
+            else ("shard", seed, DEFAULT_SHARDS)
         )
         if self._copula_token is not None:
             base = base + ("copula", self._copula_token)
         return base
 
-    def _mcmc_call_seed(self, target: str, k: int, l: int) -> int:
+    def _mcmc_call_seed(
+        self,
+        target: str,
+        k: int,
+        l: int,
+        mcmc_seed: Optional[int] = None,
+    ) -> int:
         """Deterministic per-query MCMC seed (stable across repeats)."""
+        root = self._mcmc_seed if mcmc_seed is None else mcmc_seed
         token = (
-            f"{self._mcmc_seed}:{target}:{k}:{l}:"
+            f"{root}:{target}:{k}:{l}:"
             f"{self.mcmc_chains}:{self.mcmc_steps}"
         )
         digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8)
@@ -306,7 +480,10 @@ class RankingEngine:
         )
 
     def _sampler(
-        self, subset: Sequence[UncertainRecord], fp: str
+        self,
+        subset: Sequence[UncertainRecord],
+        fp: str,
+        sampler_seed: Optional[int] = None,
     ) -> Union[MonteCarloEvaluator, ParallelSampler]:
         """Monte-Carlo front-end over ``subset``, cached by fingerprint.
 
@@ -317,21 +494,22 @@ class RankingEngine:
         another engine's parallelism), but the *counts* it produces are
         keyed by :meth:`_backend_key` alone and therefore shared.
         """
+        seed = self._sampler_seed if sampler_seed is None else sampler_seed
 
         def build() -> Union[MonteCarloEvaluator, ParallelSampler]:
             plan = self._plan_for(fp, subset)
             factory = self._sampler_factory(subset, plan)
             if self.workers is None:
-                return factory(self._sampler_seed)
+                return factory(seed)
             return ParallelSampler(
                 subset,
-                seed=self._sampler_seed,
+                seed=seed,
                 workers=self.workers,
                 factory=factory,
             )
 
         return self.cache.artifact(
-            "sampler", (fp, self._backend_key(), self.workers), build
+            "sampler", (fp, self._backend_key(sampler_seed), self.workers), build
         )
 
     def _rank_counts(
@@ -341,11 +519,12 @@ class RankingEngine:
         samples: int,
         max_rank: Optional[int] = None,
         budget: Optional[Budget] = None,
+        sampler_seed: Optional[int] = None,
     ):
         """Memoized rank counts with deterministic top-up (see cache)."""
         return self.cache.rank_counts(
             fp,
-            self._backend_key(),
+            self._backend_key(sampler_seed),
             sampler,
             samples,
             max_rank=max_rank,
@@ -390,10 +569,12 @@ class RankingEngine:
 
         Collapses each record's score distribution to its median
         (``ppf(0.5)``; the point value for deterministic records) and
-        sorts descending with the record-id tie-breaker. Defensive by
-        construction: a failing or non-finite quantile falls back to
-        the interval midpoint, so this stage cannot raise for any
-        record that passed model validation.
+        sorts descending with the record-id tie-breaker. A quantile
+        that fails with :class:`EvaluationError` — or comes back
+        non-finite — falls back to the interval midpoint with a logged
+        warning, so the floor stays available for any record that
+        passed model validation; genuinely unexpected errors propagate
+        instead of being silently swallowed.
         """
 
         def median(rec: UncertainRecord) -> float:
@@ -401,7 +582,7 @@ class RankingEngine:
                 return rec.lower
             try:
                 value = float(rec.score.ppf(0.5))
-            except Exception as exc:
+            except EvaluationError as exc:
                 logger.warning(
                     "median of record %r failed (%s: %s); using the "
                     "interval midpoint",
@@ -434,8 +615,23 @@ class RankingEngine:
         (an explicitly requested method), in which case the error
         propagates unchanged. Expensive stages are skipped outright
         when the budget is already expired; the baseline rung is free
-        and always allowed to run.
+        and always allowed to run. Each attempted stage runs under a
+        child span named after it, so traces show degraded attempts
+        alongside the rung that finally answered.
         """
+
+        def attempt(name: str, thunk: Callable[[], List]) -> List:
+            with span(name) as stage_span:
+                try:
+                    answers = thunk()
+                except EvaluationError:
+                    if stage_span is not None:
+                        stage_span.set(outcome="degraded")
+                    raise
+                if stage_span is not None:
+                    stage_span.set(outcome="ok")
+                return answers
+
         total = len(stages)
         last_error: Optional[EvaluationError] = None
         for index, (name, thunk) in enumerate(stages):
@@ -451,7 +647,7 @@ class RankingEngine:
                 )
                 continue
             try:
-                answers = thunk()
+                answers = attempt(name, thunk)
             except _StageSkipped as skip:
                 events.append(DegradationEvent(name, "skipped", str(skip)))
                 last_error = skip
@@ -478,6 +674,105 @@ class RankingEngine:
         raise EvaluationError("no evaluation stage available")
 
     # ------------------------------------------------------------------
+    # the query dispatcher
+    # ------------------------------------------------------------------
+
+    #: kind -> bound evaluator method name (one entry per QUERY_KINDS).
+    _EVAL: Dict[str, str] = {
+        "utop_rank": "_eval_utop_rank",
+        "utop_prefix": "_eval_utop_prefix",
+        "utop_set": "_eval_utop_set",
+        "rank_aggregation": "_eval_rank_aggregation",
+        "threshold_topk": "_eval_threshold_topk",
+    }
+
+    def query(self, spec: Query) -> QueryResult:
+        """Evaluate one frozen :class:`Query` spec.
+
+        The single dispatch point every query family funnels through:
+        it refreshes a subscribed table, resolves the per-query seed
+        and budget, opens the root trace span (honoring the engine's
+        ``trace`` default and the spec's override), installs this
+        engine's metrics registry for every emission point below, runs
+        the evaluator for ``spec.kind``, and folds the bookkeeping —
+        elapsed time, cache delta, degradation events, diagnostics,
+        the span tree — into one keyword-constructed
+        :class:`QueryResult`.
+        """
+        evaluator_name = self._EVAL.get(spec.kind)
+        if evaluator_name is None:
+            raise QueryError(f"unknown query kind {spec.kind!r}")
+        self._refresh_table()
+        start = time.perf_counter()
+        stats_before = self.cache.stats()
+        sampler_seed, mcmc_seed = self._stream_seeds(spec.seed)
+        ctx = _EvalContext(
+            budget=self._effective_budget(spec.budget),
+            method=self._guard_copula(spec.method),
+            sampler_seed=sampler_seed,
+            mcmc_seed=mcmc_seed,
+        )
+        enabled = self.trace if spec.trace is None else spec.trace
+        root: Optional[Span] = (
+            Span(
+                "query",
+                kind=spec.kind,
+                method=ctx.method,
+                database_size=len(self.records),
+            )
+            if enabled
+            else None
+        )
+        evaluate = getattr(self, evaluator_name)
+        try:
+            with use_registry(self._metrics):
+                with activate(root):
+                    answers = evaluate(spec, ctx)
+        except Exception as exc:
+            if root is not None:
+                root.end()
+            self._metrics.inc("query_errors_total", query=spec.kind)
+            logger.debug(
+                "query %s failed (%s: %s)",
+                spec.kind,
+                type(exc).__name__,
+                exc,
+            )
+            raise
+        if root is not None:
+            root.set(method_used=ctx.used, pruned_size=ctx.pruned_size)
+            root.end()
+        elapsed = time.perf_counter() - start
+        self._metrics.inc("queries_total", query=spec.kind, method=ctx.used)
+        self._metrics.observe(
+            "query_duration_seconds",
+            elapsed,
+            query=spec.kind,
+            method=ctx.used,
+        )
+        for event in ctx.events:
+            self._metrics.inc(
+                "degradation_events_total",
+                stage=event.stage,
+                action=event.action,
+            )
+        return QueryResult(
+            answers=answers,
+            method=ctx.used,
+            elapsed=elapsed,
+            database_size=len(self.records),
+            pruned_size=ctx.pruned_size,
+            error_bound=ctx.error_bound,
+            diagnostics=ctx.diagnostics,
+            partial=ctx.partial,
+            truncated=ctx.truncated,
+            confidence_half_width=ctx.half_width,
+            degradation=ctx.events,
+            cache=self._cache_delta(stats_before),
+            trace=root,
+        )
+
+    # ------------------------------------------------------------------
     # RECORD-RANK queries (Def. 4)
     # ------------------------------------------------------------------
 
@@ -489,6 +784,8 @@ class RankingEngine:
         method: str = "auto",
         samples: Optional[int] = None,
         budget: Optional[Budget] = None,
+        seed: Optional[int] = None,
+        trace: Optional[bool] = None,
     ) -> QueryResult:
         """Evaluate l-UTop-Rank(i, j).
 
@@ -498,58 +795,80 @@ class RankingEngine:
         exact → Monte-Carlo → baseline instead of raising; the result
         records the ladder steps taken, carries ``partial=True`` for
         clipped Monte-Carlo estimates, and reports a Wilson confidence
-        half-width for the top answer of a partial estimate.
+        half-width for the top answer of a partial estimate. ``seed``
+        overrides the engine's sampling streams for this query only;
+        ``trace`` overrides the engine's tracing default.
         """
-        if i < 1 or j < i:
-            raise QueryError(f"invalid rank range [{i}, {j}]")
-        if l < 1:
-            raise QueryError("l must be positive")
-        start = time.perf_counter()
-        stats_before = self.cache.stats()
-        budget = self._effective_budget(budget)
-        method = self._guard_copula(method)
-        pruned, fp = self._pruned_entry(j)
-        requested = samples or self.samples
-        events: List[DegradationEvent] = []
-        partial = False
-        half_width: Optional[float] = None
+        return self.query(
+            Query(
+                kind="utop_rank",
+                i=i,
+                j=j,
+                l=l,
+                method=method,
+                samples=samples,
+                budget=budget,
+                seed=seed,
+                trace=trace,
+            )
+        )
+
+    def _eval_utop_rank(
+        self, spec: Query, ctx: _EvalContext
+    ) -> List[RecordAnswer]:
+        i, j, l = spec.i, spec.j, spec.l
+        budget = ctx.budget
+        with span("prune", level=j):
+            pruned, fp = self._pruned_entry(j)
+        ctx.pruned_size = len(pruned)
+        requested = spec.samples or self.samples
 
         def run_exact() -> List[RecordAnswer]:
             evaluator = self._exact(fp, pruned)
-            matrix = evaluator.rank_probability_matrix(
-                max_rank=j, budget=budget
-            )
-            probs = matrix[:, i - 1 : j].sum(axis=1)
-            order = sorted(
-                range(len(pruned)),
-                key=lambda t: (-probs[t], pruned[t].record_id),
-            )
-            return [
-                RecordAnswer(pruned[t].record_id, float(probs[t]))
-                for t in order[:l]
-            ]
+            with span("dp", records=len(pruned), max_rank=j):
+                matrix = evaluator.rank_probability_matrix(
+                    max_rank=j, budget=budget
+                )
+            with span("aggregate"):
+                probs = matrix[:, i - 1 : j].sum(axis=1)
+                order = sorted(
+                    range(len(pruned)),
+                    key=lambda t: (-probs[t], pruned[t].record_id),
+                )
+                return [
+                    RecordAnswer(pruned[t].record_id, float(probs[t]))
+                    for t in order[:l]
+                ]
 
         def run_montecarlo() -> List[RecordAnswer]:
-            nonlocal partial, half_width
-            sampler = self._sampler(pruned, fp)
+            sampler = self._sampler(pruned, fp, ctx.sampler_seed)
             # The cache — not the shards — takes the sample grant for
             # whatever cached blocks cannot cover, so the number of
             # fresh samples drawn is a pure function of budget state
             # and cache contents, never of shard scheduling (the
             # determinism-under-budget contract).
-            sc = self._rank_counts(
-                fp, sampler, requested, max_rank=j, budget=budget
-            )
+            with span("sample", requested=requested) as sample_span:
+                sc = self._rank_counts(
+                    fp,
+                    sampler,
+                    requested,
+                    max_rank=j,
+                    budget=budget,
+                    sampler_seed=ctx.sampler_seed,
+                )
+                if sample_span is not None:
+                    sample_span.set(done=sc.done)
             if sc.done == 0:
                 raise _StageSkipped(
                     "sample budget exhausted "
                     f"({sc.reason or 'samples'})"
                 )
-            matrix = sc.counts / sc.done
-            pairs = select_top_rank_candidates(pruned, matrix, i, j, l)
+            with span("aggregate"):
+                matrix = sc.counts / sc.done
+                pairs = select_top_rank_candidates(pruned, matrix, i, j, l)
             if sc.partial:
-                partial = True
-                events.append(
+                ctx.partial = True
+                ctx.events.append(
                     DegradationEvent(
                         "montecarlo",
                         "clipped",
@@ -558,7 +877,7 @@ class RankingEngine:
                     )
                 )
                 if pairs:
-                    half_width = wilson_half_width(pairs[0][1], sc.done)
+                    ctx.half_width = wilson_half_width(pairs[0][1], sc.done)
             return [
                 RecordAnswer(rec.record_id, prob) for rec, prob in pairs
             ]
@@ -578,6 +897,7 @@ class RankingEngine:
                 for rec in ranked[:l]
             ]
 
+        method = ctx.method
         if method == "auto":
             stages: List[Tuple[str, Callable[[], List]]] = []
             if (
@@ -595,18 +915,9 @@ class RankingEngine:
             stages = [("baseline", run_baseline)]
         else:
             raise QueryError(f"unknown method {method!r} for UTop-Rank")
-        used, answers = self._run_stages(stages, budget, events)
-        return QueryResult(
-            answers=answers,
-            method=used,
-            elapsed=time.perf_counter() - start,
-            database_size=len(self.records),
-            pruned_size=len(pruned),
-            partial=partial,
-            confidence_half_width=half_width,
-            degradation=events,
-            cache=self._cache_delta(stats_before),
-        )
+        used, answers = self._run_stages(stages, budget, ctx.events)
+        ctx.used = used
+        return answers
 
     def rank_distribution(
         self,
@@ -623,6 +934,7 @@ class RankingEngine:
         densities allow it and the database is small; Monte-Carlo
         otherwise.
         """
+        self._refresh_table()
         if all(rec.record_id != record_id for rec in self.records):
             raise QueryError(f"record {record_id!r} is not in this database")
         method = self._guard_copula(method)
@@ -638,10 +950,14 @@ class RankingEngine:
             )
         if method != "montecarlo":
             raise QueryError(f"unknown method {method!r}")
-        sampler = self._sampler(self.records, self._db_fp)
-        sc = self._rank_counts(
-            self._db_fp, sampler, samples or self.samples, max_rank=max_rank
-        )
+        with use_registry(self._metrics):
+            sampler = self._sampler(self.records, self._db_fp)
+            sc = self._rank_counts(
+                self._db_fp,
+                sampler,
+                samples or self.samples,
+                max_rank=max_rank,
+            )
         matrix = sc.counts / sc.done
         index = next(
             i
@@ -655,7 +971,12 @@ class RankingEngine:
     # ------------------------------------------------------------------
 
     def global_topk(
-        self, k: int, method: str = "auto", budget: Optional[Budget] = None
+        self,
+        k: int,
+        method: str = "auto",
+        budget: Optional[Budget] = None,
+        seed: Optional[int] = None,
+        trace: Optional[bool] = None,
     ) -> QueryResult:
         """Global-Top-k semantics under score uncertainty.
 
@@ -665,7 +986,9 @@ class RankingEngine:
         """
         if k < 1:
             raise QueryError("k must be positive")
-        return self.utop_rank(1, k, l=k, method=method, budget=budget)
+        return self.utop_rank(
+            1, k, l=k, method=method, budget=budget, seed=seed, trace=trace
+        )
 
     def threshold_topk(
         self,
@@ -673,6 +996,8 @@ class RankingEngine:
         threshold: float,
         method: str = "auto",
         budget: Optional[Budget] = None,
+        seed: Optional[int] = None,
+        trace: Optional[bool] = None,
     ) -> QueryResult:
         """PT-k semantics under score uncertainty (Hua et al. [17]).
 
@@ -680,19 +1005,35 @@ class RankingEngine:
         reaches ``threshold``; the answer size is data-dependent
         (possibly empty, possibly larger than ``k``).
         """
-        if k < 1:
-            raise QueryError("k must be positive")
-        if not 0.0 < threshold <= 1.0:
-            raise QueryError("threshold must be in (0, 1]")
-        result = self.utop_rank(
-            1, k, l=len(self.records), method=method, budget=budget
+        return self.query(
+            Query(
+                kind="threshold_topk",
+                k=k,
+                threshold=threshold,
+                method=method,
+                budget=budget,
+                seed=seed,
+                trace=trace,
+            )
         )
-        result.answers = [
+
+    def _eval_threshold_topk(
+        self, spec: Query, ctx: _EvalContext
+    ) -> List[RecordAnswer]:
+        inner = Query(
+            kind="utop_rank",
+            i=1,
+            j=spec.k,
+            l=len(self.records),
+            method=spec.method,
+            samples=spec.samples,
+        )
+        answers = self._eval_utop_rank(inner, ctx)
+        return [
             answer
-            for answer in result.answers
-            if answer.probability >= threshold
+            for answer in answers
+            if answer.probability >= spec.threshold
         ]
-        return result
 
     # ------------------------------------------------------------------
     # TOP-k queries (Defs. 5 and 6)
@@ -738,16 +1079,19 @@ class RankingEngine:
         ppo = self._ppo(fp, subset)
         scored: List[Tuple[Tuple[str, ...], float]] = []
         clipped = False
-        for prefix in enumerate_prefixes(ppo, k):
-            if len(scored) >= self.prefix_enumeration_limit:
-                clipped = True
-                break
-            scored.append(
-                (
-                    tuple(rec.record_id for rec in prefix),
-                    evaluator.prefix_probability(prefix),
+        with span("enumerate", k=k) as enum_span:
+            for prefix in enumerate_prefixes(ppo, k):
+                if len(scored) >= self.prefix_enumeration_limit:
+                    clipped = True
+                    break
+                scored.append(
+                    (
+                        tuple(rec.record_id for rec in prefix),
+                        evaluator.prefix_probability(prefix),
+                    )
                 )
-            )
+            if enum_span is not None:
+                enum_span.set(enumerated=len(scored), clipped=clipped)
         scored.sort(key=lambda kv: (-kv[1], kv[0]))
         return scored, clipped
 
@@ -759,11 +1103,18 @@ class RankingEngine:
         ppo = self._ppo(fp, subset)
         candidate_sets = set()
         clipped = False
-        for prefix in enumerate_prefixes(ppo, k):
-            if len(candidate_sets) >= self.prefix_enumeration_limit:
-                clipped = True
-                break
-            candidate_sets.add(frozenset(rec.record_id for rec in prefix))
+        with span("enumerate", k=k) as enum_span:
+            for prefix in enumerate_prefixes(ppo, k):
+                if len(candidate_sets) >= self.prefix_enumeration_limit:
+                    clipped = True
+                    break
+                candidate_sets.add(
+                    frozenset(rec.record_id for rec in prefix)
+                )
+            if enum_span is not None:
+                enum_span.set(
+                    enumerated=len(candidate_sets), clipped=clipped
+                )
         scored = [
             (members, evaluator.top_set_probability(members))
             for members in candidate_sets
@@ -777,6 +1128,8 @@ class RankingEngine:
         l: int = 1,
         method: str = "auto",
         budget: Optional[Budget] = None,
+        seed: Optional[int] = None,
+        trace: Optional[bool] = None,
     ) -> QueryResult:
         """Evaluate l-UTop-Prefix(k).
 
@@ -788,25 +1141,30 @@ class RankingEngine:
         marks the result ``truncated=True``, and budget-stopped stages
         return best-so-far answers with ``partial=True``.
         """
-        if k < 1:
-            raise QueryError("k must be positive")
-        if l < 1:
-            raise QueryError("l must be positive")
-        start = time.perf_counter()
-        stats_before = self.cache.stats()
-        budget = self._effective_budget(budget)
-        method = self._guard_copula(method)
-        pruned, fp = self._pruned_entry(k)
+        return self.query(
+            Query(
+                kind="utop_prefix",
+                k=k,
+                l=l,
+                method=method,
+                budget=budget,
+                seed=seed,
+                trace=trace,
+            )
+        )
+
+    def _eval_utop_prefix(
+        self, spec: Query, ctx: _EvalContext
+    ) -> List[PrefixAnswer]:
+        k, l = spec.k, spec.l
+        budget = ctx.budget
+        with span("prune", level=k):
+            pruned, fp = self._pruned_entry(k)
+        ctx.pruned_size = len(pruned)
         k_eff = min(k, len(pruned))
-        events: List[DegradationEvent] = []
-        partial = False
-        truncated = False
-        half_width: Optional[float] = None
-        error_bound: Optional[float] = None
-        diagnostics: dict = {}
+        base_samples = spec.samples or self.samples
 
         def run_exact() -> List[PrefixAnswer]:
-            nonlocal partial, truncated
             if budget is None:
                 scored, clipped = self.cache.artifact(
                     "exact-prefix",
@@ -817,8 +1175,8 @@ class RankingEngine:
                     # Another prefix exists beyond the cap: the answer
                     # space was clipped, and the best prefix may be
                     # outside the enumerated region.
-                    truncated = True
-                    events.append(
+                    ctx.truncated = True
+                    ctx.events.append(
                         DegradationEvent(
                             "exact",
                             "clipped",
@@ -833,35 +1191,36 @@ class RankingEngine:
             evaluator = self._exact(fp, pruned)
             ppo = self._ppo(fp, pruned)
             scored: List[Tuple[Tuple[str, ...], float]] = []
-            for prefix in enumerate_prefixes(ppo, k_eff):
-                if len(scored) >= self.prefix_enumeration_limit:
-                    truncated = True
-                    events.append(
-                        DegradationEvent(
-                            "exact",
-                            "clipped",
-                            f"enumeration cap "
-                            f"{self.prefix_enumeration_limit} reached",
+            with span("enumerate", k=k_eff, budgeted=True):
+                for prefix in enumerate_prefixes(ppo, k_eff):
+                    if len(scored) >= self.prefix_enumeration_limit:
+                        ctx.truncated = True
+                        ctx.events.append(
+                            DegradationEvent(
+                                "exact",
+                                "clipped",
+                                f"enumeration cap "
+                                f"{self.prefix_enumeration_limit} reached",
+                            )
+                        )
+                        break
+                    if not budget.consume_enumeration():
+                        ctx.truncated = True
+                        ctx.partial = True
+                        ctx.events.append(
+                            DegradationEvent(
+                                "exact",
+                                "clipped",
+                                budget.exhausted_reason() or "enumeration",
+                            )
+                        )
+                        break
+                    scored.append(
+                        (
+                            tuple(rec.record_id for rec in prefix),
+                            evaluator.prefix_probability(prefix),
                         )
                     )
-                    break
-                if not budget.consume_enumeration():
-                    truncated = True
-                    partial = True
-                    events.append(
-                        DegradationEvent(
-                            "exact",
-                            "clipped",
-                            budget.exhausted_reason() or "enumeration",
-                        )
-                    )
-                    break
-                scored.append(
-                    (
-                        tuple(rec.record_id for rec in prefix),
-                        evaluator.prefix_probability(prefix),
-                    )
-                )
             if not scored:
                 raise _StageSkipped(
                     "budget exhausted before any prefix was enumerated"
@@ -870,41 +1229,53 @@ class RankingEngine:
             return [PrefixAnswer(p, prob) for p, prob in scored[:l]]
 
         def run_mcmc() -> List[PrefixAnswer]:
-            nonlocal partial, error_bound, diagnostics
-            sampler = self._sampler(pruned, fp)
-            matrix_samples = max(2000, self.samples // 5)
+            sampler = self._sampler(pruned, fp, ctx.sampler_seed)
+            matrix_samples = max(2000, base_samples // 5)
             rank_matrix: Optional[np.ndarray] = None
-            sc = self._rank_counts(
-                fp, sampler, matrix_samples, max_rank=k_eff, budget=budget
-            )
+            with span("sample", requested=matrix_samples) as sample_span:
+                sc = self._rank_counts(
+                    fp,
+                    sampler,
+                    matrix_samples,
+                    max_rank=k_eff,
+                    budget=budget,
+                    sampler_seed=ctx.sampler_seed,
+                )
+                if sample_span is not None:
+                    sample_span.set(done=sc.done)
             if sc.done > 0:
                 rank_matrix = sc.counts / sc.done
 
             def simulate():
-                sim = TopKSimulation(
-                    pruned,
-                    k_eff,
-                    target="prefix",
-                    n_chains=self.mcmc_chains,
-                    seed=self._mcmc_call_seed("prefix", k_eff, l),
-                    workers=self.workers,
-                    plan=self._plan_for(fp, pruned),
-                    pairwise_cache=self._pairwise_cache(),
-                )
-                return sim.run(
-                    max_steps=self.mcmc_steps,
-                    psrf_threshold=self.psrf_threshold,
-                    top_l=l,
-                    rank_matrix=rank_matrix,
-                    budget=budget,
-                )
+                with span(
+                    "walk", chains=self.mcmc_chains, target="prefix"
+                ):
+                    sim = TopKSimulation(
+                        pruned,
+                        k_eff,
+                        target="prefix",
+                        n_chains=self.mcmc_chains,
+                        seed=self._mcmc_call_seed(
+                            "prefix", k_eff, l, ctx.mcmc_seed
+                        ),
+                        workers=self.workers,
+                        plan=self._plan_for(fp, pruned),
+                        pairwise_cache=self._pairwise_cache(),
+                    )
+                    return sim.run(
+                        max_steps=self.mcmc_steps,
+                        psrf_threshold=self.psrf_threshold,
+                        top_l=l,
+                        rank_matrix=rank_matrix,
+                        budget=budget,
+                    )
 
             if budget is None:
                 result = self.cache.artifact(
                     "mcmc",
                     (
                         fp,
-                        self._backend_key(),
+                        self._backend_key(ctx.sampler_seed),
                         "prefix",
                         k_eff,
                         l,
@@ -912,7 +1283,7 @@ class RankingEngine:
                         self.mcmc_chains,
                         self.mcmc_steps,
                         self.psrf_threshold,
-                        self._mcmc_seed,
+                        ctx.mcmc_seed,
                     ),
                     simulate,
                 )
@@ -921,14 +1292,14 @@ class RankingEngine:
                 # neither read nor write the cache for it.
                 result = simulate()
             if result.partial:
-                partial = True
-                events.append(
+                ctx.partial = True
+                ctx.events.append(
                     DegradationEvent(
                         "mcmc", "clipped", result.stop_reason or "deadline"
                     )
                 )
-            error_bound = result.error_estimate
-            diagnostics = {
+            ctx.error_bound = result.error_estimate
+            ctx.diagnostics = {
                 "converged": result.converged,
                 "total_steps": result.total_steps,
                 "acceptance_rate": result.acceptance_rate,
@@ -941,39 +1312,44 @@ class RankingEngine:
             ]
 
         def run_montecarlo() -> List[PrefixAnswer]:
-            nonlocal partial, half_width
-            sampler = self._sampler(pruned, fp)
-            requested = self.samples
+            sampler = self._sampler(pruned, fp, ctx.sampler_seed)
+            requested = base_samples
             denom = requested
-            if budget is not None:
-                grant = budget.take_samples(requested)
-                if grant == 0:
-                    raise _StageSkipped(
-                        "sample budget exhausted "
-                        f"({budget.exhausted_reason() or 'samples'})"
-                    )
-                if grant < requested:
-                    partial = True
-                    events.append(
-                        DegradationEvent(
-                            "montecarlo",
-                            "clipped",
-                            f"sample cap granted {grant}/{requested}",
+            with span("sample", requested=requested):
+                if budget is not None:
+                    grant = budget.take_samples(requested)
+                    if grant == 0:
+                        raise _StageSkipped(
+                            "sample budget exhausted "
+                            f"({budget.exhausted_reason() or 'samples'})"
                         )
-                    )
-                denom = grant
-                freq = sampler.empirical_top_prefixes(k_eff, denom, seed=0)
-            else:
-                freq = self.cache.artifact(
-                    "empirical-prefix",
-                    (fp, self._backend_key(), k_eff, denom),
-                    lambda: sampler.empirical_top_prefixes(
+                    if grant < requested:
+                        ctx.partial = True
+                        ctx.events.append(
+                            DegradationEvent(
+                                "montecarlo",
+                                "clipped",
+                                f"sample cap granted {grant}/{requested}",
+                            )
+                        )
+                    denom = grant
+                    freq = sampler.empirical_top_prefixes(
                         k_eff, denom, seed=0
-                    ),
+                    )
+                else:
+                    freq = self.cache.artifact(
+                        "empirical-prefix",
+                        (fp, self._backend_key(ctx.sampler_seed), k_eff, denom),
+                        lambda: sampler.empirical_top_prefixes(
+                            k_eff, denom, seed=0
+                        ),
+                    )
+            with span("aggregate"):
+                ranked = sorted(
+                    freq.items(), key=lambda kv: (-kv[1], kv[0])
                 )
-            ranked = sorted(freq.items(), key=lambda kv: (-kv[1], kv[0]))
-            if partial and ranked:
-                half_width = wilson_half_width(ranked[0][1], denom)
+            if ctx.partial and ranked:
+                ctx.half_width = wilson_half_width(ranked[0][1], denom)
             return [PrefixAnswer(p, prob) for p, prob in ranked[:l]]
 
         def run_baseline() -> List[PrefixAnswer]:
@@ -983,6 +1359,7 @@ class RankingEngine:
             # database — the method label marks the fidelity loss.
             return [PrefixAnswer(prefix, 1.0)]
 
+        method = ctx.method
         if method == "auto":
             stages: List[Tuple[str, Callable[[], List]]] = []
             if self._enumerable(pruned, fp, k_eff):
@@ -1000,21 +1377,9 @@ class RankingEngine:
             stages = [("baseline", run_baseline)]
         else:
             raise QueryError(f"unknown method {method!r} for UTop-Prefix")
-        used, answers = self._run_stages(stages, budget, events)
-        return QueryResult(
-            answers=answers,
-            method=used,
-            elapsed=time.perf_counter() - start,
-            database_size=len(self.records),
-            pruned_size=len(pruned),
-            error_bound=error_bound,
-            diagnostics=diagnostics,
-            partial=partial,
-            truncated=truncated,
-            confidence_half_width=half_width,
-            degradation=events,
-            cache=self._cache_delta(stats_before),
-        )
+        used, answers = self._run_stages(stages, budget, ctx.events)
+        ctx.used = used
+        return answers
 
     def utop_set(
         self,
@@ -1022,27 +1387,34 @@ class RankingEngine:
         l: int = 1,
         method: str = "auto",
         budget: Optional[Budget] = None,
+        seed: Optional[int] = None,
+        trace: Optional[bool] = None,
     ) -> QueryResult:
         """Evaluate l-UTop-Set(k); methods and ladder as in :meth:`utop_prefix`."""
-        if k < 1:
-            raise QueryError("k must be positive")
-        if l < 1:
-            raise QueryError("l must be positive")
-        start = time.perf_counter()
-        stats_before = self.cache.stats()
-        budget = self._effective_budget(budget)
-        method = self._guard_copula(method)
-        pruned, fp = self._pruned_entry(k)
+        return self.query(
+            Query(
+                kind="utop_set",
+                k=k,
+                l=l,
+                method=method,
+                budget=budget,
+                seed=seed,
+                trace=trace,
+            )
+        )
+
+    def _eval_utop_set(
+        self, spec: Query, ctx: _EvalContext
+    ) -> List[SetAnswer]:
+        k, l = spec.k, spec.l
+        budget = ctx.budget
+        with span("prune", level=k):
+            pruned, fp = self._pruned_entry(k)
+        ctx.pruned_size = len(pruned)
         k_eff = min(k, len(pruned))
-        events: List[DegradationEvent] = []
-        partial = False
-        truncated = False
-        half_width: Optional[float] = None
-        error_bound: Optional[float] = None
-        diagnostics: dict = {}
+        base_samples = spec.samples or self.samples
 
         def run_exact() -> List[SetAnswer]:
-            nonlocal partial, truncated
             if budget is None:
                 scored, clipped = self.cache.artifact(
                     "exact-set",
@@ -1050,8 +1422,8 @@ class RankingEngine:
                     lambda: self._exact_sets(fp, pruned, k_eff),
                 )
                 if clipped:
-                    truncated = True
-                    events.append(
+                    ctx.truncated = True
+                    ctx.events.append(
                         DegradationEvent(
                             "exact",
                             "clipped",
@@ -1063,32 +1435,33 @@ class RankingEngine:
             evaluator = self._exact(fp, pruned)
             ppo = self._ppo(fp, pruned)
             candidate_sets = set()
-            for prefix in enumerate_prefixes(ppo, k_eff):
-                if len(candidate_sets) >= self.prefix_enumeration_limit:
-                    truncated = True
-                    events.append(
-                        DegradationEvent(
-                            "exact",
-                            "clipped",
-                            f"enumeration cap "
-                            f"{self.prefix_enumeration_limit} reached",
+            with span("enumerate", k=k_eff, budgeted=True):
+                for prefix in enumerate_prefixes(ppo, k_eff):
+                    if len(candidate_sets) >= self.prefix_enumeration_limit:
+                        ctx.truncated = True
+                        ctx.events.append(
+                            DegradationEvent(
+                                "exact",
+                                "clipped",
+                                f"enumeration cap "
+                                f"{self.prefix_enumeration_limit} reached",
+                            )
                         )
-                    )
-                    break
-                if not budget.consume_enumeration():
-                    truncated = True
-                    partial = True
-                    events.append(
-                        DegradationEvent(
-                            "exact",
-                            "clipped",
-                            budget.exhausted_reason() or "enumeration",
+                        break
+                    if not budget.consume_enumeration():
+                        ctx.truncated = True
+                        ctx.partial = True
+                        ctx.events.append(
+                            DegradationEvent(
+                                "exact",
+                                "clipped",
+                                budget.exhausted_reason() or "enumeration",
+                            )
                         )
+                        break
+                    candidate_sets.add(
+                        frozenset(rec.record_id for rec in prefix)
                     )
-                    break
-                candidate_sets.add(
-                    frozenset(rec.record_id for rec in prefix)
-                )
             if not candidate_sets:
                 raise _StageSkipped(
                     "budget exhausted before any candidate set was "
@@ -1102,41 +1475,51 @@ class RankingEngine:
             return [SetAnswer(m, prob) for m, prob in scored[:l]]
 
         def run_mcmc() -> List[SetAnswer]:
-            nonlocal partial, error_bound, diagnostics
-            sampler = self._sampler(pruned, fp)
-            matrix_samples = max(2000, self.samples // 5)
+            sampler = self._sampler(pruned, fp, ctx.sampler_seed)
+            matrix_samples = max(2000, base_samples // 5)
             rank_matrix: Optional[np.ndarray] = None
-            sc = self._rank_counts(
-                fp, sampler, matrix_samples, max_rank=k_eff, budget=budget
-            )
+            with span("sample", requested=matrix_samples) as sample_span:
+                sc = self._rank_counts(
+                    fp,
+                    sampler,
+                    matrix_samples,
+                    max_rank=k_eff,
+                    budget=budget,
+                    sampler_seed=ctx.sampler_seed,
+                )
+                if sample_span is not None:
+                    sample_span.set(done=sc.done)
             if sc.done > 0:
                 rank_matrix = sc.counts / sc.done
 
             def simulate():
-                sim = TopKSimulation(
-                    pruned,
-                    k_eff,
-                    target="set",
-                    n_chains=self.mcmc_chains,
-                    seed=self._mcmc_call_seed("set", k_eff, l),
-                    workers=self.workers,
-                    plan=self._plan_for(fp, pruned),
-                    pairwise_cache=self._pairwise_cache(),
-                )
-                return sim.run(
-                    max_steps=self.mcmc_steps,
-                    psrf_threshold=self.psrf_threshold,
-                    top_l=l,
-                    rank_matrix=rank_matrix,
-                    budget=budget,
-                )
+                with span("walk", chains=self.mcmc_chains, target="set"):
+                    sim = TopKSimulation(
+                        pruned,
+                        k_eff,
+                        target="set",
+                        n_chains=self.mcmc_chains,
+                        seed=self._mcmc_call_seed(
+                            "set", k_eff, l, ctx.mcmc_seed
+                        ),
+                        workers=self.workers,
+                        plan=self._plan_for(fp, pruned),
+                        pairwise_cache=self._pairwise_cache(),
+                    )
+                    return sim.run(
+                        max_steps=self.mcmc_steps,
+                        psrf_threshold=self.psrf_threshold,
+                        top_l=l,
+                        rank_matrix=rank_matrix,
+                        budget=budget,
+                    )
 
             if budget is None:
                 result = self.cache.artifact(
                     "mcmc",
                     (
                         fp,
-                        self._backend_key(),
+                        self._backend_key(ctx.sampler_seed),
                         "set",
                         k_eff,
                         l,
@@ -1144,21 +1527,21 @@ class RankingEngine:
                         self.mcmc_chains,
                         self.mcmc_steps,
                         self.psrf_threshold,
-                        self._mcmc_seed,
+                        ctx.mcmc_seed,
                     ),
                     simulate,
                 )
             else:
                 result = simulate()
             if result.partial:
-                partial = True
-                events.append(
+                ctx.partial = True
+                ctx.events.append(
                     DegradationEvent(
                         "mcmc", "clipped", result.stop_reason or "deadline"
                     )
                 )
-            error_bound = result.error_estimate
-            diagnostics = {
+            ctx.error_bound = result.error_estimate
+            ctx.diagnostics = {
                 "converged": result.converged,
                 "total_steps": result.total_steps,
                 "acceptance_rate": result.acceptance_rate,
@@ -1170,39 +1553,42 @@ class RankingEngine:
             ]
 
         def run_montecarlo() -> List[SetAnswer]:
-            nonlocal partial, half_width
-            sampler = self._sampler(pruned, fp)
-            requested = self.samples
+            sampler = self._sampler(pruned, fp, ctx.sampler_seed)
+            requested = base_samples
             denom = requested
-            if budget is not None:
-                grant = budget.take_samples(requested)
-                if grant == 0:
-                    raise _StageSkipped(
-                        "sample budget exhausted "
-                        f"({budget.exhausted_reason() or 'samples'})"
-                    )
-                if grant < requested:
-                    partial = True
-                    events.append(
-                        DegradationEvent(
-                            "montecarlo",
-                            "clipped",
-                            f"sample cap granted {grant}/{requested}",
+            with span("sample", requested=requested):
+                if budget is not None:
+                    grant = budget.take_samples(requested)
+                    if grant == 0:
+                        raise _StageSkipped(
+                            "sample budget exhausted "
+                            f"({budget.exhausted_reason() or 'samples'})"
                         )
+                    if grant < requested:
+                        ctx.partial = True
+                        ctx.events.append(
+                            DegradationEvent(
+                                "montecarlo",
+                                "clipped",
+                                f"sample cap granted {grant}/{requested}",
+                            )
+                        )
+                    denom = grant
+                    freq = sampler.empirical_top_sets(k_eff, denom, seed=0)
+                else:
+                    freq = self.cache.artifact(
+                        "empirical-set",
+                        (fp, self._backend_key(ctx.sampler_seed), k_eff, denom),
+                        lambda: sampler.empirical_top_sets(
+                            k_eff, denom, seed=0
+                        ),
                     )
-                denom = grant
-                freq = sampler.empirical_top_sets(k_eff, denom, seed=0)
-            else:
-                freq = self.cache.artifact(
-                    "empirical-set",
-                    (fp, self._backend_key(), k_eff, denom),
-                    lambda: sampler.empirical_top_sets(k_eff, denom, seed=0),
+            with span("aggregate"):
+                ranked = sorted(
+                    freq.items(), key=lambda kv: (-kv[1], sorted(kv[0]))
                 )
-            ranked = sorted(
-                freq.items(), key=lambda kv: (-kv[1], sorted(kv[0]))
-            )
-            if partial and ranked:
-                half_width = wilson_half_width(ranked[0][1], denom)
+            if ctx.partial and ranked:
+                ctx.half_width = wilson_half_width(ranked[0][1], denom)
             return [SetAnswer(m, prob) for m, prob in ranked[:l]]
 
         def run_baseline() -> List[SetAnswer]:
@@ -1210,6 +1596,7 @@ class RankingEngine:
             members = frozenset(rec.record_id for rec in order[:k_eff])
             return [SetAnswer(members, 1.0)]
 
+        method = ctx.method
         if method == "auto":
             stages: List[Tuple[str, Callable[[], List]]] = []
             if self._enumerable(pruned, fp, k_eff):
@@ -1227,21 +1614,9 @@ class RankingEngine:
             stages = [("baseline", run_baseline)]
         else:
             raise QueryError(f"unknown method {method!r} for UTop-Set")
-        used, answers = self._run_stages(stages, budget, events)
-        return QueryResult(
-            answers=answers,
-            method=used,
-            elapsed=time.perf_counter() - start,
-            database_size=len(self.records),
-            pruned_size=len(pruned),
-            error_bound=error_bound,
-            diagnostics=diagnostics,
-            partial=partial,
-            truncated=truncated,
-            confidence_half_width=half_width,
-            degradation=events,
-            cache=self._cache_delta(stats_before),
-        )
+        used, answers = self._run_stages(stages, budget, ctx.events)
+        ctx.used = used
+        return answers
 
     # ------------------------------------------------------------------
     # introspection
@@ -1262,14 +1637,17 @@ class RankingEngine:
         -------
         dict
             Pruning outcome, whether the densities allow exact
-            evaluation, the (capped) size of the enumeration space, and
-            the method the ``"auto"`` policy would select — the plan a
-            user inspects when a query is slower than expected.
+            evaluation, the (capped) size of the enumeration space,
+            the method the ``"auto"`` policy would select, and an
+            ``observability`` block (tracing default plus a metrics
+            snapshot) — the plan a user inspects when a query is
+            slower than expected.
         """
         if query not in ("utop_rank", "utop_prefix", "utop_set"):
             raise QueryError(f"unknown query kind {query!r}")
         if k < 1:
             raise QueryError("k must be positive")
+        self._refresh_table()
         pruned, fp = self._pruned_entry(k)
         k_eff = min(k, len(pruned))
         plan = {
@@ -1282,6 +1660,10 @@ class RankingEngine:
             "workers": self.workers,
             "fingerprint": fp,
             "cache": self.cache.stats().to_dict(),
+            "observability": {
+                "trace_enabled": self.trace,
+                "metrics": self._metrics.snapshot(),
+            },
         }
         if query == "utop_rank":
             plan["method"] = (
@@ -1314,7 +1696,11 @@ class RankingEngine:
     # ------------------------------------------------------------------
 
     def rank_aggregation(
-        self, method: str = "auto", samples: Optional[int] = None
+        self,
+        method: str = "auto",
+        samples: Optional[int] = None,
+        seed: Optional[int] = None,
+        trace: Optional[bool] = None,
     ) -> QueryResult:
         """Evaluate Rank-Agg under the footrule distance (Theorem 2).
 
@@ -1322,56 +1708,72 @@ class RankingEngine:
         probabilities. ``method``: ``"auto"``, ``"exact"``, or
         ``"montecarlo"`` (selects how the ``eta`` matrix is obtained).
         """
-        start = time.perf_counter()
-        stats_before = self.cache.stats()
-        method = self._guard_copula(method)
+        return self.query(
+            Query(
+                kind="rank_aggregation",
+                method=method,
+                samples=samples,
+                seed=seed,
+                trace=trace,
+            )
+        )
+
+    def _eval_rank_aggregation(
+        self, spec: Query, ctx: _EvalContext
+    ) -> List[RankAggAnswer]:
         records = self.records
         fp = self._db_fp
+        ctx.pruned_size = len(records)
+        method = ctx.method
         if method == "auto":
             use_exact = (
                 supports_exact(records)
                 and len(records) <= self.exact_record_limit
             )
             method = "exact" if use_exact else "montecarlo"
-        requested = samples or self.samples
+        requested = spec.samples or self.samples
 
         def aggregate() -> Tuple[Tuple[str, ...], float]:
             if method == "exact":
                 # The exact evaluator shares the per-database pairwise
                 # memo through its probability_greater entry point; the
                 # eta matrix itself is memoized inside the evaluator.
-                matrix = self._exact(fp, records).rank_probability_matrix()
+                with span("dp", records=len(records)):
+                    matrix = self._exact(
+                        fp, records
+                    ).rank_probability_matrix()
                 tolerance = 1e-9
             else:
-                sampler = self._sampler(records, fp)
-                sc = self._rank_counts(fp, sampler, requested)
+                sampler = self._sampler(records, fp, ctx.sampler_seed)
+                with span("sample", requested=requested) as sample_span:
+                    sc = self._rank_counts(
+                        fp,
+                        sampler,
+                        requested,
+                        sampler_seed=ctx.sampler_seed,
+                    )
+                    if sample_span is not None:
+                        sample_span.set(done=sc.done)
                 matrix = sc.counts / sc.done
                 # Sampling noise perturbs footrule costs by roughly
                 # n / sqrt(samples); ties inside that band canonicalize
                 # to the expected-rank order so the Monte-Carlo
                 # consensus agrees with the exact one on tied optima.
                 tolerance = len(records) / math.sqrt(max(sc.done, 1))
-            ranking, cost = optimal_rank_aggregation(
-                matrix, records, tie_tolerance=tolerance
-            )
+            with span("aggregate"):
+                ranking, cost = optimal_rank_aggregation(
+                    matrix, records, tie_tolerance=tolerance
+                )
             return tuple(rec.record_id for rec in ranking), cost
 
         if method == "exact":
             key: Tuple = (fp, "exact")
         elif method == "montecarlo":
-            key = (fp, self._backend_key(), requested)
+            key = (fp, self._backend_key(ctx.sampler_seed), requested)
         else:
             raise QueryError(f"unknown method {method!r} for Rank-Agg")
         ranking_ids, cost = self.cache.artifact("rank-agg", key, aggregate)
-        answer = RankAggAnswer(
-            ranking=ranking_ids,
-            expected_distance=cost,
-        )
-        return QueryResult(
-            answers=[answer],
-            method=method,
-            elapsed=time.perf_counter() - start,
-            database_size=len(records),
-            pruned_size=len(records),
-            cache=self._cache_delta(stats_before),
-        )
+        ctx.used = method
+        return [
+            RankAggAnswer(ranking=ranking_ids, expected_distance=cost)
+        ]

@@ -44,6 +44,7 @@ from typing import (
 
 import numpy as np
 
+from . import metrics
 from .budget import Budget
 from .diagnostics import ConvergenceTrace, gelman_rubin
 from .distributions import SamplingPlan, build_sampling_plan
@@ -51,8 +52,10 @@ from .errors import ConvergenceError, EvaluationError, QueryError
 from .exact import ExactEvaluator, supports_exact
 from .montecarlo import MonteCarloEvaluator
 from .pairwise import PairwiseCache, probability_greater
+from .metrics import active_registry, use_registry
 from .parallel import resolve_workers
 from .records import UncertainRecord
+from .trace import Span, activate, current_span
 
 logger = logging.getLogger(__name__)
 
@@ -520,6 +523,7 @@ class TopKSimulation:
                     attempt,
                     self.oracle_retries,
                 )
+                metrics.inc("mcmc_oracle_retries_total")
                 if self.retry_backoff > 0.0:
                     time.sleep(self.retry_backoff * (2.0 ** (attempt - 1)))
         raise ConvergenceError(  # pragma: no cover - loop always returns/raises
@@ -557,6 +561,7 @@ class TopKSimulation:
         psrf_threshold: float,
         min_epochs: int,
         budget: Optional[Budget] = None,
+        advance: Optional[Callable[[int, int], None]] = None,
     ) -> Tuple[bool, int, Optional[str]]:
         """Advance all chains epoch by epoch until mixing or the budget.
 
@@ -578,12 +583,22 @@ class TopKSimulation:
                 stop_reason = budget.exhausted_reason()
                 break
             todo = min(epoch, max_steps - done)
-            if pool is not None:
-                list(pool.map(lambda chain: chain.run(todo), chains))
+            if advance is None:
+                step = lambda index, steps: chains[index].run(steps)
             else:
-                for chain in chains:
-                    chain.run(todo)
+                step = advance
+            if pool is not None:
+                list(
+                    pool.map(
+                        lambda index: step(index, todo),
+                        range(len(chains)),
+                    )
+                )
+            else:
+                for index in range(len(chains)):
+                    step(index, todo)
             done += todo
+            metrics.inc("mcmc_steps_total", float(todo * len(chains)))
             try:
                 # Summarize states by log-probability: pi is heavy-tailed
                 # across the walk, and the PSRF of the raw values would
@@ -672,6 +687,30 @@ class TopKSimulation:
             if self.workers > 1
             else None
         )
+        # Chains may advance on worker threads, which start with a
+        # fresh context: capture the active span and metrics registry
+        # here and re-install both around every chain advancement, so
+        # per-chain spans attach to the query's trace and oracle-retry
+        # counters hit the query's registry.
+        parent = current_span()
+        registry = active_registry()
+        chain_spans: Optional[List[Span]] = (
+            None
+            if parent is None
+            else [
+                parent.child("chain", chain=c)
+                for c in range(self.n_chains)
+            ]
+        )
+
+        def advance(index: int, steps: int) -> None:
+            with use_registry(registry):
+                if chain_spans is None:
+                    chains[index].run(steps)
+                else:
+                    with activate(chain_spans[index]):
+                        chains[index].run(steps)
+
         trace = ConvergenceTrace(steps=[], psrf=[], elapsed=[])
         converged = False
         done = 0
@@ -680,10 +719,17 @@ class TopKSimulation:
             converged, done, stop_reason = self._run_epochs(
                 chains, pool, trace, start, max_steps, epoch,
                 psrf_threshold, min_epochs, budget=budget,
+                advance=advance,
             )
         finally:
             if pool is not None:
                 pool.shutdown(wait=True)
+            if chain_spans is not None:
+                for chain_span, chain in zip(chain_spans, chains):
+                    chain_span.set(
+                        steps=done, states_visited=len(chain.visited)
+                    )
+                    chain_span.end()
         if require_convergence and not converged and stop_reason is None:
             last_psrf = trace.psrf[-1] if trace.psrf else float("inf")
             raise ConvergenceError(

@@ -38,12 +38,14 @@ from typing import (
 
 import numpy as np
 
+from . import metrics
 from .budget import Budget, SampleCounts
 from .distributions import SamplingPlan, build_sampling_plan
 from .errors import EvaluationError, QueryError
 from .exact import _tie_perturbations
 from .numeric import clamp_probability
 from .records import UncertainRecord
+from .trace import accumulate
 
 __all__ = ["MonteCarloEvaluator", "compile_plan", "select_top_rank_candidates"]
 
@@ -223,7 +225,10 @@ class MonteCarloEvaluator:
         """Draw an ``(samples, n)`` matrix of concrete score vectors."""
         if samples < 1:
             raise QueryError("need at least one sample")
-        return self._draw(self._stream(seed), samples)
+        scores = self._draw(self._stream(seed), samples)
+        metrics.inc("samples_drawn_total", float(samples))
+        accumulate("samples_drawn", samples)
+        return scores
 
     def sample_rankings(
         self, samples: int, seed: Optional[int] = None
@@ -336,6 +341,9 @@ class MonteCarloEvaluator:
                 counts, (rankings[:, :limit], rank_cols[None, :]), 1.0
             )
             done += batch
+        if done > 0:
+            metrics.inc("samples_drawn_total", float(done))
+            accumulate("samples_drawn", done)
         return SampleCounts(
             counts=counts, done=done, requested=samples, reason=reason
         )

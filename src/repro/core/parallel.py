@@ -41,10 +41,13 @@ from typing import (
 
 import numpy as np
 
+from . import metrics
 from .budget import Budget, SampleCounts
 from .distributions import SamplingPlan
 from .errors import EvaluationError, QueryError
+from .metrics import active_registry, use_registry
 from .montecarlo import MonteCarloEvaluator, select_top_rank_candidates
+from .trace import current_span, span_under
 from .numeric import clamp_probability
 from .records import UncertainRecord
 
@@ -191,28 +194,41 @@ class ParallelSampler:
             for idx, size in enumerate(self.shard_sizes(samples))
             if size > 0
         ]
+        # Worker threads start with a fresh context: capture the active
+        # span and metrics registry here, in the dispatching thread, and
+        # re-install them inside each shard so per-shard spans land on
+        # this query's trace and emissions hit this engine's registry.
+        parent = current_span()
+        registry = active_registry()
 
         def attempt(idx: int, size: int) -> _T:
-            try:
-                return fn(idx, size)
-            except QueryError:
-                # Invalid arguments fail identically on retry; surface
-                # them unchanged.
-                raise
-            except Exception as exc:
-                logger.warning(
-                    "shard %d failed (%s: %s); retrying once with the "
-                    "same seed stream",
-                    idx,
-                    type(exc).__name__,
-                    exc,
-                )
-                try:
-                    return fn(idx, size)
-                except Exception as retry_exc:
-                    raise EvaluationError(
-                        f"shard {idx} failed twice: {retry_exc}"
-                    ) from retry_exc
+            with use_registry(registry):
+                with span_under(
+                    parent, "shard", shard=idx, samples=size
+                ) as shard_span:
+                    try:
+                        return fn(idx, size)
+                    except QueryError:
+                        # Invalid arguments fail identically on retry;
+                        # surface them unchanged.
+                        raise
+                    except Exception as exc:
+                        logger.warning(
+                            "shard %d failed (%s: %s); retrying once with "
+                            "the same seed stream",
+                            idx,
+                            type(exc).__name__,
+                            exc,
+                        )
+                        metrics.inc("shard_retries_total")
+                        if shard_span is not None:
+                            shard_span.set(retried=True)
+                        try:
+                            return fn(idx, size)
+                        except Exception as retry_exc:
+                            raise EvaluationError(
+                                f"shard {idx} failed twice: {retry_exc}"
+                            ) from retry_exc
 
         if self.workers == 1 or len(tasks) <= 1:
             return [(idx, attempt(idx, size)) for idx, size in tasks]

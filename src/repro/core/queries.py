@@ -15,12 +15,19 @@ the paper's probability-upper-bound error estimate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, FrozenSet, List, Optional, Tuple
+import json
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, FrozenSet, List, Optional, Tuple
 
 from .errors import QueryError
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .budget import Budget
+    from .trace import Span
+
 __all__ = [
+    "Query",
     "UTopRankQuery",
     "UTopPrefixQuery",
     "UTopSetQuery",
@@ -32,6 +39,89 @@ __all__ = [
     "DegradationEvent",
     "QueryResult",
 ]
+
+#: Query kinds the engine's ``query()`` dispatcher accepts.
+QUERY_KINDS = (
+    "utop_rank",
+    "utop_prefix",
+    "utop_set",
+    "rank_aggregation",
+    "threshold_topk",
+)
+
+
+@dataclass(frozen=True)
+class Query:
+    """One fully specified ranking query, ready for ``RankingEngine.query``.
+
+    The unified spec behind every query family: the thin wrapper methods
+    (``utop_rank`` and friends) only build one of these, so tracing,
+    metrics, cache-delta, and degradation bookkeeping live in exactly
+    one dispatcher.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`QUERY_KINDS`.
+    i / j:
+        Rank bounds for ``"utop_rank"`` (unused elsewhere).
+    k:
+        Dominance level for ``"utop_prefix"`` / ``"utop_set"`` /
+        ``"threshold_topk"``.
+    l:
+        Number of answers requested (best-first).
+    threshold:
+        Probability cut-off for ``"threshold_topk"``.
+    method:
+        Evaluation method (``"auto"``, ``"exact"``, ``"montecarlo"``,
+        ``"mcmc"``, ``"baseline"`` — availability depends on the kind).
+    samples:
+        Monte-Carlo sample override (``None``: the engine default).
+    budget:
+        Per-query resource budget (``None``: the engine default).
+    seed:
+        Per-query stream seed. ``None`` (the default) uses the engine's
+        stable per-constructor streams; an integer derives dedicated
+        sampling/MCMC streams from it, so two engines built with
+        *different* constructor seeds still agree on a query carrying
+        the same ``seed``.
+    trace:
+        Per-query tracing override: ``None`` follows the engine's
+        ``trace=`` knob; ``True``/``False`` force it for this query.
+    """
+
+    kind: str
+    i: Optional[int] = None
+    j: Optional[int] = None
+    k: Optional[int] = None
+    l: int = 1
+    threshold: Optional[float] = None
+    method: str = "auto"
+    samples: Optional[int] = None
+    budget: Optional["Budget"] = None
+    seed: Optional[int] = None
+    trace: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in QUERY_KINDS:
+            raise QueryError(f"unknown query kind {self.kind!r}")
+        if self.l < 1:
+            raise QueryError("l must be positive")
+        if self.kind == "utop_rank":
+            if self.i is None or self.j is None:
+                raise QueryError("utop_rank requires rank bounds i and j")
+            if self.i < 1 or self.j < self.i:
+                raise QueryError(
+                    f"invalid rank range [{self.i}, {self.j}]"
+                )
+        elif self.kind in ("utop_prefix", "utop_set", "threshold_topk"):
+            if self.k is None or self.k < 1:
+                raise QueryError("k must be positive")
+            if self.kind == "threshold_topk":
+                if self.threshold is None or not 0.0 < self.threshold <= 1.0:
+                    raise QueryError("threshold must be in (0, 1]")
+        if self.samples is not None and self.samples < 1:
+            raise QueryError("samples must be positive")
 
 
 @dataclass(frozen=True)
@@ -151,9 +241,53 @@ class RankAggAnswer:
     expected_distance: float
 
 
-@dataclass
+#: QueryResult fields in (legacy) positional order; the first five are
+#: required, the rest default.
+_RESULT_FIELDS = (
+    "answers",
+    "method",
+    "elapsed",
+    "database_size",
+    "pruned_size",
+    "error_bound",
+    "diagnostics",
+    "partial",
+    "truncated",
+    "confidence_half_width",
+    "degradation",
+    "cache",
+    "trace",
+)
+
+_RESULT_REQUIRED = _RESULT_FIELDS[:5]
+
+#: Scalar defaults; ``diagnostics`` / ``degradation`` get fresh
+#: containers per instance instead.
+_RESULT_DEFAULTS: dict = {
+    "error_bound": None,
+    "partial": False,
+    "truncated": False,
+    "confidence_half_width": None,
+    "cache": None,
+    "trace": None,
+}
+
+
+def _json_default(value: Any) -> Any:
+    """Fallback encoder for numpy scalars and other odd leaves."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+@dataclass(init=False)
 class QueryResult:
     """Evaluation outcome: answers plus execution metadata.
+
+    Construct by keyword; positional construction is deprecated (it
+    warns and will be removed) because the boolean/optional tail of the
+    field list makes positional call sites unreadable.
 
     Attributes
     ----------
@@ -186,6 +320,10 @@ class QueryResult:
     cache:
         Computation-cache increments attributed to this query (hits,
         misses, top-up extensions), when the engine ran with a cache.
+    trace:
+        Root :class:`~repro.core.trace.Span` of the query, when the
+        engine ran with tracing enabled (``None`` otherwise). Export
+        with ``trace.to_dict()`` or :meth:`to_dict`.
     """
 
     answers: List
@@ -193,13 +331,54 @@ class QueryResult:
     elapsed: float
     database_size: int
     pruned_size: int
-    error_bound: Optional[float] = None
-    diagnostics: dict = field(default_factory=dict)
-    partial: bool = False
-    truncated: bool = False
-    confidence_half_width: Optional[float] = None
-    degradation: List[DegradationEvent] = field(default_factory=list)
-    cache: Optional[dict] = None
+    error_bound: Optional[float]
+    diagnostics: dict
+    partial: bool
+    truncated: bool
+    confidence_half_width: Optional[float]
+    degradation: List[DegradationEvent]
+    cache: Optional[dict]
+    trace: Optional["Span"]
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        if args:
+            warnings.warn(
+                "positional QueryResult construction is deprecated; "
+                "pass every field by keyword",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > len(_RESULT_FIELDS):
+                raise TypeError(
+                    f"QueryResult takes at most {len(_RESULT_FIELDS)} "
+                    f"arguments ({len(args)} given)"
+                )
+            for name, value in zip(_RESULT_FIELDS, args):
+                if name in kwargs:
+                    raise TypeError(
+                        f"QueryResult got multiple values for {name!r}"
+                    )
+                kwargs[name] = value
+        unknown = sorted(set(kwargs) - set(_RESULT_FIELDS))
+        if unknown:
+            raise TypeError(
+                f"QueryResult got unexpected arguments: {unknown}"
+            )
+        missing = [name for name in _RESULT_REQUIRED if name not in kwargs]
+        if missing:
+            raise TypeError(
+                f"QueryResult missing required arguments: {missing}"
+            )
+        for name in _RESULT_FIELDS:
+            if name in kwargs:
+                value = kwargs[name]
+            elif name == "diagnostics":
+                value = {}
+            elif name == "degradation":
+                value = []
+            else:
+                value = _RESULT_DEFAULTS[name]
+            setattr(self, name, value)
 
     @property
     def top(self) -> Any:
@@ -258,4 +437,16 @@ class QueryResult:
                 for e in self.degradation
             ],
             "cache": None if self.cache is None else dict(self.cache),
+            "trace": None if self.trace is None else self.trace.to_dict(),
         }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The :meth:`to_dict` rendition serialized to a JSON string.
+
+        Numpy scalars (which reach diagnostics and probabilities from
+        the estimators) are coerced to floats; anything else
+        unserializable falls back to ``str``.
+        """
+        return json.dumps(
+            self.to_dict(), indent=indent, default=_json_default
+        )

@@ -289,12 +289,16 @@ class UncertainTable:
         table's rows. The fixed default ``seed`` keeps repeated calls
         reproducible; pass ``None`` for OS entropy. Additional keyword
         arguments configure the underlying
-        :class:`~repro.core.engine.RankingEngine`.
+        :class:`~repro.core.engine.RankingEngine`, which is built with
+        :meth:`~repro.core.engine.RankingEngine.from_table` — scored
+        records are validated, and the engine tracks this table's
+        version counter.
         """
         from ..core.engine import RankingEngine
 
-        records = self.to_records(scoring)
-        engine = RankingEngine(records, seed=seed, **engine_kwargs)
+        engine = RankingEngine.from_table(
+            self, scoring, seed=seed, **engine_kwargs
+        )
         return engine.utop_rank(1, k, l=l if l is not None else k)
 
     def uncertainty_rate(self, column: str) -> float:

@@ -11,9 +11,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Union
 
-from ..core.engine import RankingEngine
 from ..core.records import UncertainRecord
-from .harness import DEFAULT_SUITE_SIZE, format_table, paper_suite
+from .harness import (
+    DEFAULT_SUITE_SIZE,
+    format_table,
+    make_engine,
+    paper_suite,
+)
 
 __all__ = ["K_VALUES", "run", "main"]
 
@@ -37,7 +41,7 @@ def run(
     datasets = datasets if datasets is not None else paper_suite(size)
     rows = []
     for name, records in datasets.items():
-        engine = RankingEngine(
+        engine = make_engine(
             records, seed=seed, samples=samples, workers=workers
         )
         for k in k_values:

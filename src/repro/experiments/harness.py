@@ -58,15 +58,22 @@ def make_sampler(
 
 
 def make_engine(
-    records: Sequence[UncertainRecord],
+    source: Union[Sequence[UncertainRecord], object],
     seed: int = 0,
     workers: Union[int, str, None] = None,
     time_limit: Optional[float] = None,
     max_samples: Optional[int] = None,
     cache: Union[ComputationCache, str, None] = None,
+    scoring: Optional[object] = None,
     **engine_kwargs: object,
 ) -> RankingEngine:
     """A :class:`RankingEngine` with an optional resource budget.
+
+    ``source`` is either a sequence of records or an
+    :class:`~repro.db.table.UncertainTable`; a table requires a
+    ``scoring`` function and is wired up through
+    :meth:`~repro.core.engine.RankingEngine.from_table`, so the engine
+    follows the table's version counter across mutations.
 
     ``time_limit`` (seconds) and ``max_samples`` become a
     :class:`~repro.core.budget.Budget` installed as the engine default,
@@ -85,14 +92,25 @@ def make_engine(
     budget = None
     if time_limit is not None or max_samples is not None:
         budget = Budget(deadline=time_limit, max_samples=max_samples)
-    return RankingEngine(
-        records,
+    shared = dict(
         seed=seed,
         workers=workers,
         budget=budget,
         cache=cache,
         **engine_kwargs,
     )
+    if hasattr(source, "to_records") and hasattr(source, "version"):
+        if scoring is None:
+            raise TypeError(
+                "make_engine needs a scoring= function when source is "
+                "an UncertainTable"
+            )
+        return RankingEngine.from_table(source, scoring, **shared)
+    if scoring is not None:
+        raise TypeError(
+            "scoring= only applies when source is an UncertainTable"
+        )
+    return RankingEngine(source, **shared)
 
 
 def time_call(fn: Callable, *args, **kwargs) -> Tuple[object, float]:

@@ -11,10 +11,9 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from ..core.engine import RankingEngine
 from ..core.pruning import shrink_database
 from ..datasets.apartments import apartment_records
-from .harness import format_table, time_call
+from .harness import format_table, make_engine, time_call
 
 __all__ = ["SIZES", "run", "main"]
 
@@ -35,7 +34,7 @@ def run(
             apartment_records, size, seed=seed
         )
         shrink, shrink_s = time_call(shrink_database, records, k)
-        engine = RankingEngine(records, seed=seed, samples=samples)
+        engine = make_engine(records, seed=seed, samples=samples)
         result = engine.utop_rank(1, k, l=k, method="montecarlo")
         rows.append(
             {

@@ -654,9 +654,9 @@ class CachedArtifactRule(Rule):
     cacheable compiled artifact — ``SamplingPlan`` /
     ``build_sampling_plan`` / ``compile_plan``, ``PairwiseCache``, or
     ``ExactEvaluator`` — is constructed inside a loop, or anywhere
-    inside a per-query entry point (``utop_*``, ``rank_*``,
-    ``global_topk``, ``threshold_topk``, ``explain``) including its
-    nested closures. Those artifacts depend only on the database
+    inside a per-query entry point (``query``, the ``_eval_*``
+    evaluators, ``utop_*``, ``rank_*``, ``global_topk``,
+    ``threshold_topk``, ``explain``) including its nested closures. Those artifacts depend only on the database
     fingerprint, so per-query construction silently repeats work the
     :class:`~repro.core.cache.ComputationCache` exists to share —
     route the construction through a cache handle
@@ -687,7 +687,8 @@ class CachedArtifactRule(Rule):
         }
     )
     _QUERY_NAME = re.compile(
-        r"^(utop_\w+|rank_\w+|global_topk|threshold_topk|explain)$"
+        r"^(query|_eval_\w+|utop_\w+|rank_\w+|global_topk|"
+        r"threshold_topk|explain)$"
     )
     _LOOPS = (
         ast.For,

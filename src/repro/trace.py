@@ -1,0 +1,98 @@
+"""Pretty-print a saved query trace: ``python -m repro.trace FILE``.
+
+Reads a JSON document that is either a span tree exported by
+:meth:`repro.core.trace.Span.to_dict` or a full
+``QueryResult.to_dict()`` / ``to_json()`` dump (in which case the
+``"trace"`` key is extracted), and renders one line per span: name,
+wall milliseconds, share of the root's wall time, CPU milliseconds,
+and the span's attributes. ``-`` reads from stdin.
+
+Example
+-------
+.. code-block:: console
+
+   $ python - <<'PY' > trace.json
+   from repro import uniform, certain
+   from repro.core.engine import RankingEngine
+   db = [certain("a", 9.0), uniform("b", 5.0, 8.0)]
+   print(RankingEngine(db).utop_rank(1, 1, trace=True).to_json())
+   PY
+   $ python -m repro.trace trace.json
+   query      1.234 ms 100.0%  cpu    1.100 ms  [kind=utop_rank ...]
+     prune    0.040 ms   3.2%  cpu    0.039 ms  [level=1]
+     exact    1.100 ms  89.1%  cpu    1.000 ms  [outcome=ok]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from .core.trace import render_trace
+
+__all__ = ["main"]
+
+
+def _load(path: str) -> Any:
+    if path == "-":
+        return json.load(sys.stdin)
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _extract_span(document: Any) -> Dict[str, Any]:
+    """The span tree inside ``document``, whatever wrapper it came in."""
+    if not isinstance(document, dict):
+        raise ValueError("trace document must be a JSON object")
+    if "wall_seconds" in document and "name" in document:
+        return document
+    trace = document.get("trace")
+    if isinstance(trace, dict):
+        return trace
+    raise ValueError(
+        "no span tree found: expected a Span.to_dict() export or a "
+        "QueryResult dump with a non-null 'trace' key (was the query "
+        "run with trace=True?)"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description=(
+            "Pretty-print a saved query trace (Span.to_dict() JSON or a "
+            "QueryResult dump containing one)."
+        ),
+    )
+    parser.add_argument(
+        "path",
+        help="path to the JSON trace file, or '-' to read stdin",
+    )
+    parser.add_argument(
+        "--indent",
+        default="  ",
+        help="indentation unit per tree level (default: two spaces)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        document = _load(args.path)
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.path} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    try:
+        node = _extract_span(document)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_trace(node, indent=args.indent))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -1,0 +1,96 @@
+"""Regression tests for the baseline median-ranking fallback.
+
+``RankingEngine._median_ranking`` collapses each score distribution to
+its median via ``ppf(0.5)``. That call used to sit under a blanket
+``except Exception`` that silently swallowed *every* failure; it now
+catches exactly :class:`~repro.core.errors.EvaluationError` (with a
+logged warning and the interval-midpoint fallback) while genuinely
+unexpected errors propagate.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import UniformScore
+from repro.core.engine import RankingEngine
+from repro.core.errors import EvaluationError
+from repro.core.records import UncertainRecord, certain, uniform
+
+
+class _FailingScore(UniformScore):
+    """A distribution whose quantile function raises on demand."""
+
+    def __init__(self, lower, upper, error):
+        super().__init__(lower, upper)
+        self._error = error
+
+    def ppf(self, q):
+        raise self._error
+
+
+class _NonFiniteScore(UniformScore):
+    def ppf(self, q):
+        return float("nan")
+
+
+def _engine(records):
+    return RankingEngine(records, seed=0)
+
+
+class TestMedianFallback:
+    def test_evaluation_error_falls_back_to_midpoint(self, caplog):
+        bad = UncertainRecord(
+            "bad", _FailingScore(6.0, 8.0, EvaluationError("no quantile"))
+        )
+        records = [certain("hi", 9.0), bad, certain("lo", 1.0)]
+        engine = _engine(records)
+        with caplog.at_level(logging.WARNING, logger="repro.core.engine"):
+            ranked = engine._median_ranking(records)
+        # Midpoint 7.0 slots "bad" between the certain 9.0 and 1.0.
+        assert [r.record_id for r in ranked] == ["hi", "bad", "lo"]
+        assert any(
+            "bad" in message and "midpoint" in message
+            for message in caplog.messages
+        )
+
+    def test_non_finite_median_falls_back_to_midpoint(self):
+        weird = UncertainRecord("weird", _NonFiniteScore(6.0, 8.0))
+        records = [certain("hi", 9.0), weird, certain("lo", 1.0)]
+        ranked = _engine(records)._median_ranking(records)
+        assert [r.record_id for r in ranked] == ["hi", "weird", "lo"]
+
+    def test_unexpected_error_propagates(self):
+        broken = UncertainRecord(
+            "broken", _FailingScore(6.0, 8.0, RuntimeError("corrupt state"))
+        )
+        records = [certain("hi", 9.0), broken]
+        with pytest.raises(RuntimeError, match="corrupt state"):
+            _engine(records)._median_ranking(records)
+
+    def test_baseline_query_survives_failing_quantile(self, caplog):
+        bad = UncertainRecord(
+            "bad", _FailingScore(6.0, 8.0, EvaluationError("no quantile"))
+        )
+        records = [
+            certain("hi", 9.0),
+            bad,
+            uniform("mid", 3.0, 5.0),
+            certain("lo", 1.0),
+        ]
+        engine = _engine(records)
+        with caplog.at_level(logging.WARNING, logger="repro.core.engine"):
+            result = engine.utop_rank(1, 2, l=2, method="baseline")
+        assert result.method == "baseline"
+        # Both in-range records carry probability 1.0; ties break by id.
+        assert [a.record_id for a in result.answers] == ["bad", "hi"]
+        assert all(a.probability == 1.0 for a in result.answers)
+
+    def test_healthy_records_keep_exact_median(self):
+        records = [uniform("a", 2.0, 10.0), uniform("b", 5.0, 6.0)]
+        engine = _engine(records)
+        ranked = engine._median_ranking(records)
+        medians = [rec.score.ppf(0.5) for rec in ranked]
+        assert medians == sorted(medians, reverse=True)
+        assert np.isfinite(medians).all()

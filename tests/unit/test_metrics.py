@@ -1,0 +1,162 @@
+"""Unit tests for the metrics registry and its contextvar plumbing."""
+
+import threading
+
+import pytest
+
+from repro.core import metrics as metrics_module
+from repro.core.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    active_registry,
+    global_registry,
+    use_registry,
+)
+
+
+class TestCounters:
+    def test_inc_accumulates_per_label_set(self):
+        registry = MetricsRegistry()
+        registry.inc("queries_total", query="utop_rank")
+        registry.inc("queries_total", 2.0, query="utop_rank")
+        registry.inc("queries_total", query="utop_set")
+        assert registry.counter_value(
+            "queries_total", query="utop_rank"
+        ) == 3.0
+        assert registry.counter_value(
+            "queries_total", query="utop_set"
+        ) == 1.0
+        assert registry.counter_total("queries_total") == 4.0
+
+    def test_unseen_counter_reads_zero(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("nope") == 0.0
+        assert registry.counter_total("nope") == 0.0
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.inc("queries_total", -1.0)
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.inc("c", query="a", method="x")
+        registry.inc("c", method="x", query="a")
+        assert registry.counter_value("c", method="x", query="a") == 2.0
+
+    def test_thread_safety(self):
+        registry = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                registry.inc("c")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.counter_value("c") == 4000.0
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("queue_depth", 3, shard=0)
+        registry.set_gauge("queue_depth", 7, shard=0)
+        assert registry.gauge_value("queue_depth", shard=0) == 7.0
+        assert registry.gauge_value("queue_depth", shard=1) is None
+
+
+class TestHistograms:
+    def test_buckets_fixed_at_first_observation(self):
+        registry = MetricsRegistry()
+        registry.observe("d", 0.3, buckets=(0.1, 1.0))
+        # Later buckets= is ignored; the stored bounds stay (0.1, 1.0).
+        registry.observe("d", 0.05, buckets=(99.0,))
+        snap = registry.snapshot()["histograms"]["d"]
+        (row,) = snap
+        bounds = [b["le"] for b in row["buckets"]]
+        assert bounds == [0.1, 1.0, "+Inf"]
+
+    def test_cumulative_export(self):
+        registry = MetricsRegistry()
+        for value in (0.05, 0.3, 0.3, 5.0):
+            registry.observe("d", value, buckets=(0.1, 1.0), op="q")
+        (row,) = registry.snapshot()["histograms"]["d"]
+        assert row["labels"] == {"op": "q"}
+        assert row["buckets"] == [
+            {"le": 0.1, "count": 1},
+            {"le": 1.0, "count": 3},
+            {"le": "+Inf", "count": 4},
+        ]
+        assert row["sum"] == pytest.approx(5.65)
+        assert row["count"] == 4
+
+    def test_default_buckets(self):
+        registry = MetricsRegistry()
+        registry.observe("query_duration_seconds", 0.002)
+        (row,) = registry.snapshot()["histograms"][
+            "query_duration_seconds"
+        ]
+        assert len(row["buckets"]) == len(DEFAULT_BUCKETS) + 1
+
+
+class TestSnapshot:
+    def test_schema_and_reset(self):
+        registry = MetricsRegistry()
+        registry.inc("c", query="x")
+        registry.set_gauge("g", 1.5)
+        registry.observe("h", 0.2)
+        snap = registry.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert snap["counters"]["c"] == [
+            {"labels": {"query": "x"}, "value": 1.0}
+        ]
+        assert snap["gauges"]["g"] == [{"labels": {}, "value": 1.5}]
+        registry.reset()
+        empty = registry.snapshot()
+        assert empty == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestRegistryPlumbing:
+    def test_global_registry_is_singleton(self):
+        assert global_registry() is global_registry()
+
+    def test_active_falls_back_to_global(self):
+        assert active_registry() is global_registry()
+
+    def test_use_registry_installs_and_restores(self):
+        mine = MetricsRegistry()
+        with use_registry(mine) as installed:
+            assert installed is mine
+            assert active_registry() is mine
+            metrics_module.inc("c")
+            metrics_module.observe("h", 0.2)
+            metrics_module.set_gauge("g", 1.0)
+        assert active_registry() is global_registry()
+        assert mine.counter_value("c") == 1.0
+        assert mine.gauge_value("g") == 1.0
+        assert mine.snapshot()["histograms"]["h"][0]["count"] == 1
+
+    def test_use_registry_none_propagates_active(self):
+        mine = MetricsRegistry()
+        with use_registry(mine):
+            # The thread-hop form: None re-installs what is active.
+            with use_registry(None) as resolved:
+                assert resolved is mine
+                metrics_module.inc("c")
+        assert mine.counter_value("c") == 1.0
+
+    def test_active_registry_not_inherited_by_threads(self):
+        mine = MetricsRegistry()
+        seen = {}
+
+        def worker():
+            seen["registry"] = active_registry()
+
+        with use_registry(mine):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["registry"] is global_registry()
