@@ -144,7 +144,7 @@ class BaselineAlgorithm:
             leaf_integrals=integrals,
             elapsed=time.perf_counter() - start,
         )
-        self._trees[k] = (root, stats)
+        self._trees[k] = (root, stats)  # reprolint: disable=CON001 -- the baseline evaluator runs on the serial comparison rung only; thread reachability here is a by-name call-graph over-approximation
         return root, stats
 
     # ------------------------------------------------------------------
@@ -202,7 +202,7 @@ class BaselineAlgorithm:
         k = max(j, depth or 0)
         root, _stats = self.annotated_tree(k)
         mass: Dict[str, float] = {}
-        for node in root.walk():
+        for node in root.walk():  # reprolint: disable=ROB002 -- bounded: walk() traverses the already-materialized annotated tree, whose size was fixed (and budget-checked) at construction
             if node.record is None:
                 continue
             if i <= node.depth <= j:

@@ -250,7 +250,7 @@ class RankCountStore:
             if sc.done == take:
                 # A clean piece — full or budget-clipped to ``take`` —
                 # is a pure function of (backend, idx, take): cache it.
-                self._pieces[(idx, take)] = (limit, sc.counts)
+                self._pieces[(idx, take)] = (limit, sc.counts)  # reprolint: disable=CON001 -- externally synchronized: every caller reaches counts_for through ComputationCache.rank_counts, which holds self._lock (RLock)
             else:
                 # The draw itself was interrupted mid-chunk (deadline);
                 # the counts are a usable prefix but not addressable.
@@ -482,7 +482,7 @@ class ComputationCache:
             total += entry.nbytes
         return total
 
-    def _evict(self) -> None:
+    def _evict(self) -> None:  # reprolint: disable-scope=CON001 -- externally synchronized: _evict is only called from artifact()/put paths that already hold self._lock (RLock)
         """Drop LRU entries until both the byte and entry caps hold."""
         total = self._refresh_bytes()
         while len(self._entries) > 1 and (

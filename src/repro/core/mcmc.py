@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import hashlib
 import logging
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -118,7 +119,7 @@ class ProposalResult:
     changed: bool
 
 
-class MetropolisHastingsChain:
+class MetropolisHastingsChain:  # reprolint: disable-scope=CON001 -- thread-confined: each chain worker owns exactly one instance; state never crosses threads until the serial merge in run_chains
     """A single M-H chain over linear extensions.
 
     Parameters
@@ -192,7 +193,7 @@ class MetropolisHastingsChain:
             r = int(self.rng.integers(0, n))
             direction = 1 if r < self.k else -1
             pos = r
-            while True:  # reprolint: disable=ROB001 -- bounded: the walk exits at the array ends or at the first uncommitted swap
+            while True:  # reprolint: disable=ROB001,ROB002 -- bounded: the walk exits at the array ends or at the first uncommitted swap
                 m = pos + direction
                 if m < 0 or m >= n:
                     break
@@ -424,6 +425,9 @@ class TopKSimulation:
         self.oracle_retries = oracle_retries
         self.retry_backoff = retry_backoff
         self._state_cache: Dict[Hashable, float] = {}
+        # The state-probability memo is shared across chain worker
+        # threads (paper §VI-D "Caching"), so reads/writes take a lock.
+        self._state_lock = threading.Lock()
         self._oracle = state_probability or self._build_oracle(
             oracle, pi_samples, exact_oracle_limit
         )
@@ -531,10 +535,15 @@ class TopKSimulation:
         )
 
     def _cached_pi(self, key: Hashable) -> float:
-        value = self._state_cache.get(key)
+        with self._state_lock:
+            value = self._state_cache.get(key)
         if value is None:
+            # Oracle calls run outside the lock (they can be expensive);
+            # the oracle is deterministic per key, so two chains racing
+            # on the same state store the same value.
             value = self._call_oracle(key)
-            self._state_cache[key] = value
+            with self._state_lock:
+                value = self._state_cache.setdefault(key, value)
         return value
 
     def _initial_state(self, rng: np.random.Generator) -> Tuple[int, ...]:

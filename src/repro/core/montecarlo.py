@@ -25,6 +25,7 @@ For sharded multi-worker execution of the same estimators see
 from __future__ import annotations
 
 import heapq
+import threading
 from typing import (
     Dict,
     FrozenSet,
@@ -176,6 +177,9 @@ class MonteCarloEvaluator:
                 sample_overrides=overrides,
             )
         self._subplans: Dict[Tuple[int, ...], SamplingPlan] = {}
+        # One evaluator is shared across concurrent MCMC chain workers
+        # (oracle calls), so the subset-plan memo needs a lock.
+        self._subplans_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # sampling
@@ -196,18 +200,23 @@ class MonteCarloEvaluator:
     def _subplan(self, idxs: Sequence[int]) -> SamplingPlan:
         """Columnar plan over a record subset, in the order given."""
         key = tuple(idxs)
-        plan = self._subplans.get(key)
+        with self._subplans_lock:
+            plan = self._subplans.get(key)
         if plan is None:
             overrides = {}
             for col, i in enumerate(key):
                 rec = self.records[i]
                 if rec.record_id in self._tie_values:
                     overrides[col] = self._tie_values[rec.record_id]
+            # Built outside the lock: plan compilation is deterministic
+            # for a given key, so a racing duplicate build is wasted
+            # work, not a correctness problem.
             plan = build_sampling_plan(
                 [self.records[i].score for i in key],
                 sample_overrides=overrides,
             )
-            self._subplans[key] = plan
+            with self._subplans_lock:
+                plan = self._subplans.setdefault(key, plan)
         return plan
 
     def _draw(self, rng: np.random.Generator, samples: int) -> np.ndarray:

@@ -145,7 +145,7 @@ class PairwiseCache:
 
     def clear(self) -> None:
         """Drop all cached entries and reset counters."""
-        self._store.clear()
+        self._store.clear()  # reprolint: disable=CON001 -- invalidation API: clear() is called by the owning engine between queries, never while worker threads are live
         self.hits = 0
         self.misses = 0
 

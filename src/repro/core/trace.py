@@ -43,9 +43,29 @@ __all__ = [
     "annotate",
     "current_span",
     "render_trace",
+    "set_span_start_hook",
     "span",
     "span_under",
 ]
+
+# Called (with the new span) at every span start when installed. The
+# determinism sanitizer (``python -m repro.lint.sanitize``) uses this to
+# inject scheduling jitter at span boundaries — the natural preemption
+# points between evaluation stages — without instrumenting call sites.
+_SPAN_START_HOOK: Optional[Any] = None
+
+
+def set_span_start_hook(hook: Optional[Any]) -> Optional[Any]:
+    """Install (or clear, with ``None``) the global span-start hook.
+
+    Returns the previously installed hook so callers can restore it.
+    The hook runs inside ``Span.__init__`` on whatever thread opens the
+    span; it must be cheap, thread-safe, and must not raise.
+    """
+    global _SPAN_START_HOOK
+    previous = _SPAN_START_HOOK
+    _SPAN_START_HOOK = hook
+    return previous
 
 
 class Span:
@@ -73,6 +93,11 @@ class Span:
         self.attributes: Dict[str, Any] = dict(attributes)
         self.children: List["Span"] = []
         self._lock = threading.Lock()
+        hook = _SPAN_START_HOOK
+        if hook is not None:
+            # Before the clocks start, so injected jitter perturbs the
+            # schedule without inflating this span's own timings.
+            hook(self)
         self._start_wall = time.perf_counter()
         self._start_cpu = time.process_time()
         self._end_wall: Optional[float] = None

@@ -7,45 +7,78 @@ failing any test. This package mechanically enforces the project's
 probability-safety, determinism, and typing invariants (documented in
 ``docs/DEVELOPMENT.md``) over the source tree:
 
-========  ==============================================================
-Code      Invariant
-========  ==============================================================
-PRB001    probability-returning functions clamp/validate into ``[0, 1]``
-DET001    no unseeded ``default_rng()`` / stdlib ``random`` usage
-NUM001    no ``==`` / ``!=`` against float expressions
-EXC001    no bare or silent broad ``except`` handlers
-TYP001    public functions in typed packages carry full annotations
-ARG001    no mutable default arguments
-========  ==============================================================
+=========  =============================================================
+Code       Invariant
+=========  =============================================================
+PRB001     probability-returning functions clamp/validate into ``[0, 1]``
+DET001     no unseeded ``default_rng()`` / stdlib ``random`` usage
+NUM001     no ``==`` / ``!=`` against float expressions
+EXC001     no bare or silent broad ``except`` handlers
+TYP001     public functions in typed packages carry full annotations
+ARG001     no mutable default arguments
+PERF001    hot paths sample columnar, not per-record
+ROB001     ``while True`` loops consult a budget or cancellation token
+CACHE001   compiled artifacts are cached, not rebuilt per query
+DET002     query-path RNG seeds flow from spawned/derived streams †
+CON001     shared mutables on thread+main paths sit under locks †
+ROB002     query-path loops reach a Budget check on some call path †
+CACHE002   artifact builders' free inputs are folded into cache keys †
+=========  =============================================================
+
+† cross-module rules: they run over a whole-program
+:class:`~repro.lint.graph.ProjectContext` (symbol table, import graph,
+approximate call graph) instead of one file at a time.
 
 Run it as ``python -m repro.lint src/``; suppress individual findings
-with ``# reprolint: disable=CODE`` (line) or
-``# reprolint: disable-file=CODE`` (whole file). Configuration lives in
-``[tool.reprolint]`` in ``pyproject.toml``.
+with ``# reprolint: disable=CODE`` (line),
+``# reprolint: disable-scope=CODE`` (on a ``def``/``class`` line,
+covering that construct's body), or
+``# reprolint: disable-file=CODE`` (whole file), optionally adding a
+``-- justification`` (mandatory for codes listed under
+``require-justification``). Configuration lives in ``[tool.reprolint]``
+in ``pyproject.toml``; per-rule path scopes live in
+``[tool.reprolint.paths]``. Results are cached between runs (see
+``--no-cache``). The runtime companion
+``python -m repro.lint.sanitize`` replays a mixed workload under
+thread-scheduling perturbation and diffs results byte-for-byte.
 
 The framework is pure stdlib (``ast`` + ``tokenize``): rules subclass
-:class:`~repro.lint.rules.Rule`, register themselves via
-:func:`~repro.lint.rules.register`, and receive a parsed
-:class:`~repro.lint.rules.FileContext` per file.
+:class:`~repro.lint.rules.Rule` (or
+:class:`~repro.lint.rules.ProjectRule` for whole-program analyses),
+register themselves via :func:`~repro.lint.rules.register`, and receive
+a parsed :class:`~repro.lint.rules.FileContext` per file.
 """
 
 from __future__ import annotations
 
+from .cache import LintCache, cache_fingerprint
 from .config import DEFAULT_CONFIG, LintConfig, load_config
 from .findings import Finding, Severity
-from .reporters import json_report, text_report
-from .rules import FileContext, Rule, all_rules, get_rule, register
+from .graph import ProjectContext
+from .reporters import json_report, sarif_report, text_report
+from .rules import (
+    FileContext,
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+)
 from .runner import LintResult, lint_file, lint_paths, lint_source
 
 __all__ = [
     "DEFAULT_CONFIG",
     "FileContext",
     "Finding",
+    "LintCache",
     "LintConfig",
     "LintResult",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "Severity",
     "all_rules",
+    "cache_fingerprint",
     "get_rule",
     "json_report",
     "lint_file",
@@ -53,5 +86,6 @@ __all__ = [
     "lint_source",
     "load_config",
     "register",
+    "sarif_report",
     "text_report",
 ]

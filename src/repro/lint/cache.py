@@ -1,0 +1,262 @@
+"""mtime + content-hash result cache for the lint runner.
+
+Re-linting an unchanged tree should be near-instant: CI and the tier-1
+test suite both run ``python -m repro.lint`` on every invocation, and
+the cross-module pass parses every file even when nothing moved. The
+cache stores per-file findings keyed by content digest (with an
+``mtime_ns``/size fast path that avoids reading unchanged files at
+all) plus one whole-tree entry for the project-rule findings, keyed by
+the combined digest of every file in the run.
+
+Every entry is scoped by a *fingerprint* covering the resolved
+configuration and the lint package's own sources — editing a rule or
+``[tool.reprolint]`` drops the cache wholesale rather than serving
+stale findings. The on-disk format is a single JSON document written
+atomically; a missing, corrupt, or mismatched file degrades to an
+empty cache, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .config import LintConfig
+from .findings import Finding, Severity
+
+__all__ = [
+    "FileProbe",
+    "LintCache",
+    "cache_fingerprint",
+    "content_digest",
+    "tree_digest",
+]
+
+_LOGGER = logging.getLogger(__name__)
+
+_SCHEMA_VERSION = 1
+
+#: Default cache file name, created next to ``pyproject.toml``.
+CACHE_FILENAME = ".reprolint_cache.json"
+
+
+def content_digest(data: bytes) -> str:
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+def cache_fingerprint(config: LintConfig) -> str:
+    """Digest of everything that can change lint output besides the
+    linted sources: the configuration and the linter itself."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(f"schema={_SCHEMA_VERSION};".encode())
+    h.update(config.digest().encode())
+    package_dir = Path(__file__).resolve().parent
+    for source in sorted(package_dir.glob("*.py")):
+        h.update(source.name.encode())
+        try:
+            h.update(source.read_bytes())
+        except OSError:  # pragma: no cover - racing an install/cleanup
+            h.update(b"?")
+    return h.hexdigest()
+
+
+def tree_digest(pairs: List[Tuple[str, str]]) -> str:
+    """Digest of the whole linted file set (path, content-digest)."""
+    h = hashlib.blake2b(digest_size=16)
+    for path, digest in sorted(pairs):
+        h.update(path.encode())
+        h.update(b"\0")
+        h.update(digest.encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def _encode_findings(findings: List[Finding]) -> List[Dict[str, object]]:
+    return [f.to_dict() for f in findings]
+
+
+def _decode_findings(raw: object) -> List[Finding]:
+    out: List[Finding] = []
+    if not isinstance(raw, list):
+        return out
+    for item in raw:
+        out.append(
+            Finding(
+                path=str(item["path"]),
+                line=int(item["line"]),
+                column=int(item["column"]),
+                code=str(item["code"]),
+                message=str(item["message"]),
+                severity=Severity.parse(str(item["severity"])),
+            )
+        )
+    return out
+
+
+@dataclass
+class FileProbe:
+    """Outcome of checking one file against the cache.
+
+    ``hit`` means the stored findings are valid for the file's current
+    content. On a miss, ``source`` holds the file text (the probe had
+    to read it to know) so the runner does not read twice. ``error``
+    carries the ``OSError`` text when the file cannot be read at all.
+    """
+
+    path: Path
+    key: str
+    mtime_ns: int = 0
+    size: int = 0
+    digest: Optional[str] = None
+    hit: bool = False
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    source: Optional[str] = None
+    error: Optional[str] = None
+
+
+class LintCache:
+    """Load-once / save-once JSON cache used by :func:`lint_paths`."""
+
+    def __init__(self, path: Path, fingerprint: str) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._files: Dict[str, Dict[str, object]] = {}
+        self._project: Optional[Dict[str, object]] = None
+        self._dirty = False
+
+    @classmethod
+    def load(cls, path: Path, fingerprint: str) -> "LintCache":
+        cache = cls(path, fingerprint)
+        try:
+            raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if (
+            not isinstance(raw, dict)
+            or raw.get("version") != _SCHEMA_VERSION
+            or raw.get("fingerprint") != fingerprint
+        ):
+            # Stale schema, edited config, or edited linter: start over.
+            return cache
+        files = raw.get("files")
+        if isinstance(files, dict):
+            cache._files = files
+        project = raw.get("project")
+        if isinstance(project, dict):
+            cache._project = project
+        return cache
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {
+            "version": _SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "files": self._files,
+            "project": self._project,
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        try:
+            tmp.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+            os.replace(tmp, self.path)
+        except OSError as exc:  # pragma: no cover - read-only checkout
+            # Caching is best-effort; the lint verdict stands either way.
+            _LOGGER.debug("lint cache not saved to %s: %s", self.path, exc)
+            tmp.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # per-file entries
+
+    def probe(self, path: Path) -> FileProbe:
+        key = str(Path(path).resolve())
+        probe = FileProbe(path=Path(path), key=key)
+        try:
+            st = os.stat(path)
+        except OSError as exc:
+            probe.error = str(exc)
+            return probe
+        probe.mtime_ns = st.st_mtime_ns
+        probe.size = st.st_size
+        entry = self._files.get(key)
+        if (
+            entry is not None
+            and entry.get("lint_path") == str(path)
+            and entry.get("mtime_ns") == st.st_mtime_ns
+            and entry.get("size") == st.st_size
+        ):
+            probe.hit = True
+            probe.digest = str(entry.get("digest"))
+            probe.findings = _decode_findings(entry.get("findings"))
+            probe.suppressed = int(entry.get("suppressed", 0))
+            return probe
+        try:
+            data = Path(path).read_bytes()
+        except OSError as exc:
+            probe.error = str(exc)
+            return probe
+        probe.digest = content_digest(data)
+        probe.source = data.decode("utf-8")
+        if (
+            entry is not None
+            and entry.get("lint_path") == str(path)
+            and entry.get("digest") == probe.digest
+        ):
+            # Touched but unchanged (checkout, touch): refresh the
+            # fast path and reuse the findings.
+            entry["mtime_ns"] = st.st_mtime_ns
+            entry["size"] = st.st_size
+            self._dirty = True
+            probe.hit = True
+            probe.findings = _decode_findings(entry.get("findings"))
+            probe.suppressed = int(entry.get("suppressed", 0))
+        return probe
+
+    def store_file(
+        self,
+        probe: FileProbe,
+        findings: List[Finding],
+        suppressed: int,
+    ) -> None:
+        if probe.digest is None:
+            return
+        self._files[probe.key] = {
+            "lint_path": str(probe.path),
+            "mtime_ns": probe.mtime_ns,
+            "size": probe.size,
+            "digest": probe.digest,
+            "findings": _encode_findings(findings),
+            "suppressed": suppressed,
+        }
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # whole-tree project entry
+
+    def project_findings(
+        self, digest: str
+    ) -> Optional[Tuple[List[Finding], int]]:
+        entry = self._project
+        if entry is None or entry.get("digest") != digest:
+            return None
+        return (
+            _decode_findings(entry.get("findings")),
+            int(entry.get("suppressed", 0)),
+        )
+
+    def store_project(
+        self, digest: str, findings: List[Finding], suppressed: int
+    ) -> None:
+        self._project = {
+            "digest": digest,
+            "findings": _encode_findings(findings),
+            "suppressed": suppressed,
+        }
+        self._dirty = True

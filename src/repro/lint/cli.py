@@ -12,8 +12,9 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from .config import load_config
-from .reporters import json_report, text_report
+from .cache import CACHE_FILENAME, LintCache, cache_fingerprint
+from .config import find_pyproject, load_config
+from .reporters import json_report, sarif_report, text_report
 from .rules import all_rules
 from .runner import lint_paths
 
@@ -36,9 +37,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on any finding, regardless of severity",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the lint result cache",
+    )
+    parser.add_argument(
+        "--cache-file",
+        metavar="PATH",
+        help=(
+            "lint result cache location (default: "
+            f"{CACHE_FILENAME} next to pyproject.toml)"
+        ),
     )
     parser.add_argument(
         "--select",
@@ -132,12 +151,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 2
 
-    result = lint_paths(args.paths, config)
-    report = (
-        json_report(result)
-        if args.format == "json"
-        else text_report(result, verbose=args.verbose)
-    )
+    cache = None
+    if not args.no_cache:
+        if args.cache_file:
+            cache_path = Path(args.cache_file)
+        else:
+            pyproject = (
+                Path(args.config) if args.config else find_pyproject()
+            )
+            anchor = pyproject.parent if pyproject else Path.cwd()
+            cache_path = anchor / CACHE_FILENAME
+        cache = LintCache.load(cache_path, cache_fingerprint(config))
+
+    result = lint_paths(args.paths, config, cache=cache)
+    if cache is not None:
+        cache.save()
+    if args.format == "json":
+        report = json_report(result)
+    elif args.format == "sarif":
+        report = sarif_report(result)
+    else:
+        report = text_report(result, verbose=args.verbose)
     if report:
         try:
             print(report)
@@ -146,6 +180,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             # own flush-on-exit complaint and keep the lint verdict.
             devnull = open(os.devnull, "w")
             os.dup2(devnull.fileno(), sys.stdout.fileno())
+    if args.strict and result.findings:
+        return 1
     return result.exit_code
 
 

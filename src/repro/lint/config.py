@@ -54,6 +54,15 @@ class LintConfig:
         Path fragments in which CACHE001 forbids constructing cacheable
         compiled artifacts (sampling plans, pairwise caches, exact
         evaluators) inside loops or per-query methods.
+    path_scopes:
+        Generic per-rule path scopes from ``[tool.reprolint.paths]``
+        (``CODE = ["fragment", ...]``). Takes precedence over the
+        legacy per-rule fields above; rules resolve their scope through
+        :meth:`paths_for` so new rules need no bespoke config field.
+    justify:
+        Rule codes whose suppression pragmas must carry a
+        ``-- justification`` suffix to take effect (``"all"`` applies
+        to every code).
     severity:
         Per-code severity overrides.
     """
@@ -72,7 +81,38 @@ class LintConfig:
         "repro/core/engine.py",
         "repro/core/mcmc.py",
     )
+    path_scopes: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    justify: FrozenSet[str] = frozenset()
     severity: Dict[str, Severity] = field(default_factory=dict)
+
+    #: Pre-existing scope fields, kept as aliases so configs written
+    #: against earlier releases keep working.
+    _LEGACY_SCOPES = {
+        "TYP001": "typed_paths",
+        "PERF001": "perf_paths",
+        "ROB001": "robust_paths",
+        "CACHE001": "cache_paths",
+    }
+
+    def paths_for(
+        self, code: str, default: Tuple[str, ...] = ()
+    ) -> Tuple[str, ...]:
+        """Resolve the path scope for ``code``.
+
+        Resolution order: explicit ``[tool.reprolint.paths]`` entry,
+        then the legacy dedicated field (``typed-paths`` & friends),
+        then the rule's own ``default``.
+        """
+        if code in self.path_scopes:
+            return self.path_scopes[code]
+        legacy = self._LEGACY_SCOPES.get(code)
+        if legacy is not None:
+            return getattr(self, legacy)
+        return default
+
+    def requires_justification(self, code: str) -> bool:
+        """Whether suppressing ``code`` demands a written reason."""
+        return "all" in self.justify or code in self.justify
 
     def rule_enabled(self, code: str) -> bool:
         if code in self.ignore:
@@ -89,6 +129,37 @@ class LintConfig:
         if any(part in _SKIP_DIRS for part in norm.split("/")):
             return True
         return any(fragment in norm for fragment in self.exclude)
+
+    def digest(self) -> str:
+        """Stable hash of the resolved configuration.
+
+        The lint result cache keys on this so editing
+        ``[tool.reprolint]`` invalidates cached findings.
+        """
+        import hashlib
+
+        canonical = repr(
+            (
+                sorted(self.select),
+                sorted(self.ignore),
+                self.exclude,
+                self.typed_paths,
+                self.rng_allow,
+                self.perf_paths,
+                self.robust_paths,
+                self.cache_paths,
+                sorted(
+                    (code, scope) for code, scope in self.path_scopes.items()
+                ),
+                sorted(self.justify),
+                sorted(
+                    (code, sev.value) for code, sev in self.severity.items()
+                ),
+            )
+        )
+        return hashlib.blake2b(
+            canonical.encode("utf-8"), digest_size=16
+        ).hexdigest()
 
 
 DEFAULT_CONFIG = LintConfig()
@@ -168,6 +239,33 @@ def load_config(pyproject: Optional[Path] = None) -> LintConfig:
     cache = _get(table, "cache-paths")
     if cache is not None:
         config = replace(config, cache_paths=_str_tuple(cache, "cache-paths"))
+    paths = _get(table, "paths")
+    if paths is not None:
+        if not isinstance(paths, Mapping):
+            raise ValueError(
+                "[tool.reprolint.paths] must map rule codes to lists "
+                "of path fragments"
+            )
+        config = replace(
+            config,
+            path_scopes={
+                str(code): _str_tuple(value, f"paths.{code}")
+                for code, value in paths.items()
+            },
+        )
+    justify = _get(table, "require-justification")
+    if justify is not None:
+        if justify is True:
+            config = replace(config, justify=frozenset({"all"}))
+        elif justify is False:
+            config = replace(config, justify=frozenset())
+        else:
+            config = replace(
+                config,
+                justify=frozenset(
+                    _str_tuple(justify, "require-justification")
+                ),
+            )
     severity = _get(table, "severity")
     if severity is not None:
         if not isinstance(severity, Mapping):

@@ -1,4 +1,4 @@
-"""Text and JSON reporters over a :class:`~repro.lint.runner.LintResult`."""
+"""Text, JSON, and SARIF reporters over a :class:`~repro.lint.runner.LintResult`."""
 
 from __future__ import annotations
 
@@ -7,7 +7,7 @@ from collections import Counter
 
 from .runner import LintResult
 
-__all__ = ["text_report", "json_report"]
+__all__ = ["text_report", "json_report", "sarif_report"]
 
 
 def text_report(result: LintResult, verbose: bool = False) -> str:
@@ -40,5 +40,92 @@ def json_report(result: LintResult) -> str:
         "suppressed": result.suppressed,
         "error_count": len(result.errors),
         "findings": [finding.to_dict() for finding in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+#: SARIF severity levels for reprolint severities.
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+#: Fixed tool version in the SARIF envelope; golden files depend on it,
+#: so bump it only alongside the golden fixtures.
+_SARIF_TOOL_VERSION = "1.0.0"
+
+
+def sarif_report(result: LintResult) -> str:
+    """SARIF 2.1.0 report — the format code-review tooling ingests to
+    render findings as inline annotations.
+
+    Output is fully deterministic (sorted findings, sorted keys, fixed
+    tool version) so it can be golden-file tested and diffed in CI.
+    """
+    from .rules import all_rules
+
+    catalog = {rule.code: rule for rule in all_rules()}
+    seen_codes = sorted({finding.code for finding in result.findings})
+    rules_array = []
+    for code in seen_codes:
+        rule = catalog.get(code)
+        entry: dict = {"id": code}
+        if rule is not None:
+            entry["name"] = rule.name
+            entry["shortDescription"] = {"text": rule.description}
+            if rule.rationale:
+                entry["fullDescription"] = {"text": rule.rationale}
+        else:
+            # Runner-synthesized codes (SYN001, IOE001) have no
+            # registered rule; emit a minimal stub.
+            entry["name"] = code.lower()
+            entry["shortDescription"] = {"text": code}
+        rules_array.append(entry)
+    rule_index = {code: i for i, code in enumerate(seen_codes)}
+
+    results = []
+    for finding in sorted(result.findings):
+        results.append(
+            {
+                "ruleId": finding.code,
+                "ruleIndex": rule_index[finding.code],
+                "level": _SARIF_LEVELS.get(
+                    finding.severity.value, "warning"
+                ),
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path.replace("\\", "/"),
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.column,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+
+    payload = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": (
+                            "https://example.invalid/reprolint"
+                        ),
+                        "version": _SARIF_TOOL_VERSION,
+                        "rules": rules_array,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -19,8 +19,9 @@ from .findings import Finding, Severity
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
     from .config import LintConfig
+    from .graph import ProjectContext
 
-_CODE_PATTERN = re.compile(r"^[A-Z]{2,5}\d{3}$")
+_CODE_PATTERN = re.compile(r"^[A-Z]{2,5}\d{3,4}$")
 
 
 @dataclass
@@ -94,6 +95,43 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class for cross-module (whole-program) rules.
+
+    Project rules run once per lint invocation over a
+    :class:`~repro.lint.graph.ProjectContext` — the project-wide symbol
+    table, import graph, and approximate call graph — instead of once
+    per file. Findings still anchor to concrete nodes in concrete
+    files (via :meth:`Rule.finding` with that file's context), so line
+    pragmas and per-file suppression tables apply unchanged.
+
+    ``default_paths`` scopes the rule: only sink files whose normalized
+    path contains one of the fragments produce findings. Projects
+    override the scope per rule code via ``[tool.reprolint.paths]``.
+    """
+
+    default_paths: tuple = ()
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Project rules do not participate in the per-file pass."""
+        return iter(())
+
+    def check_project(
+        self, project: "ProjectContext"
+    ) -> Iterator[Finding]:
+        """Yield findings over the whole project graph."""
+        raise NotImplementedError
+        yield  # pragma: no cover - generator typing aid
+
+    def in_scope(self, ctx: FileContext) -> bool:
+        """Whether ``ctx``'s file is inside this rule's path scope."""
+        fragments = ctx.config.paths_for(self.code, self.default_paths)
+        if not fragments:
+            return True
+        norm = ctx.norm_path()
+        return any(fragment in norm for fragment in fragments)
+
+
 _REGISTRY: Dict[str, Rule] = {}
 
 
@@ -103,7 +141,7 @@ def register(rule_cls: Type[Rule]) -> Type[Rule]:
     if not _CODE_PATTERN.match(code):
         raise ValueError(
             f"rule code {code!r} must match AAA000 (two to five "
-            "letters, three digits)"
+            "letters, three or four digits)"
         )
     if code in _REGISTRY and type(_REGISTRY[code]) is not rule_cls:
         raise ValueError(f"duplicate rule code {code!r}")
@@ -115,6 +153,16 @@ def all_rules() -> List[Rule]:
     """Every registered rule, sorted by code."""
     _ensure_builtin_loaded()
     return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def file_rules() -> List[Rule]:
+    """Registered per-file rules (everything except project rules)."""
+    return [r for r in all_rules() if not isinstance(r, ProjectRule)]
+
+
+def project_rules() -> List["ProjectRule"]:
+    """Registered cross-module rules, sorted by code."""
+    return [r for r in all_rules() if isinstance(r, ProjectRule)]
 
 
 def get_rule(code: str) -> Rule:
@@ -132,3 +180,4 @@ def _ensure_builtin_loaded() -> None:
     # Imported lazily so `rules` has no import-time dependency on the
     # rule implementations (which import this module).
     from . import builtin  # noqa: F401
+    from . import crossmodule  # noqa: F401

@@ -1,16 +1,50 @@
-"""File collection, rule dispatch, and suppression filtering."""
+"""File collection, rule dispatch, and suppression filtering.
+
+Two passes run over the tree:
+
+1. the **per-file pass** — every :class:`~repro.lint.rules.Rule` sees
+   one parsed :class:`~repro.lint.rules.FileContext` at a time;
+2. the **project pass** — every
+   :class:`~repro.lint.rules.ProjectRule` sees one
+   :class:`~repro.lint.graph.ProjectContext` built from *all* parsed
+   files (symbol tables, import graph, approximate call graph).
+
+Project findings anchor at concrete file/line sinks, so both passes
+share the same suppression-pragma machinery; codes listed under
+``require-justification`` in the config only honour pragmas carrying
+a ``-- reason``. An optional :class:`~repro.lint.cache.LintCache`
+short-circuits both passes for unchanged files/trees.
+"""
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .config import DEFAULT_CONFIG, LintConfig
 from .findings import Finding, Severity
-from .rules import FileContext, Rule, all_rules
-from .suppressions import parse_suppressions
+from .rules import (
+    FileContext,
+    ProjectRule,
+    Rule,
+    file_rules,
+    project_rules,
+)
+from .suppressions import SuppressionTable, parse_suppressions
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from .cache import LintCache
 
 __all__ = ["LintResult", "iter_python_files", "lint_source", "lint_file", "lint_paths"]
 
@@ -58,8 +92,72 @@ def iter_python_files(
             yield candidate
 
 
-def _active_rules(config: LintConfig) -> List[Rule]:
-    return [rule for rule in all_rules() if config.rule_enabled(rule.code)]
+def _active_file_rules(config: LintConfig) -> List[Rule]:
+    return [r for r in file_rules() if config.rule_enabled(r.code)]
+
+
+def _active_project_rules(config: LintConfig) -> List[ProjectRule]:
+    return [r for r in project_rules() if config.rule_enabled(r.code)]
+
+
+def _parse(
+    source: str, path: str, config: LintConfig
+) -> Tuple[Optional[FileContext], Optional[Finding]]:
+    """Parse ``source``; syntax errors become a SYN001 finding."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return None, Finding(
+            path=path,
+            line=exc.lineno or 1,
+            column=(exc.offset or 0) + 1,
+            code="SYN001",
+            message=f"file does not parse: {exc.msg}",
+            severity=Severity.ERROR,
+        )
+    return (
+        FileContext(path=path, source=source, tree=tree, config=config),
+        None,
+    )
+
+
+def _filter_suppressed(
+    findings: Iterable[Finding],
+    tables: Dict[str, SuppressionTable],
+    config: LintConfig,
+) -> Tuple[List[Finding], int]:
+    """Split findings into (kept, suppressed-count) via pragma tables."""
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in sorted(findings):
+        table = tables.get(finding.path)
+        if table is not None and table.is_suppressed(
+            finding.code,
+            finding.line,
+            require_justification=config.requires_justification(
+                finding.code
+            ),
+        ):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+def _project_findings(
+    contexts: Sequence[FileContext], config: LintConfig
+) -> List[Finding]:
+    """Run the enabled project rules over ``contexts``."""
+    rules = _active_project_rules(config)
+    if not rules or not contexts:
+        return []
+    from .graph import ProjectContext
+
+    project = ProjectContext.build(contexts, config)
+    findings: List[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check_project(project))
+    return findings
 
 
 def lint_source(
@@ -69,36 +167,41 @@ def lint_source(
 ) -> LintResult:
     """Lint raw source text — the entry point tests and tools use.
 
-    Syntax errors surface as a single ``SYN001`` error finding rather
-    than an exception, so one broken file cannot abort a tree-wide run.
+    Runs the per-file rules *and* the project rules over the
+    single-file project, so cross-module rules are testable on one
+    snippet. Syntax errors surface as a single ``SYN001`` error
+    finding rather than an exception, so one broken file cannot abort
+    a tree-wide run.
     """
     config = config or DEFAULT_CONFIG
     result = LintResult(files_checked=1)
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        result.findings.append(
-            Finding(
-                path=path,
-                line=exc.lineno or 1,
-                column=(exc.offset or 0) + 1,
-                code="SYN001",
-                message=f"file does not parse: {exc.msg}",
-                severity=Severity.ERROR,
-            )
-        )
+    ctx, syntax_error = _parse(source, path, config)
+    if syntax_error is not None:
+        result.findings.append(syntax_error)
         return result
-    ctx = FileContext(path=path, source=source, tree=tree, config=config)
-    suppressions = parse_suppressions(source)
+    assert ctx is not None
     collected: List[Finding] = []
-    for rule in _active_rules(config):
+    for rule in _active_file_rules(config):
         collected.extend(rule.check(ctx))
-    for finding in sorted(collected):
-        if suppressions.is_suppressed(finding.code, finding.line):
-            result.suppressed += 1
-        else:
-            result.findings.append(finding)
+    collected.extend(_project_findings([ctx], config))
+    table = parse_suppressions(source)
+    table.bind_scopes(ctx.tree)
+    tables = {path: table}
+    result.findings, result.suppressed = _filter_suppressed(
+        collected, tables, config
+    )
     return result
+
+
+def _io_error_finding(path: str, exc: OSError) -> Finding:
+    return Finding(
+        path=path,
+        line=1,
+        column=1,
+        code="IOE001",
+        message=f"cannot read file: {exc}",
+        severity=Severity.ERROR,
+    )
 
 
 def lint_file(
@@ -109,28 +212,151 @@ def lint_file(
         source = Path(path).read_text(encoding="utf-8")
     except OSError as exc:
         return LintResult(
-            findings=[
-                Finding(
-                    path=str(path),
-                    line=1,
-                    column=1,
-                    code="IOE001",
-                    message=f"cannot read file: {exc}",
-                    severity=Severity.ERROR,
-                )
-            ],
+            findings=[_io_error_finding(str(path), exc)],
             files_checked=1,
         )
     return lint_source(source, path=str(path), config=config)
 
 
 def lint_paths(
-    paths: Sequence[str], config: Optional[LintConfig] = None
+    paths: Sequence[str],
+    config: Optional[LintConfig] = None,
+    cache: Optional["LintCache"] = None,
 ) -> LintResult:
-    """Lint every Python file under ``paths``; findings come back sorted."""
+    """Lint every Python file under ``paths``; findings come back sorted.
+
+    The per-file pass runs (or replays from ``cache``) first; the
+    project pass then runs once over every file that parsed. With a
+    warm cache and an unchanged tree neither pass re-executes — the
+    stored findings are replayed verbatim.
+    """
     config = config or DEFAULT_CONFIG
+    files = list(iter_python_files(paths, config))
     result = LintResult()
-    for path in iter_python_files(paths, config):
-        result.extend(lint_file(path, config))
+
+    contexts: List[Optional[FileContext]] = []
+    sources: List[Optional[str]] = []
+    digests: List[Optional[Tuple[str, str]]] = []
+    tables: Dict[str, SuppressionTable] = {}
+
+    for path in files:
+        result.files_checked += 1
+        source: Optional[str] = None
+        probe = cache.probe(path) if cache is not None else None
+        if probe is not None:
+            if probe.error is not None:
+                result.findings.append(
+                    Finding(
+                        path=str(path),
+                        line=1,
+                        column=1,
+                        code="IOE001",
+                        message=f"cannot read file: {probe.error}",
+                        severity=Severity.ERROR,
+                    )
+                )
+                contexts.append(None)
+                sources.append(None)
+                digests.append(None)
+                continue
+            if probe.hit:
+                result.findings.extend(probe.findings)
+                result.suppressed += probe.suppressed
+                contexts.append(None)  # parsed lazily if project pass misses
+                sources.append(probe.source)
+                digests.append((str(path), probe.digest or ""))
+                continue
+            source = probe.source
+        if source is None:
+            try:
+                source = Path(path).read_text(encoding="utf-8")
+            except OSError as exc:
+                result.findings.append(_io_error_finding(str(path), exc))
+                contexts.append(None)
+                sources.append(None)
+                digests.append(None)
+                continue
+
+        ctx, syntax_error = _parse(source, str(path), config)
+        if syntax_error is not None:
+            kept: List[Finding] = [syntax_error]
+            suppressed = 0
+        else:
+            assert ctx is not None
+            collected: List[Finding] = []
+            for rule in _active_file_rules(config):
+                collected.extend(rule.check(ctx))
+            table = parse_suppressions(source)
+            table.bind_scopes(ctx.tree)
+            tables[str(path)] = table
+            kept, suppressed = _filter_suppressed(
+                collected, {str(path): table}, config
+            )
+        result.findings.extend(kept)
+        result.suppressed += suppressed
+        contexts.append(ctx)
+        sources.append(source)
+        digests.append(
+            (str(path), probe.digest or "") if probe is not None else None
+        )
+        if cache is not None and probe is not None:
+            cache.store_file(probe, kept, suppressed)
+
+    if _active_project_rules(config):
+        cached_project: Optional[Tuple[List[Finding], int]] = None
+        tree_key: Optional[str] = None
+        if cache is not None and digests and all(
+            pair is not None and pair[1] for pair in digests
+        ):
+            from .cache import tree_digest
+
+            tree_key = tree_digest([pair for pair in digests if pair])
+            cached_project = cache.project_findings(tree_key)
+        if cached_project is not None:
+            result.findings.extend(cached_project[0])
+            result.suppressed += cached_project[1]
+        else:
+            parsed = _materialize_contexts(
+                files, contexts, sources, config
+            )
+            for ctx in parsed:
+                if ctx.path not in tables:
+                    table = parse_suppressions(ctx.source)
+                    table.bind_scopes(ctx.tree)
+                    tables[ctx.path] = table
+            kept, suppressed = _filter_suppressed(
+                _project_findings(parsed, config), tables, config
+            )
+            result.findings.extend(kept)
+            result.suppressed += suppressed
+            if cache is not None and tree_key is not None:
+                cache.store_project(tree_key, kept, suppressed)
+
     result.findings.sort()
     return result
+
+
+def _materialize_contexts(
+    files: Sequence[Path],
+    contexts: List[Optional[FileContext]],
+    sources: List[Optional[str]],
+    config: LintConfig,
+) -> List[FileContext]:
+    """Parse any cache-hit files the project pass still needs."""
+    parsed: List[FileContext] = []
+    for index, path in enumerate(files):
+        ctx = contexts[index]
+        if ctx is None:
+            source = sources[index]
+            if source is None:
+                try:
+                    source = Path(path).read_text(encoding="utf-8")
+                except OSError:
+                    continue
+            ctx, syntax_error = _parse(source, str(path), config)
+            if syntax_error is not None or ctx is None:
+                continue
+            contexts[index] = ctx
+            sources[index] = source
+        parsed.append(ctx)
+    return parsed

@@ -1,13 +1,28 @@
 """Suppression pragmas: ``# reprolint: disable=CODE`` comments.
 
-Two forms, both comma-tolerant and case-preserving for codes:
+Three forms, all comma-tolerant and case-preserving for codes:
 
 - ``# reprolint: disable=PRB001[,NUM001]`` — suppresses matching
   findings *on that physical line* (trailing comment or a comment line
   immediately above a statement does NOT apply; the pragma must share
   the finding's line).
+- ``# reprolint: disable-scope=CON001`` — placed on a ``def`` or
+  ``class`` line, suppresses matching findings anywhere inside that
+  construct's body. This is the natural scope for invariants like
+  "this class is thread-confined": one recorded justification instead
+  of a pragma per mutation. Scope extents come from the parsed AST
+  (:meth:`SuppressionTable.bind_scopes`); in an unparsable file the
+  pragma degrades to a plain line pragma.
 - ``# reprolint: disable-file=DET001`` — suppresses matching findings
   anywhere in the file; conventionally placed near the top.
+
+Either form may carry a justification after ``--``::
+
+    rng = np.random.default_rng(0)  # reprolint: disable=DET002 -- fixed probe seed
+
+Rules listed under ``require-justification`` in ``[tool.reprolint]``
+only honour pragmas that carry a non-empty justification; a bare
+pragma for such a rule is ignored and the finding stands.
 
 ``disable=all`` / ``disable-file=all`` suppress every rule. Comments
 are located with :mod:`tokenize` so pragma-looking *strings* never
@@ -17,17 +32,19 @@ line-regex scan (they will usually fail ``ast.parse`` anyway).
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
 
 __all__ = ["SuppressionTable", "parse_suppressions"]
 
 _PRAGMA = re.compile(
-    r"#\s*reprolint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-file|-scope)?)\s*=\s*"
     r"(?P<codes>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+    r"(?:\s*--\s*(?P<justification>.*\S))?"
 )
 
 _ALL = "all"
@@ -35,19 +52,76 @@ _ALL = "all"
 
 @dataclass
 class SuppressionTable:
-    """Resolved pragmas for one file."""
+    """Resolved pragmas for one file.
+
+    ``*_justified`` mirror the plain code sets but contain only the
+    codes whose pragma carried a ``-- reason`` suffix; rules configured
+    to require justification consult those instead.
+    """
 
     file_codes: FrozenSet[str] = frozenset()
     line_codes: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    file_justified: FrozenSet[str] = frozenset()
+    line_justified: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    #: ``disable-scope`` pragma lines awaiting :meth:`bind_scopes`.
+    scope_lines: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    scope_justified: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    #: Bound ``(start, end, codes, justified_codes)`` line ranges.
+    scopes: List[Tuple[int, int, FrozenSet[str], FrozenSet[str]]] = field(
+        default_factory=list
+    )
 
-    def is_suppressed(self, code: str, line: int) -> bool:
+    def bind_scopes(self, tree: ast.AST) -> None:
+        """Resolve ``disable-scope`` pragmas to def/class line ranges.
+
+        Each scope pragma attaches to the innermost ``def``/``class``
+        whose header contains the pragma line (header = the lines from
+        the keyword up to the first body statement, so multi-line
+        signatures work). Pragma lines that match no construct keep
+        their line-pragma fallback from :func:`parse_suppressions`.
+        """
+        if not self.scope_lines:
+            return
+        bound: List[Tuple[int, int, FrozenSet[str], FrozenSet[str]]] = []
+        for node in ast.walk(tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            body_start = node.body[0].lineno if node.body else node.lineno + 1
+            for pragma_line, codes in self.scope_lines.items():
+                if node.lineno <= pragma_line < max(body_start, node.lineno + 1):
+                    end = node.end_lineno or node.lineno
+                    justified = self.scope_justified.get(
+                        pragma_line, frozenset()
+                    )
+                    bound.append((node.lineno, end, codes, justified))
+        # Innermost-first so narrower scopes shadow nothing by accident
+        # (matching is purely additive, but a stable order keeps the
+        # table deterministic for tests).
+        bound.sort(key=lambda item: (item[0], -item[1]))
+        self.scopes = bound
+
+    def is_suppressed(
+        self, code: str, line: int, require_justification: bool = False
+    ) -> bool:
         """Whether a finding with ``code`` on ``line`` is silenced."""
-        if _ALL in self.file_codes or code in self.file_codes:
+        file_codes = (
+            self.file_justified if require_justification else self.file_codes
+        )
+        if _ALL in file_codes or code in file_codes:
             return True
-        at_line = self.line_codes.get(line)
-        if at_line is None:
-            return False
-        return _ALL in at_line or code in at_line
+        table = (
+            self.line_justified if require_justification else self.line_codes
+        )
+        at_line = table.get(line)
+        if at_line is not None and (_ALL in at_line or code in at_line):
+            return True
+        for start, end, codes, justified in self.scopes:
+            active = justified if require_justification else codes
+            if start <= line <= end and (_ALL in active or code in active):
+                return True
+        return False
 
 
 def _comments(source: str) -> Iterator[Tuple[int, str]]:
@@ -69,6 +143,10 @@ def parse_suppressions(source: str) -> SuppressionTable:
     """Extract the suppression table from a file's source text."""
     file_codes: Set[str] = set()
     line_codes: Dict[int, Set[str]] = {}
+    file_justified: Set[str] = set()
+    line_justified: Dict[int, Set[str]] = {}
+    scope_lines: Dict[int, Set[str]] = {}
+    scope_justified: Dict[int, Set[str]] = {}
     for lineno, text in _comments(source):
         match = _PRAGMA.search(text)
         if match is None:
@@ -79,13 +157,35 @@ def parse_suppressions(source: str) -> SuppressionTable:
             for part in match.group("codes").split(",")
             if part.strip()
         }
+        justified = bool(match.group("justification"))
         if match.group("kind") == "disable-file":
             file_codes.update(codes)
-        else:
-            line_codes.setdefault(lineno, set()).update(codes)
+            if justified:
+                file_justified.update(codes)
+            continue
+        if match.group("kind") == "disable-scope":
+            scope_lines.setdefault(lineno, set()).update(codes)
+            if justified:
+                scope_justified.setdefault(lineno, set()).update(codes)
+        # Scope pragmas also act as line pragmas: the pragma line itself
+        # is suppressed even if bind_scopes never runs (syntax error).
+        line_codes.setdefault(lineno, set()).update(codes)
+        if justified:
+            line_justified.setdefault(lineno, set()).update(codes)
     return SuppressionTable(
         file_codes=frozenset(file_codes),
         line_codes={
             line: frozenset(codes) for line, codes in line_codes.items()
+        },
+        file_justified=frozenset(file_justified),
+        line_justified={
+            line: frozenset(codes) for line, codes in line_justified.items()
+        },
+        scope_lines={
+            line: frozenset(codes) for line, codes in scope_lines.items()
+        },
+        scope_justified={
+            line: frozenset(codes)
+            for line, codes in scope_justified.items()
         },
     )

@@ -1,0 +1,184 @@
+"""Tests for the lint result cache (:mod:`repro.lint.cache`).
+
+The cache must replay identical findings for unchanged trees, detect
+content changes regardless of mtime games, and drop itself wholesale
+when the configuration (and therefore the rule behaviour) changes.
+"""
+
+import json
+import os
+import textwrap
+from dataclasses import replace
+
+from repro.lint import (
+    DEFAULT_CONFIG,
+    LintCache,
+    cache_fingerprint,
+    lint_paths,
+)
+from repro.lint.cli import main as lint_main
+
+CLEAN = """
+    def double(value: float) -> float:
+        return value * 2.0
+"""
+
+VIOLATION = """
+    import random
+
+    def draw() -> float:
+        return random.random()
+"""
+
+
+def write_tree(tmp_path, name="mod.py", body=CLEAN):
+    root = tmp_path / "src" / "repro" / "core"
+    root.mkdir(parents=True, exist_ok=True)
+    target = root / name
+    target.write_text(textwrap.dedent(body), encoding="utf-8")
+    return target
+
+
+def make_cache(tmp_path, config=None):
+    return LintCache.load(
+        tmp_path / "cache.json",
+        cache_fingerprint(config or DEFAULT_CONFIG),
+    )
+
+
+class TestLintCache:
+    def test_warm_run_replays_identical_findings(self, tmp_path):
+        write_tree(tmp_path, body=VIOLATION)
+        cache = make_cache(tmp_path)
+        first = lint_paths([tmp_path / "src"], cache=cache)
+        cache.save()
+
+        cache2 = make_cache(tmp_path)
+        second = lint_paths([tmp_path / "src"], cache=cache2)
+        assert [f.to_dict() for f in first.findings] == [
+            f.to_dict() for f in second.findings
+        ]
+        assert second.findings, "violation should persist through cache"
+
+    def test_touch_without_change_still_hits(self, tmp_path):
+        target = write_tree(tmp_path)
+        cache = make_cache(tmp_path)
+        lint_paths([tmp_path / "src"], cache=cache)
+        cache.save()
+
+        os.utime(target, ns=(1, 1))  # perturb mtime, content unchanged
+        cache2 = make_cache(tmp_path)
+        probe = cache2.probe(target)
+        assert probe.hit
+
+    def test_content_change_misses_and_updates(self, tmp_path):
+        target = write_tree(tmp_path)
+        cache = make_cache(tmp_path)
+        clean = lint_paths([tmp_path / "src"], cache=cache)
+        assert not clean.findings
+        cache.save()
+
+        target.write_text(textwrap.dedent(VIOLATION), encoding="utf-8")
+        cache2 = make_cache(tmp_path)
+        dirty = lint_paths([tmp_path / "src"], cache=cache2)
+        assert any(f.code == "DET001" for f in dirty.findings)
+
+    def test_config_change_invalidates_fingerprint(self, tmp_path):
+        write_tree(tmp_path, body=VIOLATION)
+        cache = make_cache(tmp_path)
+        lint_paths([tmp_path / "src"], cache=cache)
+        cache.save()
+
+        relaxed = replace(DEFAULT_CONFIG, ignore=frozenset({"DET001"}))
+        assert cache_fingerprint(relaxed) != cache_fingerprint(
+            DEFAULT_CONFIG
+        )
+        cache2 = LintCache.load(
+            tmp_path / "cache.json", cache_fingerprint(relaxed)
+        )
+        probe = cache2.probe(
+            tmp_path / "src" / "repro" / "core" / "mod.py"
+        )
+        assert not probe.hit
+
+    def test_corrupt_cache_file_degrades_to_empty(self, tmp_path):
+        (tmp_path / "cache.json").write_text("{not json", encoding="utf-8")
+        cache = LintCache.load(
+            tmp_path / "cache.json", cache_fingerprint(DEFAULT_CONFIG)
+        )
+        target = write_tree(tmp_path)
+        assert not cache.probe(target).hit
+
+    def test_project_findings_keyed_by_tree_digest(self, tmp_path):
+        write_tree(tmp_path, body=VIOLATION)
+        cache = make_cache(tmp_path)
+        lint_paths([tmp_path / "src"], cache=cache)
+        cache.save()
+
+        raw = json.loads(
+            (tmp_path / "cache.json").read_text(encoding="utf-8")
+        )
+        assert raw["project"] is not None
+        assert raw["project"]["digest"]
+
+
+class TestCacheCLI:
+    def test_cache_file_written_and_reused(self, tmp_path, capsys):
+        write_tree(tmp_path)
+        cache_file = tmp_path / "lint.json"
+        code = lint_main(
+            [
+                str(tmp_path / "src"),
+                "--cache-file",
+                str(cache_file),
+            ]
+        )
+        assert code == 0
+        assert cache_file.exists()
+        assert (
+            lint_main(
+                [
+                    str(tmp_path / "src"),
+                    "--cache-file",
+                    str(cache_file),
+                ]
+            )
+            == 0
+        )
+
+    def test_no_cache_skips_cache_file(self, tmp_path, capsys):
+        write_tree(tmp_path)
+        cache_file = tmp_path / "lint.json"
+        code = lint_main(
+            [
+                str(tmp_path / "src"),
+                "--no-cache",
+                "--cache-file",
+                str(cache_file),
+            ]
+        )
+        assert code == 0
+        assert not cache_file.exists()
+
+    def test_strict_flag_fails_on_warning(self, tmp_path, capsys):
+        root = tmp_path / "src" / "repro" / "core"
+        root.mkdir(parents=True)
+        (root / "mod.py").write_text(
+            "def f(xs: list = []) -> list:\n    return xs\n",
+            encoding="utf-8",
+        )
+        # Downgrade ARG001 to a warning: the plain run passes (exit
+        # codes only count errors) while --strict still fails.
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.reprolint.severity]\nARG001 = \"warning\"\n",
+            encoding="utf-8",
+        )
+        base = [
+            str(tmp_path / "src"),
+            "--no-cache",
+            "--config",
+            str(pyproject),
+        ]
+        assert lint_main(base) == 0
+        assert lint_main([*base, "--strict"]) == 1

@@ -1,0 +1,224 @@
+"""Unit tests for the project graph (:mod:`repro.lint.graph`).
+
+Covers the symbol table, import resolution, the approximate call
+graph's edge kinds (direct calls, self-methods, getattr dispatch,
+callback references), reachability queries, and the helper views the
+cross-module rules consume.
+"""
+
+import ast
+import textwrap
+
+from repro.lint import DEFAULT_CONFIG, FileContext, ProjectContext
+
+
+def project(files):
+    contexts = []
+    for path, source in files.items():
+        source = textwrap.dedent(source)
+        contexts.append(
+            FileContext(
+                path=path,
+                source=source,
+                tree=ast.parse(source),
+                config=DEFAULT_CONFIG,
+            )
+        )
+    return ProjectContext.build(contexts, DEFAULT_CONFIG)
+
+
+class TestSymbolTable:
+    def test_qualnames_and_module_names(self):
+        graph = project(
+            {
+                "src/repro/core/engine.py": """
+                    class RankingEngine:
+                        def query(self, spec):
+                            return spec
+
+                    def helper():
+                        return 1
+                """
+            }
+        )
+        assert "repro.core.engine:RankingEngine.query" in graph.functions
+        assert "repro.core.engine:helper" in graph.functions
+        info = graph.functions["repro.core.engine:RankingEngine.query"]
+        assert info.cls == "RankingEngine"
+        assert info.params == {"self", "spec"}
+
+    def test_nested_functions_indexed_with_dotted_names(self):
+        graph = project(
+            {
+                "src/repro/core/engine.py": """
+                    def outer():
+                        def inner():
+                            return 1
+                        return inner()
+                """
+            }
+        )
+        assert "repro.core.engine:outer.inner" in graph.functions
+        inner = graph.functions["repro.core.engine:outer.inner"]
+        chain = graph.enclosing_functions(inner)
+        assert [fn.name for fn in chain] == ["outer"]
+
+    def test_generator_functions_detected(self):
+        graph = project(
+            {
+                "src/repro/core/linext.py": """
+                    def enumerate_prefixes(k):
+                        yield k
+
+                    def plain(k):
+                        return k
+                """
+            }
+        )
+        assert graph.generator_functions() == {
+            "repro.core.linext:enumerate_prefixes"
+        }
+
+
+class TestCallGraph:
+    def test_direct_and_self_method_edges(self):
+        graph = project(
+            {
+                "src/repro/core/engine.py": """
+                    def helper():
+                        return 1
+
+                    class RankingEngine:
+                        def query(self, spec):
+                            return self._inner() + helper()
+
+                        def _inner(self):
+                            return 2
+                """
+            }
+        )
+        edges = graph.calls["repro.core.engine:RankingEngine.query"]
+        assert "repro.core.engine:RankingEngine._inner" in edges
+        assert "repro.core.engine:helper" in edges
+
+    def test_cross_module_import_edges(self):
+        graph = project(
+            {
+                "src/repro/core/engine.py": """
+                    from .sampler import draw
+
+                    class RankingEngine:
+                        def query(self, spec):
+                            return draw()
+                """,
+                "src/repro/core/sampler.py": """
+                    def draw():
+                        return 0.5
+                """,
+            }
+        )
+        edges = graph.calls["repro.core.engine:RankingEngine.query"]
+        assert "repro.core.sampler:draw" in edges
+
+    def test_module_alias_attribute_edges(self):
+        graph = project(
+            {
+                "src/repro/core/engine.py": """
+                    from repro.core import sampler
+
+                    def run():
+                        return sampler.draw()
+                """,
+                "src/repro/core/sampler.py": """
+                    def draw():
+                        return 0.5
+                """,
+            }
+        )
+        assert (
+            "repro.core.sampler:draw"
+            in graph.calls["repro.core.engine:run"]
+        )
+
+    def test_getattr_dispatch_links_all_class_methods(self):
+        graph = project(
+            {
+                "src/repro/core/engine.py": """
+                    class RankingEngine:
+                        def query(self, spec):
+                            handler = getattr(self, "_eval_" + spec)
+                            return handler()
+
+                        def _eval_rank(self):
+                            return 1
+
+                        def _eval_prefix(self):
+                            return 2
+                """
+            }
+        )
+        edges = graph.calls["repro.core.engine:RankingEngine.query"]
+        assert "repro.core.engine:RankingEngine._eval_rank" in edges
+        assert "repro.core.engine:RankingEngine._eval_prefix" in edges
+
+    def test_callback_reference_edges(self):
+        graph = project(
+            {
+                "src/repro/core/engine.py": """
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    class RankingEngine:
+                        def query(self, spec):
+                            with ThreadPoolExecutor() as pool:
+                                return list(pool.map(self._piece, spec))
+
+                        def _piece(self, item):
+                            return item
+                """
+            }
+        )
+        edges = graph.calls["repro.core.engine:RankingEngine.query"]
+        assert "repro.core.engine:RankingEngine._piece" in edges
+
+    def test_reachability_closure(self):
+        graph = project(
+            {
+                "src/repro/core/engine.py": """
+                    class RankingEngine:
+                        def query(self, spec):
+                            return self._a()
+
+                        def _a(self):
+                            return self._b()
+
+                        def _b(self):
+                            return 1
+
+                        def _orphan(self):
+                            return 2
+                """
+            }
+        )
+        roots = graph.resolve_roots(["RankingEngine.query"])
+        reached = graph.reachable(roots)
+        assert "repro.core.engine:RankingEngine._b" in reached
+        assert "repro.core.engine:RankingEngine._orphan" not in reached
+
+    def test_thread_entry_points(self):
+        graph = project(
+            {
+                "src/repro/core/parallel.py": """
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    def fan_out(fn, items):
+                        with ThreadPoolExecutor() as pool:
+                            return list(pool.map(fn, items))
+
+                    def serial(fn, items):
+                        return [fn(i) for i in items]
+                """
+            }
+        )
+        assert graph.thread_entry_points() == {
+            "repro.core.parallel:fan_out"
+        }

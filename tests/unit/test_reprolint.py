@@ -804,3 +804,48 @@ class TestCLI:
         out = capsys.readouterr().out
         for code in ("PRB001", "DET001", "NUM001", "EXC001", "TYP001", "ARG001"):
             assert code in out
+
+
+class TestSuppressionTable:
+    def test_justification_parsed_per_form(self):
+        table = parse_suppressions(
+            "# reprolint: disable-file=DET001 -- fixture entropy\n"
+            "x = 1  # reprolint: disable=NUM001\n"
+        )
+        assert "DET001" in table.file_codes
+        assert "DET001" in table.file_justified
+        assert table.is_suppressed("NUM001", 2)
+        assert not table.is_suppressed(
+            "NUM001", 2, require_justification=True
+        )
+        assert table.is_suppressed(
+            "DET001", 5, require_justification=True
+        )
+
+    def test_scope_pragma_binds_to_construct_extent(self):
+        import ast as ast_module
+
+        source = (
+            "class Chain:  # reprolint: disable-scope=CON001 -- confined\n"
+            "    def step(self):\n"
+            "        self.total += 1\n"
+            "        return self.total\n"
+            "\n"
+            "outside = 1\n"
+        )
+        table = parse_suppressions(source)
+        table.bind_scopes(ast_module.parse(source))
+        assert table.is_suppressed("CON001", 3)
+        assert table.is_suppressed(
+            "CON001", 3, require_justification=True
+        )
+        assert not table.is_suppressed("CON001", 6)
+
+    def test_unbound_scope_pragma_degrades_to_line(self):
+        table = parse_suppressions(
+            "x = 1  # reprolint: disable-scope=NUM001\n"
+        )
+        # bind_scopes never runs (no def/class): the pragma still
+        # suppresses its own line, nothing else.
+        assert table.is_suppressed("NUM001", 1)
+        assert not table.is_suppressed("NUM001", 2)

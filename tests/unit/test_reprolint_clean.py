@@ -2,20 +2,39 @@
 
 Running the linter from pytest means a reintroduced violation (an
 unseeded generator, an unclamped probability return, a silent broad
-except) fails the ordinary test run — nobody has to remember a separate
-lint step.
+except, an unguarded shared write on a threaded path) fails the
+ordinary test run — nobody has to remember a separate lint step.
+
+Two layers: the library call checks findings directly, and the CLI
+run exercises ``--strict`` (any finding fails, regardless of
+severity) exactly the way CI invokes it.
 """
 
 from pathlib import Path
 
 from repro.lint import lint_paths, load_config, text_report
+from repro.lint.cli import main as lint_main
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 SRC = REPO_ROOT / "src"
+PYPROJECT = REPO_ROOT / "pyproject.toml"
 
 
 def test_source_tree_is_lint_clean():
-    config = load_config(REPO_ROOT / "pyproject.toml")
+    config = load_config(PYPROJECT)
     result = lint_paths([SRC], config=config)
     assert result.files_checked > 50, "linter saw too few files; wrong root?"
     assert not result.findings, "\n" + text_report(result)
+
+
+def test_strict_cli_run_is_clean(capsys):
+    code = lint_main(
+        [
+            str(SRC),
+            "--strict",
+            "--no-cache",
+            "--config",
+            str(PYPROJECT),
+        ]
+    )
+    assert code == 0, capsys.readouterr().out

@@ -1,0 +1,102 @@
+"""SARIF reporter tests, including the golden-file comparison.
+
+The golden file (``tests/unit/data/reprolint_golden.sarif``) pins the
+exact serialized output for a fixed two-finding fixture — any change
+to field layout, ordering, or the tool version shows up as a diff. The
+structural tests keep the report consumable by SARIF viewers (GitHub
+code scanning et al.).
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.lint import lint_source, sarif_report
+from repro.lint.cli import main as lint_main
+
+GOLDEN = Path(__file__).parent / "data" / "reprolint_golden.sarif"
+
+FIXTURE = """import random
+
+
+def draw() -> float:
+    return random.random()
+
+
+def close(a: float) -> bool:
+    return a == 1.0
+"""
+
+
+def render():
+    result = lint_source(FIXTURE, path="src/repro/core/fixture.py")
+    return sarif_report(result)
+
+
+class TestSarifGolden:
+    def test_matches_golden_file_byte_for_byte(self):
+        assert render() + "\n" == GOLDEN.read_text(encoding="utf-8")
+
+    def test_output_is_deterministic(self):
+        assert render() == render()
+
+
+class TestSarifStructure:
+    def test_schema_and_version(self):
+        doc = json.loads(render())
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+
+    def test_rules_and_results_cross_reference(self):
+        doc = json.loads(render())
+        run = doc["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        rule_ids = [rule["id"] for rule in rules]
+        assert rule_ids == sorted(rule_ids)
+        for result in run["results"]:
+            assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"].endswith(
+                "fixture.py"
+            )
+            assert location["region"]["startLine"] >= 1
+
+    def test_clean_result_has_empty_results(self):
+        result = lint_source(
+            "def f(x: float) -> float:\n    return x\n",
+            path="src/repro/core/clean.py",
+        )
+        doc = json.loads(sarif_report(result))
+        assert doc["runs"][0]["results"] == []
+
+    def test_synthetic_codes_get_stub_rules(self):
+        result = lint_source(
+            "def broken(:\n", path="src/repro/core/broken.py"
+        )
+        doc = json.loads(sarif_report(result))
+        run = doc["runs"][0]
+        assert [r["ruleId"] for r in run["results"]] == ["SYN001"]
+        assert run["tool"]["driver"]["rules"][0]["id"] == "SYN001"
+
+
+class TestSarifCLI:
+    def test_format_sarif_round_trips(self, tmp_path, capsys):
+        target = tmp_path / "src" / "repro" / "core"
+        target.mkdir(parents=True)
+        (target / "mod.py").write_text(
+            textwrap.dedent(
+                """
+                import random
+
+                def draw() -> float:
+                    return random.random()
+                """
+            ),
+            encoding="utf-8",
+        )
+        code = lint_main(
+            [str(tmp_path / "src"), "--format", "sarif", "--no-cache"]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert doc["runs"][0]["results"]
