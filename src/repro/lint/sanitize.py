@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.lint.sanitize --repeats 3
     python -m repro.lint.sanitize --workers 1,2,4 --jitter 500 --json
+    python -m repro.lint.sanitize --backend thread,process
 
 Exit code 0 when every perturbed run is byte-identical to the
 unperturbed serial baseline, 1 on any divergence. See
@@ -20,6 +21,20 @@ from typing import List, Optional, Sequence
 from .sanitizer import DEFAULT_WORKER_GRID, run_sanitizer
 
 __all__ = ["main"]
+
+
+def _parse_backends(raw: str) -> List[str]:
+    grid = [part.strip() for part in raw.split(",") if part.strip()]
+    if not grid:
+        raise argparse.ArgumentTypeError(
+            "backend must contain at least one of thread/process/auto"
+        )
+    for name in grid:
+        if name not in ("thread", "process", "auto"):
+            raise argparse.ArgumentTypeError(
+                f"unknown execution backend {name!r}"
+            )
+    return grid
 
 
 def _parse_workers(raw: str) -> List[int]:
@@ -70,6 +85,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="comma-separated worker grid (default: 1,2,4)",
     )
     parser.add_argument(
+        "--backend",
+        type=_parse_backends,
+        default=["thread", "process"],
+        help="comma-separated execution-backend grid "
+        "(default: thread,process)",
+    )
+    parser.add_argument(
         "--jitter",
         type=int,
         default=200,
@@ -106,6 +128,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         records=args.records,
         samples=args.samples,
         worker_grid=args.workers,
+        backend_grid=args.backend,
         jitter_us=args.jitter,
         seed=args.seed,
         mcmc_steps=args.mcmc_steps,

@@ -13,6 +13,10 @@ and cache temperature. It replays a seeded mixed-query workload
   without touching any engine code path);
 - across a worker grid (default 1/2/4) so sharded backends and MCMC
   chain pools run both serial and concurrent;
+- across an execution-backend grid (default threads only; the CLI's
+  ``--backend`` flag defaults to ``thread,process``) so the
+  shared-memory process backend is held to the same byte-for-byte
+  contract as the thread pool;
 - twice per engine, so the second pass answers from a warm
   :class:`~repro.core.cache.ComputationCache`;
 
@@ -46,6 +50,7 @@ from repro.core.records import UncertainRecord
 from repro.core.trace import set_span_start_hook
 
 __all__ = [
+    "DEFAULT_BACKEND_GRID",
     "DEFAULT_WORKER_GRID",
     "Divergence",
     "SanitizerReport",
@@ -62,6 +67,11 @@ _LCG_INC = 1442695040888963407
 
 #: Worker settings exercised per repeat: serial, small pool, wide pool.
 DEFAULT_WORKER_GRID: Tuple[int, ...] = (1, 2, 4)
+
+#: Execution backends exercised per repeat. The library default keeps
+#: tier-1 runs fast (thread pools only); the sanitizer CLI widens this
+#: to ``thread,process`` so release checks cover the process backend.
+DEFAULT_BACKEND_GRID: Tuple[str, ...] = ("thread",)
 
 #: Result keys that legitimately vary run-to-run.
 _VOLATILE_KEYS = ("elapsed", "cache", "trace")
@@ -274,6 +284,7 @@ class SanitizerReport:
     repeats: int
     worker_grid: Tuple[int, ...]
     queries: int
+    backend_grid: Tuple[str, ...] = DEFAULT_BACKEND_GRID
     runs: int = 0
     comparisons: int = 0
     jitter_calls: int = 0
@@ -292,6 +303,7 @@ class SanitizerReport:
             "ok": self.ok,
             "repeats": self.repeats,
             "worker_grid": list(self.worker_grid),
+            "backend_grid": list(self.backend_grid),
             "queries": self.queries,
             "runs": self.runs,
             "comparisons": self.comparisons,
@@ -313,6 +325,7 @@ class SanitizerReport:
             f"determinism sanitizer: {self.runs} run(s), "
             f"{self.comparisons} comparison(s) over {self.queries} "
             f"queries, workers={'/'.join(map(str, self.worker_grid))}, "
+            f"backends={'/'.join(self.backend_grid)}, "
             f"repeats={self.repeats}, "
             f"{self.jitter_calls} jitter sleep(s) injected"
         ]
@@ -340,6 +353,7 @@ def _execute(
     queries: Sequence[Query],
     *,
     workers: int,
+    backend: str,
     samples: int,
     mcmc_steps: int,
     mcmc_chains: int,
@@ -350,29 +364,37 @@ def _execute(
         records,
         seed=engine_seed,
         workers=workers,
+        backend=backend,
         samples=samples,
         mcmc_chains=mcmc_chains,
         mcmc_steps=mcmc_steps,
         trace=True,
     )
-    passes: List[_Execution] = []
-    for temperature in ("cold", "warm"):
-        canonical: List[Dict[str, Any]] = []
-        encoded: List[bytes] = []
-        traces: List[Optional[Dict[str, Any]]] = []
-        for query in queries:
-            result = engine.query(query)
-            data = canonical_result(result)
-            canonical.append(data)
-            encoded.append(encode_canonical(data))
-            traces.append(
-                _span_skeleton(
-                    result.trace.to_dict() if result.trace else None
+    try:
+        passes: List[_Execution] = []
+        for temperature in ("cold", "warm"):
+            canonical: List[Dict[str, Any]] = []
+            encoded: List[bytes] = []
+            traces: List[Optional[Dict[str, Any]]] = []
+            for query in queries:
+                result = engine.query(query)
+                data = canonical_result(result)
+                canonical.append(data)
+                encoded.append(encode_canonical(data))
+                traces.append(
+                    _span_skeleton(
+                        result.trace.to_dict() if result.trace else None
+                    )
+                )
+            passes.append(
+                _Execution(
+                    f"{label} {temperature}", canonical, encoded, traces
                 )
             )
-        passes.append(
-            _Execution(f"{label} {temperature}", canonical, encoded, traces)
-        )
+    finally:
+        # Release worker pools and shared-memory segments before the
+        # next grid cell; the matrix builds dozens of engines.
+        engine.close()
     return passes[0], passes[1]
 
 
@@ -382,6 +404,7 @@ def run_sanitizer(
     records: int = 12,
     samples: int = 2000,
     worker_grid: Sequence[int] = DEFAULT_WORKER_GRID,
+    backend_grid: Sequence[str] = DEFAULT_BACKEND_GRID,
     jitter_us: int = 200,
     seed: int = 0,
     mcmc_steps: int = 150,
@@ -392,17 +415,24 @@ def run_sanitizer(
 
     ``repeats`` counts perturbed replays *in addition to* the
     unperturbed baseline (repeat 0 runs with no jitter hook). Every
-    (repeat, workers, cache-temperature) cell is compared query-by-
-    query against the baseline cell (repeat 0, first worker setting,
-    cold cache).
+    (repeat, workers, backend, cache-temperature) cell is compared
+    query-by-query against the baseline cell (repeat 0, first worker
+    setting, first backend, cold cache).
     """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
     grid = tuple(int(w) for w in worker_grid) or DEFAULT_WORKER_GRID
+    backends = tuple(backend_grid) or DEFAULT_BACKEND_GRID
+    for name in backends:
+        if name not in ("thread", "process", "auto"):
+            raise ValueError(f"unknown execution backend {name!r}")
     database = build_records(records)
     queries = build_workload(k=k)
     report = SanitizerReport(
-        repeats=repeats, worker_grid=grid, queries=len(queries)
+        repeats=repeats,
+        worker_grid=grid,
+        queries=len(queries),
+        backend_grid=backends,
     )
 
     baseline: Optional[_Execution] = None
@@ -415,24 +445,29 @@ def run_sanitizer(
         previous = set_span_start_hook(jitter)
         try:
             for workers in grid:
-                label = f"repeat={repeat} workers={workers}"
-                cold, warm = _execute(
-                    label,
-                    database,
-                    queries,
-                    workers=workers,
-                    samples=samples,
-                    mcmc_steps=mcmc_steps,
-                    mcmc_chains=mcmc_chains,
-                    engine_seed=7,
-                )
-                report.runs += 1
-                if baseline is None:
-                    baseline = cold
-                for execution in (cold, warm):
-                    if execution is baseline:
-                        continue
-                    _compare(report, baseline, execution, queries)
+                for backend in backends:
+                    label = (
+                        f"repeat={repeat} workers={workers} "
+                        f"backend={backend}"
+                    )
+                    cold, warm = _execute(
+                        label,
+                        database,
+                        queries,
+                        workers=workers,
+                        backend=backend,
+                        samples=samples,
+                        mcmc_steps=mcmc_steps,
+                        mcmc_chains=mcmc_chains,
+                        engine_seed=7,
+                    )
+                    report.runs += 1
+                    if baseline is None:
+                        baseline = cold
+                    for execution in (cold, warm):
+                        if execution is baseline:
+                            continue
+                        _compare(report, baseline, execution, queries)
         finally:
             set_span_start_hook(previous)
         if jitter is not None:
