@@ -1,0 +1,163 @@
+"""Serving-layer latency under concurrent identical-query bursts.
+
+For each concurrency level, fires a cold burst of identical ranking
+queries at an in-process :class:`~repro.serve.app.RankingService` over
+real TCP — once with request coalescing on (the burst shares one
+sampling run) and once with it off (every request pays the cache lock).
+Records per-request p50/p99 latency, aggregate QPS, and the number of
+sampling runs the burst cost, regenerates ``BENCH_serve.json`` at the
+repository root, and asserts the issue's acceptance floor: p99 stays
+under the configured deadline at every tested concurrency level.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import statistics
+import time
+
+import pytest
+
+from repro.core.engine import RankingEngine
+from repro.core.metrics import MetricsRegistry
+from repro.serve import RankingService, ServiceConfig
+from repro.serve.lifecycle import synthetic_records
+from repro.serve.router import read_response
+
+from conftest import emit
+from emit import write_serve_report
+
+#: Per-request SLO for every measured burst; the acceptance criterion
+#: is p99 <= this at every concurrency level.
+DEADLINE_MS = 2_000.0
+CONCURRENCY_LEVELS = (1, 8, 32)
+RECORDS = 60
+SAMPLES = 300
+SPEC = {
+    "kind": "utop_rank",
+    "i": 1,
+    "j": 5,
+    "method": "montecarlo",
+    "samples": SAMPLES,
+}
+
+
+async def _one_request(port: int) -> float:
+    """POST the benchmark query; return client-observed latency in ms."""
+    started = time.perf_counter()
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        body = json.dumps(SPEC).encode()
+        head = (
+            f"POST /query HTTP/1.1\r\nHost: localhost\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode()
+        writer.write(head + body)
+        await asyncio.wait_for(writer.drain(), 30.0)
+        status, _, payload = await read_response(reader, 30.0)
+    finally:
+        writer.close()
+        try:
+            await asyncio.wait_for(writer.wait_closed(), 5.0)
+        except (asyncio.TimeoutError, TimeoutError, ConnectionError) as exc:
+            del exc  # response already read
+    assert status == 200, payload[:200]
+    assert json.loads(payload)["result"]["answers"]
+    return (time.perf_counter() - started) * 1_000.0
+
+
+def _sampling_runs(registry: MetricsRegistry) -> float:
+    return registry.counter_value(
+        "cache_misses_total", kind="rank-counts"
+    ) + registry.counter_value("cache_topups_total", kind="rank-counts")
+
+
+async def _measure_burst(concurrency: int, coalesce: bool) -> dict:
+    """One cold burst against a fresh service; returns a report row."""
+    engine = RankingEngine(
+        synthetic_records(RECORDS),
+        seed=7,
+        samples=SAMPLES,
+        metrics=MetricsRegistry(),
+    )
+    service = RankingService(
+        engine,
+        ServiceConfig(deadline_ms=DEADLINE_MS, coalesce=coalesce),
+    )
+    port = await service.start(port=0)
+    try:
+        started = time.perf_counter()
+        latencies = await asyncio.gather(
+            *[_one_request(port) for _ in range(concurrency)]
+        )
+        seconds = time.perf_counter() - started
+    finally:
+        await service.shutdown()
+    ordered = sorted(latencies)
+    return {
+        "concurrency": concurrency,
+        "coalesce": coalesce,
+        "requests": concurrency,
+        "seconds": seconds,
+        "p50_ms": statistics.median(ordered),
+        "p99_ms": ordered[max(0, int(len(ordered) * 0.99) - 1)]
+        if len(ordered) > 1
+        else ordered[0],
+        "sampling_runs": int(_sampling_runs(engine.metrics)),
+    }
+
+
+async def _run_matrix() -> list:
+    rows = []
+    for concurrency in CONCURRENCY_LEVELS:
+        for coalesce in (True, False):
+            rows.append(await _measure_burst(concurrency, coalesce))
+    return rows
+
+
+@pytest.mark.bench
+@pytest.mark.benchmark(group="serve")
+def test_serve_latency_under_burst(benchmark):
+    rows = asyncio.run(_run_matrix())
+    path = write_serve_report(rows, DEADLINE_MS)
+    emit(
+        f"Ranking service, cold identical-query bursts at n={RECORDS}, "
+        f"{SAMPLES} samples, {DEADLINE_MS:.0f} ms SLO "
+        f"(written to {path.name})",
+        ["concurrency", "coalesce", "p50 ms", "p99 ms", "qps", "runs"],
+        [
+            (
+                row["concurrency"],
+                "on" if row["coalesce"] else "off",
+                f"{row['p50_ms']:.1f}",
+                f"{row['p99_ms']:.1f}",
+                f"{row['requests'] / row['seconds']:.1f}",
+                row["sampling_runs"],
+            )
+            for row in rows
+        ],
+    )
+    for row in rows:
+        assert row["p99_ms"] <= DEADLINE_MS, (
+            f"p99 {row['p99_ms']:.1f} ms blew the {DEADLINE_MS:.0f} ms SLO "
+            f"at concurrency {row['concurrency']} "
+            f"(coalesce={row['coalesce']})"
+        )
+    coalesced = {r["concurrency"]: r for r in rows if r["coalesce"]}
+    # The coalescer's contract: a cold identical burst costs at most
+    # two sampling runs however wide it is.
+    for concurrency, row in coalesced.items():
+        assert row["sampling_runs"] <= 2, (
+            f"coalesced burst at {concurrency} cost "
+            f"{row['sampling_runs']} sampling runs"
+        )
+
+    # Re-run the widest coalesced burst for pytest-benchmark's timing.
+    widest = max(CONCURRENCY_LEVELS)
+    benchmark.extra_info["report"] = str(path)
+    benchmark.pedantic(
+        lambda: asyncio.run(_measure_burst(widest, True)),
+        rounds=1,
+        iterations=1,
+    )

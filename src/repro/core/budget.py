@@ -140,6 +140,39 @@ class Budget:
         self._shared: Optional[object] = None
         self._shared_finalizer: Optional[weakref.finalize] = None
 
+    @classmethod
+    def for_deadline(
+        cls,
+        seconds_remaining: float,
+        max_samples: Optional[int] = None,
+        max_enumeration: Optional[int] = None,
+        token: Optional[CancellationToken] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Budget":
+        """A budget for a request that must answer within a deadline.
+
+        Unlike the constructor, a negative ``seconds_remaining`` is not
+        an error: the request arrived with its deadline already expired
+        (slow network, long admission queue), so the budget is *born
+        expired* — :meth:`expired` is immediately ``True``, every stage
+        that needs time is skipped, and the degradation ladder collapses
+        straight to the always-allowed baseline rung. The serving layer
+        maps every request through this so an exhausted deadline yields
+        a flagged partial answer, never an HTTP 504. Emits
+        ``budget_admission_expired_total`` when the clamp fires.
+        """
+        remaining = float(seconds_remaining)
+        if remaining <= 0.0:
+            metrics.inc("budget_admission_expired_total")
+            remaining = 0.0
+        return cls(
+            deadline=remaining,
+            max_samples=max_samples,
+            max_enumeration=max_enumeration,
+            token=token,
+            clock=clock,
+        )
+
     # -- time ----------------------------------------------------------
 
     def elapsed(self) -> float:

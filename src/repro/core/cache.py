@@ -459,6 +459,30 @@ class ComputationCache:
             self._evict()
             return result
 
+    def rank_count_coverage(
+        self,
+        fingerprint: str,
+        backend: Hashable,
+        samples: int,
+        limit: int,
+    ) -> int:
+        """How many of ``samples`` draws the cached blocks already serve.
+
+        A read-only probe: no store is created, no LRU order or
+        hit/miss counter moves. The serving layer's coalescer uses it to
+        decide whether a burst still needs a shared sampling run (cold
+        or partial coverage) or can fan out directly against warm
+        blocks.
+        """
+        if samples < 1:
+            return 0
+        with self._lock:
+            entry = self._entries.get(("rank-counts", (fingerprint, backend)))
+            if entry is None:
+                return 0
+            store: RankCountStore = entry.value
+            return store.coverage(samples, limit)
+
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------

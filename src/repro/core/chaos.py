@@ -21,6 +21,15 @@ Design rules:
 - Wrappers preserve the wrapped object's sampling semantics on
   non-faulting calls, so a fault-free schedule is a transparent proxy.
 
+Beyond the engine-level injectors, the module carries *service-level*
+faults for the serving layer's soak tests: a slow client that dribbles
+its request below the server's read timeout
+(:func:`slow_client_request`), a client that disconnects mid-request
+(:func:`disconnecting_request`), and a request whose deadline is
+already expired on arrival (:func:`deadline_expired_body`). They are
+plain asyncio clients with every wait bounded, so a hung server fails
+the test instead of hanging it.
+
 Note on threading: schedule counters are shared across threads, so
 *which shard* observes call number ``k`` depends on scheduling. Raising
 faults still preserve bit-identical results (the retried shard
@@ -31,6 +40,9 @@ and are intended for serial determinism tests and ingest validation.
 
 from __future__ import annotations
 
+import asyncio
+import json
+import logging
 import threading
 import time
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
@@ -41,12 +53,18 @@ from .distributions import ArrayLike, FloatOrArray, ScoreDistribution, SizeArg
 from .errors import InjectedFault
 from .records import UncertainRecord
 
+logger = logging.getLogger(__name__)
+
 __all__ = [
     "FaultSchedule",
     "FaultyDistribution",
     "FaultyOracle",
     "FaultInjector",
     "crashing_factory",
+    "deadline_expired_body",
+    "disconnecting_request",
+    "format_http_request",
+    "slow_client_request",
 ]
 
 
@@ -360,3 +378,102 @@ class FaultInjector:
         """Wrap a ``ParallelSampler`` factory with scheduled shard crashes."""
         self.log.append(("factory", "raise"))
         return crashing_factory(factory, schedule)
+# ----------------------------------------------------------------------
+# service-level fault injectors (for the serving-layer soak tests)
+# ----------------------------------------------------------------------
+
+
+def format_http_request(
+    method: str,
+    path: str,
+    body: bytes = b"",
+    host: str = "localhost",
+) -> bytes:
+    """Raw HTTP/1.1 request bytes for the service-level injectors."""
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def deadline_expired_body(kind: str = "utop_rank", **fields: object) -> bytes:
+    """A ``/query`` JSON body whose deadline is already spent on arrival.
+
+    The service must map this onto a born-expired budget and answer
+    with a flagged degraded result — never a 504 (see
+    ``Budget.for_deadline``).
+    """
+    payload: dict = {"kind": kind, "deadline_ms": 0}
+    payload.update(fields)
+    return json.dumps(payload).encode("utf-8")
+
+
+async def slow_client_request(
+    host: str,
+    port: int,
+    raw: bytes,
+    chunk_size: int = 16,
+    delay: float = 0.05,
+    response_timeout: float = 10.0,
+) -> bytes:
+    """Dribble ``raw`` to the server one small chunk at a time.
+
+    The slow-client fault: a peer whose request arrives slower than the
+    service's read timeout. A robust server must bound the read and
+    close (or 408) the connection instead of pinning a handler forever.
+    Returns whatever response bytes the server produced — possibly
+    empty when it hung up first, which is the expected outcome for a
+    sufficiently slow client.
+    """
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), response_timeout
+    )
+    data = b""
+    try:
+        for start in range(0, len(raw), chunk_size):
+            writer.write(raw[start : start + chunk_size])
+            await asyncio.wait_for(writer.drain(), response_timeout)
+            await asyncio.sleep(delay)
+        data = await asyncio.wait_for(reader.read(-1), response_timeout)
+    except (ConnectionError, asyncio.TimeoutError, TimeoutError) as exc:
+        # The server hung up on us mid-dribble: exactly the defensive
+        # behaviour the fault exists to provoke.
+        logger.debug("slow client cut off by the server: %r", exc)
+    finally:
+        writer.close()
+        try:
+            await asyncio.wait_for(writer.wait_closed(), 1.0)
+        except (ConnectionError, asyncio.TimeoutError, TimeoutError) as exc:
+            logger.debug("slow-client close raced the server: %r", exc)
+    return data
+
+
+async def disconnecting_request(
+    host: str,
+    port: int,
+    raw: bytes,
+    send_bytes: int = 64,
+    connect_timeout: float = 10.0,
+) -> None:
+    """Send only a prefix of ``raw`` and vanish (mid-request disconnect).
+
+    The server sees an incomplete request followed by EOF; it must
+    close the connection quietly rather than error or leak the handler.
+    """
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), connect_timeout
+    )
+    try:
+        writer.write(raw[: max(0, send_bytes)])
+        await asyncio.wait_for(writer.drain(), connect_timeout)
+    except ConnectionError as exc:
+        logger.debug("disconnect fault raced the server: %r", exc)
+    finally:
+        writer.close()
+        try:
+            await asyncio.wait_for(writer.wait_closed(), 1.0)
+        except (ConnectionError, asyncio.TimeoutError, TimeoutError) as exc:
+            logger.debug("disconnect close raced the server: %r", exc)

@@ -382,6 +382,44 @@ class RankingEngine:
     # helpers
     # ------------------------------------------------------------------
 
+    @property
+    def database_fingerprint(self) -> str:
+        """Content fingerprint of the ranked records (cache identity).
+
+        Stable across engines holding identical records; the serving
+        layer keys request coalescing and circuit breakers on it.
+        """
+        self._refresh_table()
+        return self._db_fp
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry this engine's queries emit into."""
+        return self._metrics
+
+    def sampling_coverage(
+        self, samples: int, max_rank: Optional[int] = None
+    ) -> int:
+        """How many of ``samples`` draws the shared cache already holds.
+
+        A read-only probe against the block-structured rank-count store
+        for this database and the engine's default sampling stream. The
+        serving layer uses it to skip coalescing when a burst would hit
+        warm blocks anyway. ``max_rank`` mirrors the query path's prune
+        level: rank counts are keyed by the *pruned* table fingerprint,
+        so the probe resolves the same pruned entry the query would.
+        """
+        self._refresh_table()
+        if max_rank is None:
+            subset, fp = self.records, self._db_fp
+        else:
+            subset, fp = self._pruned_entry(int(max_rank))
+        n = len(subset)
+        limit = n if max_rank is None else max(1, min(int(max_rank), n))
+        return self.cache.rank_count_coverage(
+            fp, self._backend_key(), samples, limit
+        )
+
     def ppo(self) -> ProbabilisticPartialOrder:
         """The partial order induced by the full database (cached)."""
         return self._ppo(self._db_fp, self.records)

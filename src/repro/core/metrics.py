@@ -70,6 +70,31 @@ def _label_key(labels: Mapping[str, Any]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _format_value(value: Any) -> str:
+    """One metric value in exposition format (integers without ``.0``)."""
+    number = float(value)
+    if number.is_integer() and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: Mapping[str, Any]) -> str:
+    """``{k="v",...}`` with exposition-format escaping; empty set → ``""``."""
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label(str(val))}"'
+        for key, val in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
 class _Histogram:
     """One labelled histogram series: bucket counts plus sum/count."""
 
@@ -227,6 +252,48 @@ class MetricsRegistry:
             "gauges": gauges,
             "histograms": histograms,
         }
+
+    def to_prometheus(self) -> str:
+        """Render every series in the Prometheus text exposition format.
+
+        This is the payload behind the serving layer's ``/metrics``
+        endpoint: ``# TYPE`` headers per metric, one sample line per
+        label set, histograms as cumulative ``_bucket`` series ending in
+        ``le="+Inf"`` plus ``_sum``/``_count``. Built from
+        :meth:`snapshot` so the JSON and text exports can never drift.
+        """
+        snap = self.snapshot()
+        lines: List[str] = []
+        for name, rows in snap["counters"].items():
+            lines.append(f"# TYPE {name} counter")
+            for row in rows:
+                lines.append(
+                    f"{name}{_format_labels(row['labels'])} "
+                    f"{_format_value(row['value'])}"
+                )
+        for name, rows in snap["gauges"].items():
+            lines.append(f"# TYPE {name} gauge")
+            for row in rows:
+                lines.append(
+                    f"{name}{_format_labels(row['labels'])} "
+                    f"{_format_value(row['value'])}"
+                )
+        for name, rows in snap["histograms"].items():
+            lines.append(f"# TYPE {name} histogram")
+            for row in rows:
+                for bucket in row["buckets"]:
+                    bound = bucket["le"]
+                    le = bound if bound == "+Inf" else _format_value(bound)
+                    labels = dict(row["labels"])
+                    labels["le"] = le
+                    lines.append(
+                        f"{name}_bucket{_format_labels(labels)} "
+                        f"{bucket['count']}"
+                    )
+                base = _format_labels(row["labels"])
+                lines.append(f"{name}_sum{base} {_format_value(row['sum'])}")
+                lines.append(f"{name}_count{base} {row['count']}")
+        return "\n".join(lines) + "\n"
 
     # -- cross-process marshalling -------------------------------------
 

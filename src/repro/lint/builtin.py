@@ -26,6 +26,7 @@ __all__ = [
     "ColumnarSamplingRule",
     "UnboundedLoopRule",
     "CachedArtifactRule",
+    "UnboundedAwaitRule",
 ]
 
 #: Function names treated as probability-returning: `probability_greater`,
@@ -791,3 +792,130 @@ class MutableDefaultRule(Rule):
         if isinstance(node, ast.Call):
             return _terminal_name(node.func) in self._MUTABLE_CALLS
         return False
+
+
+# ----------------------------------------------------------------------
+# ROB003 — serve paths: bounded awaits, supervised tasks
+# ----------------------------------------------------------------------
+
+
+@register
+class UnboundedAwaitRule(Rule):
+    """Serve-path awaits must carry deadlines; spawned tasks a keeper.
+
+    Applies to files whose path contains a ``ROB003`` scope fragment
+    (default: ``repro/serve``). Two patterns fire:
+
+    - ``await`` of an unbounded I/O primitive (stream ``read*`` /
+      ``drain`` / ``wait_closed``, queue ``get`` / ``join``, lock
+      ``acquire``, ``wait``, ``connect`` / ``open_connection`` /
+      ``accept`` / ``recv``) that is not wrapped in
+      ``asyncio.wait_for(...)`` and not lexically inside an
+      ``async with asyncio.timeout(...)`` / ``timeout_at(...)`` block.
+    - ``asyncio.create_task(...)`` / ``ensure_future(...)`` used as a
+      bare expression statement, discarding the task handle.
+    """
+
+    code = "ROB003"
+    name = "unbounded-await"
+    description = (
+        "await of an unbounded I/O primitive without a timeout, or an "
+        "unsupervised asyncio task, on a serve path"
+    )
+    rationale = (
+        "a service survives slow and vanishing clients only if every "
+        "socket read, drain, and queue wait carries a deadline — one "
+        "bare await pins a connection handler forever; a discarded "
+        "create_task swallows its own exceptions at GC time"
+    )
+
+    _DEFAULT_PATHS = ("repro/serve",)
+
+    #: Awaitable call names that block until the *peer* acts.
+    _WAIT_CALLS = frozenset(
+        {
+            "read",
+            "readline",
+            "readexactly",
+            "readuntil",
+            "drain",
+            "wait_closed",
+            "get",
+            "join",
+            "acquire",
+            "wait",
+            "connect",
+            "open_connection",
+            "accept",
+            "recv",
+            "serve_forever",
+        }
+    )
+
+    #: Call names that bound whatever they wrap with a deadline.
+    _GUARD_CALLS = frozenset({"wait_for", "timeout", "timeout_at"})
+
+    _SPAWN_CALLS = frozenset({"create_task", "ensure_future"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        fragments = ctx.config.paths_for(self.code, self._DEFAULT_PATHS)
+        if not any(fragment in ctx.norm_path() for fragment in fragments):
+            return
+        yield from self._visit(ctx, ctx.tree, guarded=False)
+
+    def _visit(
+        self, ctx: FileContext, node: ast.AST, guarded: bool
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Await):
+            yield from self._check_await(ctx, node, guarded)
+        elif (
+            isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Call)
+            and _terminal_name(node.value.func) in self._SPAWN_CALLS
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                "task handle discarded; assign it and supervise (await, "
+                "gather, or cancel on shutdown) so its failures surface",
+            )
+        elif isinstance(node, ast.AsyncWith):
+            # `async with asyncio.timeout(...)` bounds everything in
+            # its body; the guard does not cross into nested defs.
+            body_guarded = guarded or any(
+                isinstance(item.context_expr, ast.Call)
+                and _terminal_name(item.context_expr.func)
+                in self._GUARD_CALLS
+                for item in node.items
+            )
+            for item in node.items:
+                yield from self._visit(ctx, item, guarded)
+            for stmt in node.body:
+                yield from self._visit(ctx, stmt, body_guarded)
+            return
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            # A nested function body runs later, outside the lexical
+            # timeout block.
+            guarded = False
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(ctx, child, guarded)
+
+    def _check_await(
+        self, ctx: FileContext, node: ast.Await, guarded: bool
+    ) -> Iterator[Finding]:
+        value = node.value
+        if not isinstance(value, ast.Call):
+            return
+        name = _terminal_name(value.func)
+        if name in self._GUARD_CALLS:
+            return
+        if name in self._WAIT_CALLS and not guarded:
+            yield self.finding(
+                ctx,
+                node,
+                f"await of {name}() has no deadline; wrap it in "
+                "asyncio.wait_for(...) or an asyncio.timeout() block "
+                "so a slow peer cannot hang the handler",
+            )

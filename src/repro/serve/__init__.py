@@ -1,0 +1,35 @@
+"""Resilient async HTTP serving layer over :class:`RankingEngine`.
+
+The tentpole of the serving tier is *SLO-bounded degradation*: every
+request carries a deadline that becomes a
+:class:`~repro.core.budget.Budget`, so overload and slow tables surface
+as flagged partial answers riding the engine's degradation ladder —
+never as timeouts. Around that core sit request coalescing (a burst on
+one table fingerprint shares one sampling run), admission control
+(bounded queue, 429 load shedding, per-table circuit breakers), and
+graceful drain on SIGTERM. See docs/DEVELOPMENT.md, "Serving
+architecture".
+"""
+
+from .admission import AdmissionController, AdmissionDenied, CircuitBreaker
+from .app import RankingService, ServiceConfig
+from .coalescer import Coalescer
+from .lifecycle import main, run_service, synthetic_records
+from .router import HttpError, Request, Response, Router, read_request
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDenied",
+    "CircuitBreaker",
+    "Coalescer",
+    "HttpError",
+    "RankingService",
+    "Request",
+    "Response",
+    "Router",
+    "ServiceConfig",
+    "main",
+    "read_request",
+    "run_service",
+    "synthetic_records",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.serve`` — run the demo ranking service."""
+
+from .lifecycle import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,212 @@
+"""Admission control for the ranking service.
+
+Two cooperating mechanisms keep an overloaded service answering
+*something* useful instead of queueing without bound:
+
+- :class:`AdmissionController` — a bounded pool of execution slots plus
+  a bounded wait queue. Arrivals beyond the queue cap are shed
+  immediately (the app maps :class:`AdmissionDenied` to ``429`` with a
+  ``Retry-After`` hint); arrivals that queue but exhaust their deadline
+  waiting are still *admitted* with an already-expired budget, so they
+  ride the degradation ladder down to the baseline rung and return a
+  flagged partial answer rather than a timeout.
+- :class:`CircuitBreaker` — per-table-fingerprint state that pins a
+  table to the cheap baseline method after repeated deadline misses,
+  with a half-open probe after a cooldown to restore full fidelity.
+
+Both are event-loop-local (no locks): every method is called from the
+service's single asyncio thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, Optional
+
+from ..core.metrics import MetricsRegistry
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDenied",
+    "CircuitBreaker",
+]
+
+
+class AdmissionDenied(Exception):
+    """Request shed at the door: the bounded wait queue is full."""
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(
+            f"admission queue full; retry after {retry_after:.1f}s"
+        )
+        self.retry_after = retry_after
+
+
+class AdmissionController:
+    """Bounded concurrency with load shedding.
+
+    ``max_concurrency`` requests execute at once; up to ``max_queue``
+    more wait for a slot; anything beyond that is shed with
+    :class:`AdmissionDenied`. The queue wait itself is bounded by the
+    caller-supplied timeout (the request's remaining deadline), so a
+    stuck executor can never strand waiters.
+    """
+
+    def __init__(
+        self,
+        max_concurrency: int = 4,
+        max_queue: int = 32,
+        retry_after: float = 1.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ValueError(
+                f"max_concurrency must be positive, got {max_concurrency!r}"
+            )
+        if max_queue < 0:
+            raise ValueError(
+                f"max_queue must be non-negative, got {max_queue!r}"
+            )
+        self.max_concurrency = int(max_concurrency)
+        self.max_queue = int(max_queue)
+        self.retry_after = float(retry_after)
+        self._metrics = metrics
+        self._semaphore = asyncio.Semaphore(self.max_concurrency)
+        self._waiting = 0
+        self._active = 0
+
+    @property
+    def active(self) -> int:
+        """Requests currently holding an execution slot."""
+        return self._active
+
+    @property
+    def waiting(self) -> int:
+        """Requests currently queued for a slot."""
+        return self._waiting
+
+    def _gauge(self) -> None:
+        if self._metrics is not None:
+            self._metrics.set_gauge("serve_inflight", float(self._active))
+            self._metrics.set_gauge("serve_queue_depth", float(self._waiting))
+
+    async def admit(self, timeout: float) -> bool:
+        """Try to obtain an execution slot within ``timeout`` seconds.
+
+        Returns ``True`` with a slot held, ``False`` when the wait timed
+        out (the request is still admitted — the caller runs it with an
+        expired budget), and raises :class:`AdmissionDenied` when the
+        wait queue is already full.
+        """
+        if self._waiting >= self.max_queue and self._semaphore.locked():
+            if self._metrics is not None:
+                self._metrics.inc("serve_shed_total")
+            raise AdmissionDenied(self.retry_after)
+        self._waiting += 1
+        self._gauge()
+        try:
+            await asyncio.wait_for(
+                self._semaphore.acquire(), max(0.0, timeout)
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            if self._metrics is not None:
+                self._metrics.inc("serve_queue_timeouts_total")
+            return False
+        finally:
+            self._waiting -= 1
+            self._gauge()
+        self._active += 1
+        if self._metrics is not None:
+            self._metrics.inc("serve_admitted_total")
+        self._gauge()
+        return True
+
+    def release(self) -> None:
+        """Return a slot obtained from a ``True`` :meth:`admit`."""
+        self._active -= 1
+        self._semaphore.release()
+        self._gauge()
+
+
+class CircuitBreaker:
+    """Pin a repeatedly deadline-missing table to cheap methods.
+
+    States, in the classic pattern:
+
+    - ``closed`` — full-fidelity methods allowed; ``threshold``
+      *consecutive* deadline misses open the breaker.
+    - ``open`` — requests are pinned to the baseline method for
+      ``cooldown`` seconds (the table is answering too slowly for its
+      SLO; baseline is O(n log n) and never misses).
+    - ``half_open`` — after the cooldown, exactly one probe runs at
+      full fidelity; success closes the breaker, a miss re-opens it.
+
+    All methods are event-loop-local. The injectable ``clock`` makes
+    state transitions deterministic in tests.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 4,
+        cooldown: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(
+                f"threshold must be positive, got {threshold!r}"
+            )
+        self.threshold = int(threshold)
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self._metrics = metrics
+        self._state = "closed"
+        self._misses = 0
+        self._opened_at = 0.0
+        self._probe_out = False
+
+    @property
+    def state(self) -> str:
+        """``closed`` / ``open`` / ``half_open`` (cooldown-aware)."""
+        self._maybe_half_open()
+        return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.cooldown
+        ):
+            self._state = "half_open"
+            self._probe_out = False
+
+    def allow_full(self) -> bool:
+        """Whether the next request may use full-fidelity methods."""
+        self._maybe_half_open()
+        if self._state == "closed":
+            return True
+        if self._state == "half_open" and not self._probe_out:
+            self._probe_out = True
+            return True
+        return False
+
+    def record(self, deadline_missed: bool) -> None:
+        """Fold one request outcome into the breaker state."""
+        self._maybe_half_open()
+        if deadline_missed:
+            self._misses += 1
+            if self._state == "half_open" or self._misses >= self.threshold:
+                self._open()
+        else:
+            self._misses = 0
+            if self._state == "half_open":
+                self._state = "closed"
+                self._probe_out = False
+
+    def _open(self) -> None:
+        self._state = "open"
+        self._opened_at = self._clock()
+        self._misses = 0
+        self._probe_out = False
+        if self._metrics is not None:
+            self._metrics.inc("serve_breaker_opened_total")

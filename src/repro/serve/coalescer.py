@@ -1,0 +1,104 @@
+"""Single-flight request coalescing.
+
+A burst of identical queries against one table is the service's hottest
+pattern (the paper's motivating workload: many users ranking the same
+uncertain table). The engine's block-structured rank-count cache makes
+the *second* identical query nearly free, but only after the first one
+finishes — so a cold 64-request burst would start 64 sampling runs
+gated one-by-one on the cache lock. The coalescer collapses the burst:
+the first arrival for a key becomes the **leader** and executes; every
+concurrent duplicate becomes a **follower** that awaits the leader's
+future and shares its result object.
+
+Keys are canonical query identities (table fingerprint + the spec
+fields that determine the answer). Per-request deadlines are
+deliberately *not* part of the key: a follower bounds its wait by its
+own remaining deadline and falls back to a direct degraded run if the
+leader is slower than that (see ``app.py``), so coalescing never makes
+a request miss an SLO it would otherwise have met.
+
+Event-loop-local: all state is touched from the service's single
+asyncio thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import (
+    Any,
+    Awaitable,
+    Callable,
+    Dict,
+    Hashable,
+    Optional,
+    Tuple,
+)
+
+from ..core.metrics import MetricsRegistry
+
+__all__ = ["Coalescer"]
+
+
+class Coalescer:
+    """Collapse concurrent identical requests onto one execution."""
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self._inflight: Dict[Hashable, asyncio.Future] = {}
+        self._metrics = metrics
+
+    @property
+    def inflight(self) -> int:
+        """Distinct keys currently executing."""
+        return len(self._inflight)
+
+    async def run(
+        self,
+        key: Optional[Hashable],
+        supplier: Callable[[], Awaitable[Any]],
+        wait_timeout: Optional[float] = None,
+    ) -> Tuple[Any, str]:
+        """Run ``supplier`` once per concurrent ``key``.
+
+        Returns ``(value, role)`` where role is ``"leader"`` (this call
+        executed), ``"follower"`` (shared a concurrent leader's result),
+        or ``"solo"`` (``key is None`` — coalescing bypassed). A
+        follower's wait is bounded by ``wait_timeout``; on expiry
+        ``TimeoutError`` propagates so the caller can degrade, and the
+        leader keeps running for the remaining followers. A leader's
+        exception propagates to the leader and every follower alike.
+        """
+        if key is None:
+            return await supplier(), "solo"
+        existing = self._inflight.get(key)
+        if existing is None:
+            future: asyncio.Future = (
+                asyncio.get_running_loop().create_future()
+            )
+            self._inflight[key] = future
+            try:
+                value = await supplier()
+            except BaseException as exc:
+                future.set_exception(exc)
+                # Mark the exception retrieved so a leaderless-burst
+                # failure does not warn at GC time; followers already
+                # hold their own reference through the shield.
+                future.exception()
+                raise
+            else:
+                future.set_result(value)
+                return value, "leader"
+            finally:
+                self._inflight.pop(key, None)
+                if self._metrics is not None:
+                    self._metrics.inc("serve_coalesce_leaders_total")
+        if self._metrics is not None:
+            self._metrics.inc("serve_coalesce_followers_total")
+        # Shield the shared future: one follower timing out must not
+        # cancel the leader the others are still waiting on.
+        if wait_timeout is None:
+            value = await asyncio.shield(existing)
+        else:
+            value = await asyncio.wait_for(
+                asyncio.shield(existing), wait_timeout
+            )
+        return value, "follower"

@@ -1,11 +1,15 @@
-"""Pretty-print a saved query trace: ``python -m repro.trace FILE``.
+"""Pretty-print a saved query trace: ``python -m repro.trace [FILE]``.
 
 Reads a JSON document that is either a span tree exported by
-:meth:`repro.core.trace.Span.to_dict` or a full
-``QueryResult.to_dict()`` / ``to_json()`` dump (in which case the
-``"trace"`` key is extracted), and renders one line per span: name,
-wall milliseconds, share of the root's wall time, CPU milliseconds,
-and the span's attributes. ``-`` reads from stdin.
+:meth:`repro.core.trace.Span.to_dict`, a full
+``QueryResult.to_dict()`` / ``to_json()`` dump, or a serving-layer
+``/query`` response (the ``"trace"`` key is extracted, looking through
+the ``"result"`` wrapper when present), and renders one line per span:
+name, wall milliseconds, share of the root's wall time, CPU
+milliseconds, and the span's attributes. With no ``FILE`` (or ``-``)
+the document is read from stdin, so server responses pipe straight in:
+``curl -sd '{"kind":...,"trace":true}' $HOST/query | python -m
+repro.trace``.
 
 Example
 -------
@@ -51,10 +55,14 @@ def _extract_span(document: Any) -> Dict[str, Any]:
     trace = document.get("trace")
     if isinstance(trace, dict):
         return trace
+    # A serving-layer response wraps the QueryResult under "result".
+    result = document.get("result")
+    if isinstance(result, dict) and isinstance(result.get("trace"), dict):
+        return result["trace"]
     raise ValueError(
-        "no span tree found: expected a Span.to_dict() export or a "
-        "QueryResult dump with a non-null 'trace' key (was the query "
-        "run with trace=True?)"
+        "no span tree found: expected a Span.to_dict() export, a "
+        "QueryResult dump, or a /query response with a non-null "
+        "'trace' key (was the query run with trace=True?)"
     )
 
 
@@ -69,7 +77,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "path",
-        help="path to the JSON trace file, or '-' to read stdin",
+        nargs="?",
+        default="-",
+        help=(
+            "path to the JSON trace file; omit (or pass '-') to read "
+            "stdin, e.g. piping a /query response from the server"
+        ),
     )
     parser.add_argument(
         "--indent",

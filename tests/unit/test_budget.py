@@ -8,6 +8,7 @@ import pytest
 from repro import certain, uniform
 from repro.core.budget import Budget, CancellationToken, SampleCounts
 from repro.core.errors import EvaluationError
+from repro.core.metrics import MetricsRegistry, use_registry
 from repro.core.linext import (
     build_tree,
     enumerate_extensions,
@@ -108,6 +109,70 @@ class TestBudget:
         budget = Budget(max_samples=10)
         budget.take_samples(4)
         assert "samples_used=4" in repr(budget)
+
+
+class TestDeadlineEdgeCases:
+    """The serving layer's deadline corners: admission-expired budgets,
+    sub-millisecond remainders, and the denial counters `/metrics`
+    surfaces."""
+
+    def test_already_expired_at_admission(self):
+        # deadline=0 is the serving layer's mapping for a request whose
+        # SLO was spent before execution started: born expired, every
+        # grant denied, enumeration refused.
+        budget = Budget(deadline=0.0)
+        assert budget.expired()
+        assert budget.exhausted_reason() == "deadline"
+        assert budget.take_samples(10) == 0
+        assert not budget.consume_enumeration(1)
+
+    def test_for_deadline_clamps_negative_remaining(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            budget = Budget.for_deadline(-3.5)
+        assert budget.deadline == 0.0
+        assert budget.expired()
+        assert (
+            registry.counter_total("budget_admission_expired_total") == 1.0
+        )
+
+    def test_for_deadline_passes_positive_remaining_through(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            budget = Budget.for_deadline(2.0, max_samples=7)
+        assert budget.deadline == 2.0
+        assert budget.max_samples == 7
+        assert not budget.expired()
+        assert (
+            registry.counter_total("budget_admission_expired_total") == 0.0
+        )
+
+    def test_sub_millisecond_remaining_grants_then_denies(self):
+        clock = FakeClock()
+        budget = Budget(deadline=0.0005, clock=clock)
+        assert not budget.expired()
+        assert 0.0 < budget.time_remaining() <= 0.0005
+        assert budget.take_samples(10) == 10
+        clock.now += 0.0006
+        assert budget.expired()
+        assert budget.take_samples(10) == 0
+
+    def test_denial_counters_reach_the_registry(self):
+        # The counters the serve smoke asserts through GET /metrics.
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            expired = Budget(deadline=0.0)
+            assert expired.take_samples(5) == 0
+            capped = Budget(max_samples=3)
+            assert capped.take_samples(5) == 3
+        denials = registry.counter_value(
+            "budget_denials_total", resource="samples"
+        )
+        assert denials >= 1.0
+        grants = registry.counter_value(
+            "budget_sample_grants_total", resource="samples"
+        )
+        assert grants == 3.0
 
 
 class TestSampleCounts:

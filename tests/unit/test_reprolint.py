@@ -669,6 +669,100 @@ class TestROB001:
         assert result.suppressed == 1
 
 
+class TestROB003:
+    SERVE_PATH = "src/repro/serve/fake.py"
+
+    def test_fires_on_bare_stream_awaits(self):
+        result = run(
+            """
+            async def handler(reader, queue):
+                line = await reader.readline()
+                item = await queue.get()
+                return line, item
+            """,
+            path=self.SERVE_PATH,
+        )
+        assert codes(result).count("ROB003") == 2
+
+    def test_fires_on_unsupervised_create_task(self):
+        result = run(
+            """
+            import asyncio
+
+            async def spawn(coro):
+                asyncio.create_task(coro)
+            """,
+            path=self.SERVE_PATH,
+        )
+        assert "ROB003" in codes(result)
+
+    def test_wait_for_and_timeout_block_pass(self):
+        result = run(
+            """
+            import asyncio
+
+            async def handler(reader, writer, queue):
+                line = await asyncio.wait_for(reader.readline(), 1.0)
+                async with asyncio.timeout(2.0):
+                    item = await queue.get()
+                    await writer.drain()
+                task = asyncio.create_task(work(item))
+                await task
+                return line
+            """,
+            path=self.SERVE_PATH,
+        )
+        assert "ROB003" not in codes(result)
+
+    def test_timeout_guard_does_not_cross_nested_defs(self):
+        result = run(
+            """
+            import asyncio
+
+            async def outer(reader):
+                async with asyncio.timeout(1.0):
+                    async def inner():
+                        return await reader.readline()
+                    return await inner()
+            """,
+            path=self.SERVE_PATH,
+        )
+        assert "ROB003" in codes(result)
+
+    def test_scope_limited_to_serve_paths(self):
+        result = run(
+            """
+            async def handler(reader):
+                return await reader.readline()
+            """,
+            path="src/repro/core/fake.py",
+        )
+        assert "ROB003" not in codes(result)
+
+    def test_harmless_awaits_pass(self):
+        result = run(
+            """
+            import asyncio
+
+            async def handler(supplier):
+                await asyncio.sleep(0.01)
+                return await supplier()
+            """,
+            path=self.SERVE_PATH,
+        )
+        assert "ROB003" not in codes(result)
+
+    def test_suppressed_by_line_pragma(self):
+        result = run(
+            "async def wait(stop):\n"
+            "    await stop.wait()  "
+            "# reprolint: disable=ROB003 -- run-until-signal fixture\n",
+            path=self.SERVE_PATH,
+        )
+        assert "ROB003" not in codes(result)
+        assert result.suppressed == 1
+
+
 class TestFramework:
     def test_syntax_error_becomes_finding(self):
         result = run("def broken(:\n")
@@ -738,6 +832,7 @@ class TestFramework:
             "ARG001",
             "PERF001",
             "ROB001",
+            "ROB003",
             "CACHE001",
         } <= registered
         for rule in all_rules():

@@ -1,0 +1,282 @@
+"""Unit tests for the serving-layer building blocks.
+
+Admission control, circuit breaking, and single-flight coalescing are
+plain asyncio objects, so they are tested here without a socket in
+sight; the HTTP integration lives in tests/integration/test_serve_*.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.metrics import MetricsRegistry
+from repro.serve import AdmissionController, AdmissionDenied, Coalescer
+from repro.serve.admission import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 50.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestAdmissionController:
+    def test_rejects_bad_limits(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_concurrency=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=-1)
+
+    def test_admits_up_to_concurrency_without_queueing(self):
+        async def scenario():
+            controller = AdmissionController(max_concurrency=2, max_queue=0)
+            assert await controller.admit(0.1)
+            assert await controller.admit(0.1)
+            assert controller.active == 2
+            controller.release()
+            controller.release()
+            assert controller.active == 0
+
+        asyncio.run(scenario())
+
+    def test_sheds_when_queue_full(self):
+        async def scenario():
+            registry = MetricsRegistry()
+            controller = AdmissionController(
+                max_concurrency=1,
+                max_queue=0,
+                retry_after=2.0,
+                metrics=registry,
+            )
+            assert await controller.admit(0.1)
+            with pytest.raises(AdmissionDenied) as excinfo:
+                await controller.admit(0.1)
+            assert excinfo.value.retry_after == 2.0
+            assert registry.counter_total("serve_shed_total") == 1.0
+            controller.release()
+            # A freed slot admits again.
+            assert await controller.admit(0.1)
+
+        asyncio.run(scenario())
+
+    def test_queue_wait_timeout_returns_false(self):
+        async def scenario():
+            registry = MetricsRegistry()
+            controller = AdmissionController(
+                max_concurrency=1, max_queue=4, metrics=registry
+            )
+            assert await controller.admit(0.1)
+            # Queued (queue has room) but the slot never frees within
+            # the timeout: admitted without a slot, not shed.
+            assert not await controller.admit(0.01)
+            assert (
+                registry.counter_total("serve_queue_timeouts_total") == 1.0
+            )
+            controller.release()
+
+        asyncio.run(scenario())
+
+    def test_queued_waiter_gets_freed_slot(self):
+        async def scenario():
+            controller = AdmissionController(max_concurrency=1, max_queue=4)
+            assert await controller.admit(0.1)
+            waiter = asyncio.ensure_future(controller.admit(5.0))
+            await asyncio.sleep(0.01)
+            assert controller.waiting == 1
+            controller.release()
+            assert await asyncio.wait_for(waiter, 1.0)
+            controller.release()
+
+        asyncio.run(scenario())
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_misses(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, cooldown=10.0, clock=clock)
+        assert breaker.state == "closed"
+        for _ in range(2):
+            breaker.record(deadline_missed=True)
+        assert breaker.state == "closed"
+        breaker.record(deadline_missed=True)
+        assert breaker.state == "open"
+        assert not breaker.allow_full()
+
+    def test_success_resets_the_miss_streak(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record(deadline_missed=True)
+        breaker.record(deadline_missed=False)
+        breaker.record(deadline_missed=True)
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_closes_on_success(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        breaker.record(deadline_missed=True)
+        assert breaker.state == "open"
+        clock.now += 5.0
+        assert breaker.state == "half_open"
+        # Exactly one probe runs at full fidelity.
+        assert breaker.allow_full()
+        assert not breaker.allow_full()
+        breaker.record(deadline_missed=False)
+        assert breaker.state == "closed"
+        assert breaker.allow_full()
+
+    def test_half_open_probe_miss_reopens(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        breaker = CircuitBreaker(
+            threshold=1, cooldown=5.0, clock=clock, metrics=registry
+        )
+        breaker.record(deadline_missed=True)
+        clock.now += 5.0
+        assert breaker.allow_full()
+        breaker.record(deadline_missed=True)
+        assert breaker.state == "open"
+        assert registry.counter_total("serve_breaker_opened_total") == 2.0
+
+
+class TestCoalescer:
+    def test_leader_and_followers_share_one_execution(self):
+        async def scenario():
+            coalescer = Coalescer()
+            calls = 0
+            gate = asyncio.Event()
+
+            async def supplier():
+                nonlocal calls
+                calls += 1
+                await asyncio.wait_for(gate.wait(), 1.0)
+                return {"answer": 42}
+
+            tasks = [
+                asyncio.ensure_future(
+                    coalescer.run("key", supplier, wait_timeout=2.0)
+                )
+                for _ in range(8)
+            ]
+            await asyncio.sleep(0.01)
+            assert coalescer.inflight == 1
+            gate.set()
+            outcomes = await asyncio.wait_for(asyncio.gather(*tasks), 2.0)
+            assert calls == 1
+            roles = sorted(role for _, role in outcomes)
+            assert roles.count("leader") == 1
+            assert roles.count("follower") == 7
+            values = {id(value) for value, _ in outcomes}
+            assert len(values) == 1  # the very same object is shared
+            assert coalescer.inflight == 0
+
+        asyncio.run(scenario())
+
+    def test_distinct_keys_run_independently(self):
+        async def scenario():
+            coalescer = Coalescer()
+            calls = []
+
+            async def supplier_for(key):
+                async def supplier():
+                    calls.append(key)
+                    return key
+
+                return await coalescer.run(key, supplier, wait_timeout=1.0)
+
+            outcomes = await asyncio.gather(
+                supplier_for("a"), supplier_for("b")
+            )
+            assert sorted(calls) == ["a", "b"]
+            assert {role for _, role in outcomes} == {"leader"}
+
+        asyncio.run(scenario())
+
+    def test_none_key_bypasses(self):
+        async def scenario():
+            coalescer = Coalescer()
+
+            async def supplier():
+                return 7
+
+            value, role = await coalescer.run(None, supplier)
+            assert (value, role) == (7, "solo")
+            assert coalescer.inflight == 0
+
+        asyncio.run(scenario())
+
+    def test_follower_timeout_leaves_leader_running(self):
+        async def scenario():
+            coalescer = Coalescer()
+            gate = asyncio.Event()
+
+            async def slow_supplier():
+                await asyncio.wait_for(gate.wait(), 2.0)
+                return "done"
+
+            leader = asyncio.ensure_future(
+                coalescer.run("k", slow_supplier, wait_timeout=2.0)
+            )
+            await asyncio.sleep(0.01)
+            with pytest.raises(asyncio.TimeoutError):
+                await coalescer.run("k", slow_supplier, wait_timeout=0.01)
+            gate.set()
+            value, role = await asyncio.wait_for(leader, 1.0)
+            assert (value, role) == ("done", "leader")
+
+        asyncio.run(scenario())
+
+    def test_leader_exception_propagates_to_followers(self):
+        async def scenario():
+            coalescer = Coalescer()
+            gate = asyncio.Event()
+
+            async def failing_supplier():
+                await asyncio.wait_for(gate.wait(), 1.0)
+                raise RuntimeError("boom")
+
+            leader = asyncio.ensure_future(
+                coalescer.run("k", failing_supplier, wait_timeout=1.0)
+            )
+            await asyncio.sleep(0.01)
+            follower = asyncio.ensure_future(
+                coalescer.run("k", failing_supplier, wait_timeout=1.0)
+            )
+            await asyncio.sleep(0.01)
+            gate.set()
+            with pytest.raises(RuntimeError):
+                await leader
+            with pytest.raises(RuntimeError):
+                await follower
+
+        asyncio.run(scenario())
+
+
+class TestPrometheusRendering:
+    def test_counter_gauge_histogram_sections(self):
+        registry = MetricsRegistry()
+        registry.inc("requests_total", 3, path="/query")
+        registry.set_gauge("inflight", 2.0)
+        registry.observe("latency_seconds", 0.004)
+        text = registry.to_prometheus()
+        assert "# TYPE requests_total counter" in text
+        assert 'requests_total{path="/query"} 3' in text
+        assert "# TYPE inflight gauge" in text
+        assert "inflight 2" in text
+        assert "# TYPE latency_seconds histogram" in text
+        assert 'latency_seconds_bucket{le="0.005"} 1' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 1' in text
+        assert "latency_seconds_sum 0.004" in text
+        assert "latency_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.inc("odd_total", 1, why='quote " and \\ slash')
+        text = registry.to_prometheus()
+        assert 'odd_total{why="quote \\" and \\\\ slash"} 1' in text
+
+    def test_empty_registry_renders_empty_document(self):
+        assert MetricsRegistry().to_prometheus() == "\n"

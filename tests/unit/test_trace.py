@@ -1,5 +1,6 @@
 """Unit tests for the span-tree tracing subsystem and its CLI."""
 
+import io
 import json
 import threading
 import time
@@ -207,6 +208,29 @@ class TestTraceCli:
         path.write_text(result.to_json())
         assert trace_main([str(path)]) == 2
         assert "trace=True" in capsys.readouterr().err
+
+    def test_stdin_is_the_default_argument(self, monkeypatch, capsys):
+        engine = RankingEngine(_db(), seed=0)
+        result = engine.utop_rank(1, 2, trace=True)
+        monkeypatch.setattr("sys.stdin", io.StringIO(result.to_json()))
+        assert trace_main([]) == 0
+        assert capsys.readouterr().out.startswith("query")
+
+    def test_stdin_renders_server_response_wrapper(
+        self, monkeypatch, capsys
+    ):
+        # A /query response nests the QueryResult under "result"; the
+        # CLI must dig the span tree out so `curl | python -m
+        # repro.trace` works verbatim.
+        engine = RankingEngine(_db(), seed=0)
+        result = engine.utop_rank(1, 2, trace=True)
+        response = {
+            "result": json.loads(result.to_json()),
+            "serve": {"role": "leader"},
+        }
+        monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(response)))
+        assert trace_main([]) == 0
+        assert capsys.readouterr().out.startswith("query")
 
     def test_unreadable_and_invalid_inputs(self, tmp_path, capsys):
         assert trace_main([str(tmp_path / "missing.json")]) == 2
