@@ -1,0 +1,102 @@
+"""Adaptive planner vs static ladders on the mixed 50-query workload.
+
+Runs the three-strategy harness from
+``repro.experiments.planner_bench`` — cost-model planner, today's
+reactive exact-first ladder (``planner=False`` ``auto``), and a static
+Monte-Carlo-first ladder — cold and warm, regenerates
+``BENCH_planner.json`` at the repository root, and asserts the
+acceptance floors:
+
+- >= 1.3x cold-pass speedup over the reactive ``auto`` ladder;
+- planner beats *both* static ladders on total (cold + warm)
+  wall-clock;
+- byte-identical answers wherever the chosen method matches and
+  neither result is partial;
+- zero confidence violations — the planner never answers from a lower
+  rung than the reactive ladder reaches.
+
+A fast tier-1 smoke of the same harness (tiny scale, structural
+asserts only) lives in ``tests/integration/test_planner_bench.py``
+under the ``bench`` marker.
+"""
+
+import pytest
+
+from repro.experiments.planner_bench import run_benchmark, workload
+
+from conftest import emit
+from emit import write_planner_report
+
+#: Acceptance floor: cold-pass speedup over today's reactive auto.
+MIN_SPEEDUP_COLD = 1.3
+
+
+@pytest.mark.bench
+@pytest.mark.benchmark(group="planner")
+def test_planner_beats_static_ladders(benchmark):
+    payload = run_benchmark()
+    path = write_planner_report(payload)
+    emit(
+        f"Planner vs static ladders, {payload['workload']['queries']} "
+        f"mixed queries (written to {path.name})",
+        ["strategy", "cold s", "warm s", "doomed s", "covered s"],
+        [
+            (
+                name,
+                f"{block['cold_seconds']:.3f}",
+                f"{block['warm_seconds']:.3f}",
+                f"{block['cold_families'].get('doomed', 0.0):.3f}",
+                f"{block['cold_families'].get('covered', 0.0):.3f}",
+            )
+            for name, block in payload["strategies"].items()
+        ],
+    )
+
+    assert payload["identity_all"], (
+        "planner answers diverged from reactive auto where the chosen "
+        f"method matched: {payload['audits']}"
+    )
+    assert payload["confidence_violations"] == 0, (
+        "planner returned lower-confidence answers than reactive auto: "
+        f"{[a['violation_labels'] for a in payload['audits'].values()]}"
+    )
+    assert payload["speedup_vs_auto_cold"] >= MIN_SPEEDUP_COLD, (
+        f"cold speedup {payload['speedup_vs_auto_cold']:.2f}x below "
+        f"{MIN_SPEEDUP_COLD}x"
+    )
+    assert payload["beats_exact_first"], (
+        "planner lost to the exact-first ladder on total wall-clock"
+    )
+    assert payload["beats_mc_first"], (
+        "planner lost to the MC-first ladder on total wall-clock"
+    )
+
+    # Benchmark the planner's steady state: the doomed + covered
+    # sub-workload where planning actually changes the schedule.
+    benchmark.extra_info["speedup_vs_auto_cold"] = payload[
+        "speedup_vs_auto_cold"
+    ]
+    benchmark.extra_info["queries"] = payload["workload"]["queries"]
+    benchmark(
+        run_benchmark,
+        samples=2_000,
+        doomed_dbs=1,
+        doomed_deadline_s=0.1,
+        covered_n=150,
+        covered_queries=2,
+        covered_seed_samples=10_000,
+        covered_requested=100_000,
+        covered_cap=4_096,
+    )
+
+
+def test_workload_covers_all_kinds():
+    """The default workload exercises all five query kinds."""
+    kinds = {item.kind for item in workload()}
+    assert kinds == {
+        "utop_rank",
+        "utop_prefix",
+        "utop_set",
+        "threshold_topk",
+        "rank_aggregation",
+    }

@@ -103,7 +103,22 @@ def test_sampling_backend_throughput(benchmark):
         parallel.close()
         process.close()
 
-    path = write_sampling_report(results)
+    # Record in the report itself whether the 0.7×cores throughput
+    # floor below was actually asserted: on single-core hosts the
+    # process rows are pure dispatch overhead, and a reader of the
+    # committed JSON must not mistake them for a measured floor.
+    cores = os.cpu_count() or 1
+    floor_skipped_reason = (
+        None
+        if cores >= 2
+        else f"single-core host (cpu_count={cores}): process rows "
+        "measure dispatch overhead, not parallel throughput"
+    )
+    path = write_sampling_report(
+        results,
+        floor_fraction=PROCESS_CORE_FRACTION,
+        floor_skipped_reason=floor_skipped_reason,
+    )
     emit(
         f"Sampling backends ({SAMPLES} samples; written to {path.name})",
         ["n", "backend", "seconds", "samples/sec"],
@@ -127,9 +142,9 @@ def test_sampling_backend_throughput(benchmark):
     # Acceptance floor for the shared-memory process backend: at
     # n=5000 it must reach 0.7-per-core of columnar throughput. Only
     # meaningful where real cores exist — on single-core runners the
-    # backend is pure dispatch overhead and the floor is skipped.
-    cores = os.cpu_count() or 1
-    if cores >= 2:
+    # backend is pure dispatch overhead and the floor is skipped
+    # (recorded as such in the report's throughput_floor block).
+    if floor_skipped_reason is None:
         target = PROCESS_CORE_FRACTION * cores
         assert process_vs_columnar[5000] >= target, (
             f"process backend at n=5000 reached "

@@ -60,6 +60,7 @@ import numpy as np
 
 from . import metrics
 from .budget import Budget, SampleCounts
+from .costmodel import CostModel
 from .errors import QueryError
 from .montecarlo import MonteCarloEvaluator
 from .pairwise import PairwiseCache
@@ -404,6 +405,22 @@ class ComputationCache:
         memo.
         """
         return self.artifact("pairwise", fingerprint, PairwiseCache)
+
+    # ------------------------------------------------------------------
+    # planner cost model
+    # ------------------------------------------------------------------
+
+    def cost_model(self, fingerprint: str) -> "CostModel":
+        """The fitted planner cost model for one database fingerprint.
+
+        Keyed by fingerprint because stage costs are properties of the
+        database (size, overlap structure): engines sharing a cache
+        also share fitted coefficients, so a warm engine plans with
+        everything previously observed against the same table. Stored
+        as an ordinary artifact, so a version-bumped fingerprint
+        naturally starts from priors again.
+        """
+        return self.artifact("cost-model", fingerprint, CostModel)
 
     # ------------------------------------------------------------------
     # rank counts (Eq. 7) with deterministic top-up

@@ -65,6 +65,12 @@ from .montecarlo import (
     compile_plan,
     select_top_rank_candidates,
 )
+from .costmodel import (
+    CostModel,
+    PlanFeatures,
+    overlap_density,
+    stage_key,
+)
 from .numeric import wilson_half_width
 from .parallel import (
     DEFAULT_SHARDS,
@@ -72,6 +78,7 @@ from .parallel import (
     ParallelSampler,
     resolve_workers,
 )
+from .planner import QueryPlan, QueryPlanner
 from .ppo import ProbabilisticPartialOrder
 from .pruning import shrink_database
 from .queries import (
@@ -120,6 +127,14 @@ class _EvalContext:
     diagnostics: Dict[str, Any] = field(default_factory=dict)
     pruned_size: int = 0
     used: str = ""
+    # Planner state: the plan built for this query (auto only), the
+    # cost model it consulted (for post-run feedback), the sample count
+    # a covered-block plan substituted for the request, and per-stage
+    # wall seconds measured by _run_stages for the fitting loop.
+    plan: Optional[QueryPlan] = None
+    plan_model: Optional[CostModel] = None
+    plan_samples: Optional[int] = None
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
 
 class RankingEngine:
@@ -216,6 +231,19 @@ class RankingEngine:
         :func:`~repro.core.metrics.global_registry`; pass a private
         registry for isolated accounting. Metrics are always on — their
         cost is a few dictionary increments per query.
+    planner:
+        Whether ``method="auto"`` consults the cost-model planner
+        (:mod:`repro.core.planner`) before running. ``True`` (default)
+        uses a default-tuned :class:`~repro.core.planner.QueryPlanner`;
+        pass an instance for custom headroom, or ``False`` for the
+        purely reactive ladder. Unbudgeted answers are byte-identical
+        either way — without a live budget the planner only annotates;
+        under one it skips ladder stages predicted to blow the budget
+        (each skip recorded as a :class:`DegradationEvent` with a
+        ``planner:`` reason) and may serve a covered rank-count block
+        at reduced sample count, flagged partial. Fitted cost
+        coefficients live in the computation cache, keyed per database
+        fingerprint.
     """
 
     def __init__(
@@ -236,6 +264,7 @@ class RankingEngine:
         cache: Union[ComputationCache, str, None] = None,
         trace: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        planner: Union[bool, QueryPlanner] = True,
     ) -> None:
         if not records:
             raise QueryError("cannot rank an empty database")
@@ -272,6 +301,10 @@ class RankingEngine:
         self.copula = copula
         self.trace = trace
         self._metrics = metrics if metrics is not None else global_registry()
+        if isinstance(planner, QueryPlanner):
+            self.planner: Optional[QueryPlanner] = planner
+        else:
+            self.planner = QueryPlanner() if planner else None
         if copula is not None and copula.dimension != len(self.records):
             raise QueryError(
                 f"copula dimension {copula.dimension} does not match "
@@ -731,6 +764,7 @@ class RankingEngine:
         stages: Sequence[Tuple[str, Callable[[], List]]],
         budget: Optional[Budget],
         events: List[DegradationEvent],
+        timings: Optional[Dict[str, float]] = None,
     ) -> Tuple[str, List]:
         """Drive the degradation ladder over ``stages`` in order.
 
@@ -744,17 +778,24 @@ class RankingEngine:
         when the budget is already expired; the baseline rung is free
         and always allowed to run. Each attempted stage runs under a
         child span named after it, so traces show degraded attempts
-        alongside the rung that finally answered.
+        alongside the rung that finally answered. ``timings``, when
+        given, collects per-attempt wall seconds (degraded attempts
+        included) — the planner's cost-model feedback loop.
         """
 
         def attempt(name: str, thunk: Callable[[], List]) -> List:
             with span(name) as stage_span:
+                started = time.perf_counter()
                 try:
                     answers = thunk()
                 except EvaluationError:
+                    if timings is not None:
+                        timings[name] = time.perf_counter() - started
                     if stage_span is not None:
                         stage_span.set(outcome="degraded")
                     raise
+                if timings is not None:
+                    timings[name] = time.perf_counter() - started
                 if stage_span is not None:
                     stage_span.set(outcome="ok")
                 return answers
@@ -799,6 +840,110 @@ class RankingEngine:
         if last_error is not None:
             raise last_error
         raise EvaluationError("no evaluation stage available")
+
+    # ------------------------------------------------------------------
+    # cost-model planning
+    # ------------------------------------------------------------------
+
+    def _overlap_density(
+        self, fp: str, subset: Sequence[UncertainRecord]
+    ) -> float:
+        """Cached interval-overlap density for a pruned subset."""
+        return self.cache.artifact(
+            "overlap", fp, lambda: overlap_density(subset)
+        )
+
+    def _plan_features(
+        self,
+        kind: str,
+        fp: str,
+        pruned: Sequence[UncertainRecord],
+        depth: int,
+        requested: int,
+        ctx: _EvalContext,
+    ) -> PlanFeatures:
+        """The deterministic feature vector the planner consults.
+
+        Pure function of (records, spec, cache state): size and overlap
+        density of the pruned subset, requested depth and samples,
+        rank-count cache coverage for the query's own sampling stream,
+        and — for the prefix/set families — the (capped) enumeration
+        space and MCMC parameters.
+        """
+        n = len(pruned)
+        covered = 0
+        prefix_space: Optional[int] = None
+        if kind == "utop_rank":
+            limit = max(1, min(depth, n))
+            covered = self.cache.rank_count_coverage(
+                fp,
+                self._backend_key(ctx.sampler_seed),
+                requested,
+                limit,
+            )
+        else:
+            prefix_space = self._prefix_space(fp, pruned, depth)
+        return PlanFeatures(
+            kind=kind,
+            n=n,
+            depth=depth,
+            requested_samples=requested,
+            covered_samples=covered,
+            overlap_density=self._overlap_density(fp, pruned),
+            exact_supported=supports_exact(pruned),
+            prefix_space=prefix_space,
+            mcmc_chains=self.mcmc_chains if kind != "utop_rank" else 0,
+            mcmc_steps=self.mcmc_steps if kind != "utop_rank" else 0,
+        )
+
+    def _apply_plan(
+        self,
+        ctx: _EvalContext,
+        kind: str,
+        stages: List[Tuple[str, Callable[[], List]]],
+        fp: str,
+        pruned: Sequence[UncertainRecord],
+        depth: int,
+        requested: int,
+    ) -> List[Tuple[str, Callable[[], List]]]:
+        """Consult the planner for an ``auto`` ladder; prune if budgeted.
+
+        With no planner (disabled) or a non-auto method the ladder is
+        returned untouched. Otherwise the plan is recorded on the
+        context for post-run feedback; without a live budget that is
+        all that happens — execution is byte-identical to planner-off.
+        Under a live budget, stages the plan marked ``skipped`` are
+        removed before :meth:`_run_stages` ever starts them, each
+        recorded as a ``planner:``-reasoned skip event, and a
+        covered-block sample reduction (if any) is staged via
+        ``ctx.plan_samples``.
+        """
+        if self.planner is None or ctx.method != "auto" or not stages:
+            return stages
+        model = self.cache.cost_model(fp)
+        features = self._plan_features(
+            kind, fp, pruned, depth, requested, ctx
+        )
+        plan = self.planner.plan(
+            model, features, [name for name, _ in stages], ctx.budget
+        )
+        ctx.plan = plan
+        ctx.plan_model = model
+        if not plan.budgeted:
+            return stages
+        ctx.plan_samples = plan.planned_samples
+        kept: List[Tuple[str, Callable[[], List]]] = []
+        for name, thunk in stages:
+            entry = plan.stage_named(name)
+            if entry is not None and entry.decision == "skipped":
+                ctx.events.append(
+                    DegradationEvent(
+                        name, "skipped", f"planner: {entry.reason}"
+                    )
+                )
+                continue
+            kept.append((name, thunk))
+        return kept
 
     # ------------------------------------------------------------------
     # the query dispatcher
@@ -871,6 +1016,7 @@ class RankingEngine:
             root.set(method_used=ctx.used, pruned_size=ctx.pruned_size)
             root.end()
         elapsed = time.perf_counter() - start
+        self._finish_plan(spec, ctx)
         self._metrics.inc("queries_total", query=spec.kind, method=ctx.used)
         self._metrics.observe(
             "query_duration_seconds",
@@ -899,6 +1045,41 @@ class RankingEngine:
             cache=self._cache_delta(stats_before),
             trace=root,
         )
+
+    def _finish_plan(self, spec: Query, ctx: _EvalContext) -> None:
+        """Close the planning loop for one query (no-op when unplanned).
+
+        Feeds measured stage timings back into the fingerprint's cost
+        model, emits the ``planner_*`` counters, and attaches the
+        schedule-invariant plan block to the result diagnostics. Runs
+        after the evaluator so it survives evaluators that replace
+        ``ctx.diagnostics`` wholesale (the MCMC paths do).
+        """
+        plan = ctx.plan
+        if plan is None or self.planner is None or ctx.plan_model is None:
+            return
+        mispredicted = self.planner.feedback(
+            ctx.plan_model, plan, ctx.stage_seconds, ctx.used
+        )
+        self._metrics.inc(
+            "planner_plans_total",
+            query=spec.kind,
+            budgeted=str(plan.budgeted).lower(),
+        )
+        for entry in plan.stages:
+            if entry.decision == "skipped":
+                self._metrics.inc(
+                    "planner_stage_skips_total", stage=entry.stage
+                )
+        if mispredicted:
+            self._metrics.inc(
+                "planner_mispredictions_total", query=spec.kind
+            )
+        if plan.planned_samples is not None:
+            self._metrics.inc(
+                "planner_sample_reductions_total", query=spec.kind
+            )
+        ctx.diagnostics["plan"] = plan.diagnostics_dict()
 
     # ------------------------------------------------------------------
     # RECORD-RANK queries (Def. 4)
@@ -972,16 +1153,26 @@ class RankingEngine:
 
         def run_montecarlo() -> List[RecordAnswer]:
             sampler = self._sampler(pruned, fp, ctx.sampler_seed, ctx.backend)
+            # A budgeted plan may serve straight from a covered
+            # rank-count block at its (smaller) sample count instead of
+            # drawing a fresh top-up; the result is flagged partial
+            # below, exactly like a budget-clipped run of that count.
+            effective = requested
+            if (
+                ctx.plan_samples is not None
+                and ctx.plan_samples < requested
+            ):
+                effective = ctx.plan_samples
             # The cache — not the shards — takes the sample grant for
             # whatever cached blocks cannot cover, so the number of
             # fresh samples drawn is a pure function of budget state
             # and cache contents, never of shard scheduling (the
             # determinism-under-budget contract).
-            with span("sample", requested=requested) as sample_span:
+            with span("sample", requested=effective) as sample_span:
                 sc = self._rank_counts(
                     fp,
                     sampler,
-                    requested,
+                    effective,
                     max_rank=j,
                     budget=budget,
                     sampler_seed=ctx.sampler_seed,
@@ -1003,7 +1194,19 @@ class RankingEngine:
                         "montecarlo",
                         "clipped",
                         sc.reason
-                        or f"sample cap granted {sc.done}/{requested}",
+                        or f"sample cap granted {sc.done}/{effective}",
+                    )
+                )
+                if pairs:
+                    ctx.half_width = wilson_half_width(pairs[0][1], sc.done)
+            elif effective < requested:
+                ctx.partial = True
+                ctx.events.append(
+                    DegradationEvent(
+                        "montecarlo",
+                        "clipped",
+                        "planner served covered block "
+                        f"{sc.done}/{requested}",
                     )
                 )
                 if pairs:
@@ -1037,6 +1240,9 @@ class RankingEngine:
                 stages.append(("exact", run_exact))
             stages.append(("montecarlo", run_montecarlo))
             stages.append(("baseline", run_baseline))
+            stages = self._apply_plan(
+                ctx, "utop_rank", stages, fp, pruned, j, requested
+            )
         elif method == "exact":
             stages = [("exact", run_exact)]
         elif method == "montecarlo":
@@ -1045,7 +1251,9 @@ class RankingEngine:
             stages = [("baseline", run_baseline)]
         else:
             raise QueryError(f"unknown method {method!r} for UTop-Rank")
-        used, answers = self._run_stages(stages, budget, ctx.events)
+        used, answers = self._run_stages(
+            stages, budget, ctx.events, timings=ctx.stage_seconds
+        )
         ctx.used = used
         return answers
 
@@ -1502,6 +1710,9 @@ class RankingEngine:
             stages.append(("mcmc", run_mcmc))
             stages.append(("montecarlo", run_montecarlo))
             stages.append(("baseline", run_baseline))
+            stages = self._apply_plan(
+                ctx, "utop_prefix", stages, fp, pruned, k_eff, base_samples
+            )
         elif method == "exact":
             stages = [("exact", run_exact)]
         elif method == "mcmc":
@@ -1512,7 +1723,9 @@ class RankingEngine:
             stages = [("baseline", run_baseline)]
         else:
             raise QueryError(f"unknown method {method!r} for UTop-Prefix")
-        used, answers = self._run_stages(stages, budget, ctx.events)
+        used, answers = self._run_stages(
+            stages, budget, ctx.events, timings=ctx.stage_seconds
+        )
         ctx.used = used
         return answers
 
@@ -1742,6 +1955,9 @@ class RankingEngine:
             stages.append(("mcmc", run_mcmc))
             stages.append(("montecarlo", run_montecarlo))
             stages.append(("baseline", run_baseline))
+            stages = self._apply_plan(
+                ctx, "utop_set", stages, fp, pruned, k_eff, base_samples
+            )
         elif method == "exact":
             stages = [("exact", run_exact)]
         elif method == "mcmc":
@@ -1752,7 +1968,9 @@ class RankingEngine:
             stages = [("baseline", run_baseline)]
         else:
             raise QueryError(f"unknown method {method!r} for UTop-Set")
-        used, answers = self._run_stages(stages, budget, ctx.events)
+        used, answers = self._run_stages(
+            stages, budget, ctx.events, timings=ctx.stage_seconds
+        )
         ctx.used = used
         return answers
 
@@ -1784,7 +2002,9 @@ class RankingEngine:
     # introspection
     # ------------------------------------------------------------------
 
-    def explain(self, query: str, k: int) -> dict:
+    def explain(
+        self, query: str, k: int, deadline_ms: Optional[float] = None
+    ) -> dict:
         """Explain the evaluation plan for a query without running it.
 
         Parameters
@@ -1794,16 +2014,22 @@ class RankingEngine:
             UTop-Rank, ``k`` is the upper rank ``j``).
         k:
             The query's dominance level.
+        deadline_ms:
+            Optional deadline the planner should plan against, in
+            milliseconds — the same value the serving layer passes per
+            request. Affects only the ``plan`` block: with a deadline
+            the block shows which stages the planner would skip.
 
         Returns
         -------
         dict
             Pruning outcome, whether the densities allow exact
             evaluation, the (capped) size of the enumeration space,
-            the method the ``"auto"`` policy would select, and an
+            the method the ``"auto"`` policy would select, an
             ``observability`` block (tracing default plus a metrics
-            snapshot) — the plan a user inspects when a query is
-            slower than expected.
+            snapshot), and — when the planner is enabled — a ``plan``
+            block with the cost model's predicted seconds per ladder
+            stage next to the observed actuals it has fitted so far.
         """
         if query not in ("utop_rank", "utop_prefix", "utop_set"):
             raise QueryError(f"unknown query kind {query!r}")
@@ -1837,6 +2063,9 @@ class RankingEngine:
                 else "montecarlo"
             )
             plan["samples"] = self.samples
+            plan["plan"] = self._explain_plan(
+                query, fp, pruned, k_eff, deadline_ms
+            )
             return plan
         space = self._prefix_space(fp, pruned, k_eff)
         plan["prefix_space"] = space
@@ -1853,7 +2082,69 @@ class RankingEngine:
         if plan["method"] == "mcmc":
             plan["mcmc_chains"] = self.mcmc_chains
             plan["mcmc_steps"] = self.mcmc_steps
+        plan["plan"] = self._explain_plan(
+            query, fp, pruned, k_eff, deadline_ms
+        )
         return plan
+
+    def _explain_plan(
+        self,
+        kind: str,
+        fp: str,
+        pruned: Sequence[UncertainRecord],
+        depth: int,
+        deadline_ms: Optional[float],
+    ) -> Optional[dict]:
+        """The ``plan`` block of :meth:`explain` (None: planner off).
+
+        Builds the same plan :meth:`query` would for the ``auto``
+        ladder — same features, same fitted model — and pairs each
+        stage's predicted seconds with the observed per-stage actuals
+        the model has accumulated for this fingerprint.
+        """
+        if self.planner is None:
+            return None
+        ctx = _EvalContext(
+            budget=None,
+            method="auto",
+            sampler_seed=self._sampler_seed,
+            mcmc_seed=self._mcmc_seed,
+        )
+        if kind == "utop_rank":
+            names = ["montecarlo", "baseline"]
+            if (
+                supports_exact(pruned)
+                and len(pruned) <= self.exact_record_limit
+            ):
+                names.insert(0, "exact")
+        else:
+            names = ["mcmc", "montecarlo", "baseline"]
+            if self._enumerable(pruned, fp, depth):
+                names.insert(0, "exact")
+        model = self.cache.cost_model(fp)
+        features = self._plan_features(
+            kind, fp, pruned, depth, self.samples, ctx
+        )
+        budget = (
+            Budget.for_deadline(deadline_ms / 1000.0)
+            if deadline_ms is not None
+            else None
+        )
+        computed = self.planner.plan(model, features, names, budget)
+        stages = []
+        for entry in computed.stages:
+            observed = model.observed_stats(stage_key(kind, entry.stage))
+            payload = entry.to_dict()
+            payload["observed"] = observed
+            stages.append(payload)
+        return {
+            "chosen": computed.chosen,
+            "budgeted": computed.budgeted,
+            "deadline_ms": deadline_ms,
+            "planned_samples": computed.planned_samples,
+            "features": features.to_dict(),
+            "stages": stages,
+        }
 
     # ------------------------------------------------------------------
     # RANK-AGGREGATION queries (Def. 7)

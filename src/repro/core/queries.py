@@ -16,7 +16,6 @@ the paper's probability-upper-bound error estimate.
 from __future__ import annotations
 
 import json
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, FrozenSet, List, Optional, Tuple
 
@@ -297,9 +296,10 @@ def _json_default(value: Any) -> Any:
 class QueryResult:
     """Evaluation outcome: answers plus execution metadata.
 
-    Construct by keyword; positional construction is deprecated (it
-    warns and will be removed) because the boolean/optional tail of the
-    field list makes positional call sites unreadable.
+    Construct by keyword only; positional construction raises
+    :class:`TypeError` (it was deprecated through one release cycle)
+    because the boolean/optional tail of the field list makes
+    positional call sites unreadable.
 
     Attributes
     ----------
@@ -354,23 +354,10 @@ class QueryResult:
 
     def __init__(self, *args: Any, **kwargs: Any) -> None:
         if args:
-            warnings.warn(
-                "positional QueryResult construction is deprecated; "
-                "pass every field by keyword",
-                DeprecationWarning,
-                stacklevel=2,
+            raise TypeError(
+                "QueryResult takes no positional arguments; pass "
+                "every field by keyword"
             )
-            if len(args) > len(_RESULT_FIELDS):
-                raise TypeError(
-                    f"QueryResult takes at most {len(_RESULT_FIELDS)} "
-                    f"arguments ({len(args)} given)"
-                )
-            for name, value in zip(_RESULT_FIELDS, args):
-                if name in kwargs:
-                    raise TypeError(
-                        f"QueryResult got multiple values for {name!r}"
-                    )
-                kwargs[name] = value
         unknown = sorted(set(kwargs) - set(_RESULT_FIELDS))
         if unknown:
             raise TypeError(

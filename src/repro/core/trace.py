@@ -46,6 +46,8 @@ __all__ = [
     "set_span_start_hook",
     "span",
     "span_under",
+    "stage_durations",
+    "walk_spans",
 ]
 
 # Called (with the new span) at every span start when installed. The
@@ -295,6 +297,42 @@ def accumulate(key: str, amount: float = 1.0) -> None:
     active = _ACTIVE_SPAN.get()
     if active is not None:
         active.add(key, amount)
+
+
+# ----------------------------------------------------------------------
+# span-tree feature extraction
+# ----------------------------------------------------------------------
+
+def walk_spans(node: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    """Depth-first iterator over an exported span tree.
+
+    Accepts the :meth:`Span.to_dict` shape (``name`` / ``wall_seconds``
+    / ``children``) and yields every node, root first. The cost-model
+    fitter and the ``python -m repro.trace --stats`` aggregation both
+    consume this walk so they stay byte-for-byte in agreement about
+    which spans exist.
+    """
+    yield node
+    for child in node.get("children") or []:
+        yield from walk_spans(child)
+
+
+def stage_durations(node: Dict[str, Any]) -> Dict[str, List[float]]:
+    """Per-stage wall-clock durations across one exported span tree.
+
+    Groups every span's ``wall_seconds`` by span name, preserving
+    encounter order within a name. This is the raw material both for
+    ``python -m repro.trace --stats`` and for the empirical cost model
+    (:mod:`repro.core.costmodel`), which fits per-stage rates from the
+    same aggregation.
+    """
+    grouped: Dict[str, List[float]] = {}
+    for current in walk_spans(node):
+        name = str(current.get("name", "?"))
+        grouped.setdefault(name, []).append(
+            float(current.get("wall_seconds") or 0.0)
+        )
+    return grouped
 
 
 # ----------------------------------------------------------------------

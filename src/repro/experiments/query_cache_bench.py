@@ -26,8 +26,9 @@ reuse :func:`run_benchmark` directly.
 Schema::
 
     {
-      "schema": 1,
+      "schema": 2,
       "unit": "seconds",
+      "host": {"cpu_count": ..., "platform": ..., ...},
       "size": 1000, "queries": 50,
       "cold_seconds": ..., "warm_seconds": ..., "speedup": ...,
       "answers_identical": true,
@@ -48,6 +49,7 @@ import numpy as np
 from ..core.cache import ComputationCache
 from ..core.engine import RankingEngine
 from ..core.records import UncertainRecord, uniform
+from .host import BENCH_SCHEMA, host_block
 
 __all__ = [
     "REPORT_PATH",
@@ -120,9 +122,10 @@ def workload(n_queries: int = 50) -> List[QuerySpec]:
 def _execute(engine: RankingEngine, spec: QuerySpec) -> object:
     """Run one spec and return a JSON-encodable answer payload.
 
-    Timing and per-query cache-counter fields are stripped: the identity
-    check compares *answers*, and those fields legitimately differ
-    between a cold and a warm pass.
+    Timing, per-query cache-counter, and planner-schedule fields are
+    stripped: the identity check compares *answers*, and those fields
+    legitimately differ between a cold and a warm pass (the plan's
+    predictions shift as the cost model fits and coverage accrues).
     """
     kind, args = spec
     if kind == "utop_rank":
@@ -147,6 +150,9 @@ def _execute(engine: RankingEngine, spec: QuerySpec) -> object:
     payload = result.to_dict()
     payload.pop("elapsed", None)
     payload.pop("cache", None)
+    diagnostics = payload.get("diagnostics")
+    if isinstance(diagnostics, dict):
+        diagnostics.pop("plan", None)
     return payload
 
 
@@ -213,8 +219,9 @@ def run_benchmark(
     cold_blob = json.dumps(cold_answers, sort_keys=True)
     warm_blob = json.dumps(warm_answers, sort_keys=True)
     return {
-        "schema": 1,
+        "schema": BENCH_SCHEMA,
         "unit": "seconds",
+        "host": host_block(),
         "size": int(size),
         "queries": int(n_queries),
         "samples": int(samples),

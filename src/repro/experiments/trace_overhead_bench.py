@@ -23,8 +23,9 @@ which writes ``BENCH_trace_overhead.json`` at the repository root;
 Schema::
 
     {
-      "schema": 1,
+      "schema": 2,
       "unit": "seconds",
+      "host": {"cpu_count": ..., "platform": ..., ...},
       "size": ..., "samples": ..., "repeats": ...,
       "rows": [{"k": ..., "plain_seconds": ..., "traced_seconds": ...,
                 "overhead": ..., "spans": ...}, ...],
@@ -46,6 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.engine import RankingEngine
 from ..core.metrics import MetricsRegistry
 from ..core.records import UncertainRecord
+from .host import BENCH_SCHEMA, host_block
 from .query_cache_bench import benchmark_records
 
 __all__ = [
@@ -161,8 +163,9 @@ def run_benchmark(
             }
         )
     return {
-        "schema": 1,
+        "schema": BENCH_SCHEMA,
         "unit": "seconds",
+        "host": host_block(),
         "size": int(size),
         "samples": int(samples),
         "repeats": int(repeats),

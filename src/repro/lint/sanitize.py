@@ -5,6 +5,7 @@ Usage::
     python -m repro.lint.sanitize --repeats 3
     python -m repro.lint.sanitize --workers 1,2,4 --jitter 500 --json
     python -m repro.lint.sanitize --backend thread,process
+    python -m repro.lint.sanitize --planner on,off
 
 Exit code 0 when every perturbed run is byte-identical to the
 unperturbed serial baseline, 1 on any divergence. See
@@ -33,6 +34,20 @@ def _parse_backends(raw: str) -> List[str]:
         if name not in ("thread", "process", "auto"):
             raise argparse.ArgumentTypeError(
                 f"unknown execution backend {name!r}"
+            )
+    return grid
+
+
+def _parse_planner(raw: str) -> List[str]:
+    grid = [part.strip() for part in raw.split(",") if part.strip()]
+    if not grid:
+        raise argparse.ArgumentTypeError(
+            "planner must contain at least one of on/off"
+        )
+    for name in grid:
+        if name not in ("on", "off"):
+            raise argparse.ArgumentTypeError(
+                f"unknown planner setting {name!r} (expected on/off)"
             )
     return grid
 
@@ -92,6 +107,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(default: thread,process)",
     )
     parser.add_argument(
+        "--planner",
+        type=_parse_planner,
+        default=["on", "off"],
+        help="comma-separated planner grid asserting byte-identical "
+        "answers with planning enabled vs the static reactive ladder "
+        "(default: on,off)",
+    )
+    parser.add_argument(
         "--jitter",
         type=int,
         default=200,
@@ -129,6 +152,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         samples=args.samples,
         worker_grid=args.workers,
         backend_grid=args.backend,
+        planner_grid=args.planner,
         jitter_us=args.jitter,
         seed=args.seed,
         mcmc_steps=args.mcmc_steps,

@@ -19,6 +19,12 @@ and cache temperature. It replays a seeded mixed-query workload
   contract as the thread pool;
 - twice per engine, so the second pass answers from a warm
   :class:`~repro.core.cache.ComputationCache`;
+- across a planner grid (the CLI's ``--planner`` flag defaults to
+  ``on,off``) asserting the cost-model planner changes nothing about
+  unbudgeted answers: planning on must be byte-identical to the purely
+  reactive static ladder (the planner's per-result ``plan`` diagnostic
+  block is stripped before comparison — it is the one field that only
+  exists on the planning side);
 
 and diffs every :meth:`~repro.core.queries.QueryResult.to_dict` against
 the unperturbed serial baseline **byte-for-byte** (canonicalized: the
@@ -51,6 +57,7 @@ from repro.core.trace import set_span_start_hook
 
 __all__ = [
     "DEFAULT_BACKEND_GRID",
+    "DEFAULT_PLANNER_GRID",
     "DEFAULT_WORKER_GRID",
     "Divergence",
     "SanitizerReport",
@@ -72,6 +79,12 @@ DEFAULT_WORKER_GRID: Tuple[int, ...] = (1, 2, 4)
 #: tier-1 runs fast (thread pools only); the sanitizer CLI widens this
 #: to ``thread,process`` so release checks cover the process backend.
 DEFAULT_BACKEND_GRID: Tuple[str, ...] = ("thread",)
+
+#: Planner settings exercised per repeat. The library default keeps
+#: tier-1 runs fast (planning on, the engine default); the sanitizer
+#: CLI widens this to ``on,off`` so release checks assert planning
+#: changes nothing about unbudgeted answers.
+DEFAULT_PLANNER_GRID: Tuple[str, ...] = ("on",)
 
 #: Result keys that legitimately vary run-to-run.
 _VOLATILE_KEYS = ("elapsed", "cache", "trace")
@@ -169,11 +182,19 @@ def _strip_timings(value: Any) -> Any:
 
 
 def canonical_result(result: QueryResult) -> Dict[str, Any]:
-    """The comparable rendition of a result: everything but timings."""
+    """The comparable rendition of a result: everything but timings.
+
+    The planner's ``plan`` diagnostic block is dropped alongside the
+    timing fields: it exists only when planning is enabled, so keeping
+    it would make the planner on/off axis trivially diverge on a field
+    that is advisory metadata, not part of the answer.
+    """
     data = result.to_dict()
     for key in _VOLATILE_KEYS:
         data.pop(key, None)
-    data["diagnostics"] = _strip_timings(data.get("diagnostics") or {})
+    diagnostics = dict(data.get("diagnostics") or {})
+    diagnostics.pop("plan", None)
+    data["diagnostics"] = _strip_timings(diagnostics)
     return data
 
 
@@ -285,6 +306,7 @@ class SanitizerReport:
     worker_grid: Tuple[int, ...]
     queries: int
     backend_grid: Tuple[str, ...] = DEFAULT_BACKEND_GRID
+    planner_grid: Tuple[str, ...] = DEFAULT_PLANNER_GRID
     runs: int = 0
     comparisons: int = 0
     jitter_calls: int = 0
@@ -304,6 +326,7 @@ class SanitizerReport:
             "repeats": self.repeats,
             "worker_grid": list(self.worker_grid),
             "backend_grid": list(self.backend_grid),
+            "planner_grid": list(self.planner_grid),
             "queries": self.queries,
             "runs": self.runs,
             "comparisons": self.comparisons,
@@ -326,6 +349,7 @@ class SanitizerReport:
             f"{self.comparisons} comparison(s) over {self.queries} "
             f"queries, workers={'/'.join(map(str, self.worker_grid))}, "
             f"backends={'/'.join(self.backend_grid)}, "
+            f"planner={'/'.join(self.planner_grid)}, "
             f"repeats={self.repeats}, "
             f"{self.jitter_calls} jitter sleep(s) injected"
         ]
@@ -358,6 +382,7 @@ def _execute(
     mcmc_steps: int,
     mcmc_chains: int,
     engine_seed: int,
+    planner: bool = True,
 ) -> Tuple[_Execution, _Execution]:
     """Run the workload cold then warm on one freshly built engine."""
     engine = RankingEngine(
@@ -369,6 +394,7 @@ def _execute(
         mcmc_chains=mcmc_chains,
         mcmc_steps=mcmc_steps,
         trace=True,
+        planner=planner,
     )
     try:
         passes: List[_Execution] = []
@@ -405,6 +431,7 @@ def run_sanitizer(
     samples: int = 2000,
     worker_grid: Sequence[int] = DEFAULT_WORKER_GRID,
     backend_grid: Sequence[str] = DEFAULT_BACKEND_GRID,
+    planner_grid: Sequence[str] = DEFAULT_PLANNER_GRID,
     jitter_us: int = 200,
     seed: int = 0,
     mcmc_steps: int = 150,
@@ -415,9 +442,9 @@ def run_sanitizer(
 
     ``repeats`` counts perturbed replays *in addition to* the
     unperturbed baseline (repeat 0 runs with no jitter hook). Every
-    (repeat, workers, backend, cache-temperature) cell is compared
-    query-by-query against the baseline cell (repeat 0, first worker
-    setting, first backend, cold cache).
+    (repeat, workers, backend, planner, cache-temperature) cell is
+    compared query-by-query against the baseline cell (repeat 0, first
+    worker setting, first backend, first planner setting, cold cache).
     """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
@@ -426,6 +453,10 @@ def run_sanitizer(
     for name in backends:
         if name not in ("thread", "process", "auto"):
             raise ValueError(f"unknown execution backend {name!r}")
+    planners = tuple(planner_grid) or DEFAULT_PLANNER_GRID
+    for name in planners:
+        if name not in ("on", "off"):
+            raise ValueError(f"unknown planner setting {name!r}")
     database = build_records(records)
     queries = build_workload(k=k)
     report = SanitizerReport(
@@ -433,6 +464,7 @@ def run_sanitizer(
         worker_grid=grid,
         queries=len(queries),
         backend_grid=backends,
+        planner_grid=planners,
     )
 
     baseline: Optional[_Execution] = None
@@ -446,28 +478,32 @@ def run_sanitizer(
         try:
             for workers in grid:
                 for backend in backends:
-                    label = (
-                        f"repeat={repeat} workers={workers} "
-                        f"backend={backend}"
-                    )
-                    cold, warm = _execute(
-                        label,
-                        database,
-                        queries,
-                        workers=workers,
-                        backend=backend,
-                        samples=samples,
-                        mcmc_steps=mcmc_steps,
-                        mcmc_chains=mcmc_chains,
-                        engine_seed=7,
-                    )
-                    report.runs += 1
-                    if baseline is None:
-                        baseline = cold
-                    for execution in (cold, warm):
-                        if execution is baseline:
-                            continue
-                        _compare(report, baseline, execution, queries)
+                    for planner_mode in planners:
+                        label = (
+                            f"repeat={repeat} workers={workers} "
+                            f"backend={backend} planner={planner_mode}"
+                        )
+                        cold, warm = _execute(
+                            label,
+                            database,
+                            queries,
+                            workers=workers,
+                            backend=backend,
+                            samples=samples,
+                            mcmc_steps=mcmc_steps,
+                            mcmc_chains=mcmc_chains,
+                            engine_seed=7,
+                            planner=planner_mode == "on",
+                        )
+                        report.runs += 1
+                        if baseline is None:
+                            baseline = cold
+                        for execution in (cold, warm):
+                            if execution is baseline:
+                                continue
+                            _compare(
+                                report, baseline, execution, queries
+                            )
         finally:
             set_span_start_hook(previous)
         if jitter is not None:

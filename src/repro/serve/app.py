@@ -35,6 +35,7 @@ Endpoints: ``POST /query``, ``GET /explain``, ``GET /metrics``
 from __future__ import annotations
 
 import asyncio
+import functools
 import logging
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -343,10 +344,24 @@ class RankingService:
             k = int(request.query.get("k", "1"))
         except ValueError as exc:
             raise HttpError(400, f"bad k: {request.query.get('k')!r}") from exc
+        # deadline_ms flows into the planner so the plan block shows
+        # exactly what a /query with the same deadline would run.
+        raw_deadline = request.query.get("deadline_ms")
+        deadline_ms: Optional[float] = None
+        if raw_deadline is not None:
+            try:
+                deadline_ms = float(raw_deadline)
+            except ValueError as exc:
+                raise HttpError(
+                    400, f"bad deadline_ms: {raw_deadline!r}"
+                ) from exc
         loop = asyncio.get_running_loop()
         plan = await asyncio.wait_for(
             loop.run_in_executor(
-                self._executor, self.engine.explain, kind, k
+                self._executor,
+                functools.partial(
+                    self.engine.explain, kind, k, deadline_ms=deadline_ms
+                ),
             ),
             self.config.overshoot_grace_ms / 1000.0
             + self.config.deadline_ms / 1000.0,
@@ -467,6 +482,11 @@ class RankingService:
                 "breaker": breaker.state,
                 "overrun": overran,
                 "degraded": bool(result.degradation) or result.partial,
+                "planned": (
+                    result.diagnostics.get("plan", {}).get("chosen")
+                    if isinstance(result.diagnostics, dict)
+                    else None
+                ),
             },
         }
         self.metrics.inc("serve_queries_total", kind=kind, role=role)

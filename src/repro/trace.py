@@ -34,9 +34,10 @@ import json
 import sys
 from typing import Any, Dict, List, Optional
 
-from .core.trace import render_trace
+from .core.costmodel import summarize_stages
+from .core.trace import render_trace, stage_durations
 
-__all__ = ["main"]
+__all__ = ["main", "render_stats"]
 
 
 def _load(path: str) -> Any:
@@ -66,6 +67,34 @@ def _extract_span(document: Any) -> Dict[str, Any]:
     )
 
 
+def render_stats(node: Dict[str, Any]) -> str:
+    """Per-stage duration summary of one span tree, as a table.
+
+    Aggregates every span's wall time by span name —
+    count / total / p50 / max — using the exact aggregation the
+    cost-model fitter consumes (:func:`repro.core.trace.stage_durations`
+    + :func:`repro.core.costmodel.summarize_stages`), sorted by total
+    descending so the dominant stage leads.
+    """
+    summary = summarize_stages(stage_durations(node))
+    header = (
+        f"{'stage':<20} {'count':>5} {'total ms':>12} "
+        f"{'p50 ms':>12} {'max ms':>12}"
+    )
+    lines = [header, "-" * len(header)]
+    for stats in sorted(
+        summary.values(),
+        key=lambda s: (-s.total_seconds, s.name),
+    ):
+        lines.append(
+            f"{stats.name:<20} {stats.count:>5} "
+            f"{stats.total_seconds * 1000.0:>12.3f} "
+            f"{stats.p50_seconds * 1000.0:>12.3f} "
+            f"{stats.max_seconds * 1000.0:>12.3f}"
+        )
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -89,6 +118,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="  ",
         help="indentation unit per tree level (default: two spaces)",
     )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "summarize per-stage durations across the trace "
+            "(count/total/p50/max per span name) instead of printing "
+            "the tree — the same aggregation the planner's cost-model "
+            "fitter uses"
+        ),
+    )
     args = parser.parse_args(argv)
     try:
         document = _load(args.path)
@@ -103,7 +142,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(render_trace(node, indent=args.indent))
+    if args.stats:
+        print(render_stats(node))
+    else:
+        print(render_trace(node, indent=args.indent))
     return 0
 
 

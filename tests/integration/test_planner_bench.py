@@ -1,0 +1,54 @@
+"""Tier-1 smoke run of the planner benchmark harness.
+
+Runs the same three-strategy (planner / reactive exact-first /
+MC-first) cold+warm harness as ``benchmarks/bench_planner.py`` at a
+tiny scale. Asserts only the invariants that must hold at any size —
+byte-identical answers where the chosen method matches, zero
+confidence violations, and the planner no slower than the reactive
+ladder on the cold pass — not the 1.3x acceptance floor, which is
+measured on the full 50-query workload by the real benchmark.
+"""
+
+import pytest
+
+from repro.experiments.planner_bench import run_benchmark
+
+
+@pytest.mark.bench
+def test_planner_bench_smoke():
+    # 0.3s doomed deadline (not smaller): the confidence audit compares
+    # wall-clock-bounded answers, and a tight deadline lets scheduler
+    # noise under a loaded tier-1 run flip a planner answer to partial
+    # where the reactive pass completed. The doomed exact DP needs
+    # seconds, so 0.3s still exercises stage skipping.
+    payload = run_benchmark(
+        samples=2_000,
+        doomed_dbs=2,
+        doomed_deadline_s=0.3,
+        covered_n=150,
+        covered_queries=3,
+        covered_seed_samples=10_000,
+        covered_requested=150_000,
+        covered_cap=4_096,
+    )
+    assert payload["identity_all"], (
+        "planner answers diverged from reactive auto where the chosen "
+        f"method matched: {payload['audits']}"
+    )
+    assert payload["confidence_violations"] == 0, (
+        f"confidence violations: {payload['audits']}"
+    )
+    planner = payload["strategies"]["planner"]
+    exact_first = payload["strategies"]["ladder_exact_first"]
+    assert planner["cold_seconds"] <= exact_first["cold_seconds"], (
+        f"planner cold pass ({planner['cold_seconds']:.3f}s) slower "
+        f"than reactive auto ({exact_first['cold_seconds']:.3f}s)"
+    )
+    # The doomed family is where planning changes the schedule: the
+    # planner must skip the doomed exact/MCMC stages (montecarlo
+    # answers) instead of burning each deadline discovering them.
+    cold = payload["audits"]["cold"]
+    assert cold["confidence_wins"] > 0, (
+        "planner never out-ranked the reactive ladder on the doomed "
+        "queries — stage skipping did not engage"
+    )

@@ -49,11 +49,16 @@ def _canonical(result):
     Unlike the sanitizer's ``canonical_result`` this keeps the cache
     statistics — the process backend ships §VI-D pairwise integrals
     home from the workers precisely so that cache accounting stays
-    bit-identical across backends, and that is worth asserting.
+    bit-identical across backends, and that is worth asserting. The
+    planner's schedule block is stripped along with the other timing
+    fields: its measured per-stage seconds are wall-clock.
     """
     data = result.to_dict()
     data.pop("elapsed", None)
     data.pop("trace", None)
+    diagnostics = data.get("diagnostics")
+    if isinstance(diagnostics, dict):
+        diagnostics.pop("plan", None)
     return encode_canonical(data)
 
 

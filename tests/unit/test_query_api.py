@@ -328,11 +328,9 @@ class TestFromTable:
 
 
 class TestQueryResultSerialization:
-    def test_positional_construction_warns(self):
-        with pytest.warns(DeprecationWarning):
-            result = QueryResult([RecordAnswer("a", 1.0)], "exact", 0.1, 3, 2)
-        assert result.method == "exact"
-        assert result.pruned_size == 2
+    def test_positional_construction_raises(self):
+        with pytest.raises(TypeError, match="keyword"):
+            QueryResult([RecordAnswer("a", 1.0)], "exact", 0.1, 3, 2)
 
     def test_keyword_construction_is_silent(self, recwarn):
         QueryResult(
