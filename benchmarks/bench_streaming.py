@@ -1,0 +1,85 @@
+"""Streaming updates: single-record edit to fresh answer, vs cold.
+
+Runs the delta-aware incremental-maintenance harness from
+``repro.experiments.streaming_bench`` across the size grid,
+regenerates ``BENCH_streaming.json`` at the repository root, and
+asserts the acceptance floors:
+
+- update→fresh-answer latency grows *sublinearly* in n across the
+  grid (``latency_ratio < n_ratio``);
+- the warm update path beats the cold rebuild by a wide margin at
+  every size;
+- the n=1000 migration carries >= 90% of the pairwise memo forward;
+- every warm answer is byte-identical to a cold recompute over the
+  mutated table.
+
+A fast tier-1 smoke of the same harness (tiny scale, structural
+asserts only) lives in ``tests/integration/test_streaming_bench.py``
+under the ``bench`` marker.
+"""
+
+import pytest
+
+from repro.experiments.streaming_bench import run_benchmark
+
+from conftest import emit
+from emit import write_streaming_report
+
+#: Acceptance floor: warm update p50 vs cold rebuild at every size.
+MIN_SPEEDUP = 20.0
+
+#: Acceptance floor: pairwise entries carried forward at the largest n.
+MIN_REUSE = 0.90
+
+
+@pytest.mark.bench
+@pytest.mark.benchmark(group="streaming")
+def test_streaming_updates_sublinear(benchmark):
+    payload = run_benchmark()
+    path = write_streaming_report(payload)
+    emit(
+        f"Streaming single-record edits (written to {path.name})",
+        ["n", "cold s", "update p50 ms", "speedup", "reuse"],
+        [
+            (
+                str(row["n"]),
+                f"{row['cold_rebuild_seconds']:.3f}",
+                f"{row['update_p50_seconds'] * 1000:.2f}",
+                f"{row['speedup_vs_cold_rebuild']:.0f}x",
+                f"{row['reuse_fraction']:.3f}",
+            )
+            for row in payload["results"]
+        ],
+    )
+
+    assert payload["identity_all"], (
+        "warm post-edit answers diverged from cold recompute: "
+        f"{payload['results']}"
+    )
+    scaling = payload["scaling"]
+    assert scaling["sublinear"], (
+        f"update latency grew x{scaling['latency_ratio']:.2f} over "
+        f"n x{scaling['n_ratio']:.1f} — not sublinear"
+    )
+    for row in payload["results"]:
+        assert row["speedup_vs_cold_rebuild"] >= MIN_SPEEDUP, (
+            f"n={row['n']}: update p50 only "
+            f"{row['speedup_vs_cold_rebuild']:.1f}x faster than the "
+            f"cold rebuild (floor {MIN_SPEEDUP}x)"
+        )
+    largest = payload["results"][-1]
+    assert largest["reuse_fraction"] >= MIN_REUSE, (
+        f"n={largest['n']}: migration carried only "
+        f"{largest['reuse_fraction']:.3f} of the pairwise memo "
+        f"(floor {MIN_REUSE})"
+    )
+
+    benchmark.extra_info["update_p50_seconds"] = largest[
+        "update_p50_seconds"
+    ]
+    benchmark.extra_info["speedup_vs_cold_rebuild"] = largest[
+        "speedup_vs_cold_rebuild"
+    ]
+    benchmark(
+        run_benchmark, sizes=(60, 120), edits=2, samples=600
+    )

@@ -38,6 +38,7 @@ import hashlib
 import logging
 import math
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import (
@@ -54,7 +55,13 @@ from typing import (
 import numpy as np
 
 from .budget import Budget
-from .cache import CacheStats, ComputationCache, fingerprint_records, shared_cache
+from .cache import (
+    CacheStats,
+    ComputationCache,
+    MigrationReport,
+    fingerprint_records,
+    shared_cache,
+)
 from .errors import EvaluationError, QueryError
 from .exact import ExactEvaluator, supports_exact
 from .linext import count_prefixes, enumerate_prefixes
@@ -93,6 +100,7 @@ from .queries import (
 from .rank_agg import optimal_rank_aggregation
 from .records import UncertainRecord
 from .trace import Span, activate, span
+from .validation import validate_records
 
 __all__ = ["RankingEngine"]
 
@@ -101,6 +109,19 @@ logger = logging.getLogger(__name__)
 
 class _StageSkipped(EvaluationError):
     """A ladder stage declined to run (typically: budget already drained)."""
+
+
+@dataclass(frozen=True)
+class _LegacyChanges:
+    """``changes_since``-shaped view of a bare table version counter.
+
+    Legacy duck-typed tables cannot say *what* changed, only *that*
+    something did: ``deltas`` is ``None`` whenever the counter moved, so
+    the refresh path falls back to wholesale invalidation.
+    """
+
+    version: int
+    deltas: Optional[tuple]
 
 
 @dataclass
@@ -338,12 +359,15 @@ class RankingEngine:
             )
             self._copula_token = digest.hexdigest()
         # from_table() subscription state: when bound to a table, the
-        # engine re-extracts records whenever the table's version
-        # counter moves (see _refresh_table).
+        # engine consumes its mutation deltas (changes_since) and
+        # re-extracts records whenever a batch committed, migrating
+        # delta-surviving cache artifacts (see _refresh_table).
         self._table: Optional[Any] = None
         self._table_scoring: Any = None
         self._table_payload: Optional[List[str]] = None
         self._table_version: Optional[int] = None
+        self._refresh_lock = threading.Lock()
+        self._last_migration: Optional[MigrationReport] = None
 
     # ------------------------------------------------------------------
     # construction from a table
@@ -360,17 +384,24 @@ class RankingEngine:
         """Build an engine directly over an ``UncertainTable``.
 
         Extracts records with ``table.to_records(..., validate=True)``
-        and *subscribes to the table's version counter*: every mutating
-        table operation bumps ``table.version``, and the engine
-        re-extracts records (re-fingerprinting its cache keys) at the
-        next query, so answers always reflect the live table without
-        hand-wired ``to_records`` plumbing at every call site.
+        and *subscribes to the table's mutation deltas*: every committed
+        ``table.mutate()`` batch is delivered through
+        ``table.changes_since`` at the next query, so answers always
+        reflect the live table without hand-wired ``to_records``
+        plumbing at every call site — and because the deltas name
+        exactly which record keys changed, the engine migrates
+        delta-surviving cache artifacts (pairwise integrals, the fitted
+        cost model) to the new fingerprint instead of discarding them
+        (:meth:`~repro.core.cache.ComputationCache.migrate`).
 
         Parameters
         ----------
         table:
             An :class:`~repro.db.table.UncertainTable` (duck-typed:
-            anything with ``to_records`` and a ``version`` counter).
+            anything with ``to_records`` and either the
+            ``changes_since`` delta API or a legacy ``version``
+            counter; the legacy path invalidates wholesale instead of
+            migrating).
         scoring:
             The scoring spec forwarded to ``to_records``.
         payload_columns:
@@ -388,28 +419,89 @@ class RankingEngine:
         engine._table_payload = (
             list(payload_columns) if payload_columns is not None else None
         )
-        engine._table_version = table.version
+        engine._table_version = engine._table_changes(subscribe=True).version
         return engine
 
-    def _refresh_table(self) -> None:
-        """Re-extract records if the subscribed table has moved on."""
-        if self._table is None or self._table.version == self._table_version:
-            return
-        records = self._table.to_records(
-            self._table_scoring,
-            payload_columns=self._table_payload,
-            validate=True,
+    def _table_changes(self, subscribe: bool = False) -> Any:
+        """The subscribed table's pending changes (delta API or legacy).
+
+        Returns an object with ``version`` and ``deltas`` — the latter a
+        tuple of :class:`~repro.db.table.TableDelta` (possibly empty),
+        or ``None`` when the table cannot say *what* changed (legacy
+        version counters, or a delta log that no longer reaches back to
+        this engine's subscription point).
+        """
+        table = self._table
+        changes_since = getattr(table, "changes_since", None)
+        if callable(changes_since):
+            return changes_since(None if subscribe else self._table_version)
+        version = table.version  # reprolint: disable=CACHE003 -- legacy duck-typed subscription fallback: tables without the delta API only expose the bare counter, and this engine-side shim is the one sanctioned reader
+        deltas = (
+            () if subscribe or version == self._table_version else None
         )
-        if not records:
-            raise QueryError("cannot rank an empty database")
-        if self.copula is not None and self.copula.dimension != len(records):
-            raise QueryError(
-                f"copula dimension {self.copula.dimension} does not match "
-                f"database size {len(records)}"
+        return _LegacyChanges(version=version, deltas=deltas)
+
+    def _refresh_table(self) -> None:
+        """Re-extract records if the subscribed table has moved on.
+
+        When the table delivers deltas for the gap, cached artifacts
+        untouched by them are migrated to the new fingerprint; when it
+        cannot (legacy counter, overflowed delta log), the refresh
+        falls back to wholesale invalidation — recompute, never a
+        wrong answer.
+        """
+        if self._table is None:
+            return
+        with self._refresh_lock:
+            changes = self._table_changes()
+            if changes.version == self._table_version:
+                return
+            dirty: set = set()
+            if changes.deltas is not None:
+                for delta in changes.deltas:
+                    dirty |= delta.touched
+            # Validation is the O(n)-with-a-big-constant part of a
+            # refresh. When the delta names exactly which keys moved,
+            # records outside it are byte-unchanged since the validated
+            # subscription snapshot, so only the dirty ones need
+            # re-checking; without deltas, validate wholesale.
+            records = self._table.to_records(
+                self._table_scoring,
+                payload_columns=self._table_payload,
+                validate=changes.deltas is None,
             )
-        self.records = list(records)
-        self._db_fp = fingerprint_records(self.records)
-        self._table_version = self._table.version
+            if changes.deltas is not None and dirty:
+                touched = [r for r in records if r.record_id in dirty]
+                if touched:
+                    validate_records(touched, raise_on_issue=True)
+            if not records:
+                raise QueryError("cannot rank an empty database")
+            if self.copula is not None and self.copula.dimension != len(
+                records
+            ):
+                raise QueryError(
+                    f"copula dimension {self.copula.dimension} does not "
+                    f"match database size {len(records)}"
+                )
+            old_fp = self._db_fp
+            self.records = list(records)
+            self._db_fp = fingerprint_records(self.records)
+            self._table_version = changes.version
+            if self._db_fp == old_fp or changes.deltas is None:
+                return
+            self._last_migration = self.cache.migrate(
+                old_fp, self._db_fp, dirty
+            )
+
+    @property
+    def table(self) -> Optional[Any]:
+        """The subscribed table when built via :meth:`from_table`."""
+        return self._table
+
+    @property
+    def last_migration(self) -> Optional[MigrationReport]:
+        """The most recent delta-aware cache migration, if any."""
+        return self._last_migration
 
     # ------------------------------------------------------------------
     # helpers

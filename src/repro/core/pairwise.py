@@ -18,7 +18,7 @@ per unordered pair.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import AbstractSet, Dict, Iterable, List, Optional, Tuple
 
 from scipy import integrate
 
@@ -43,8 +43,14 @@ def _uniform_uniform_probability(x: UniformScore, y: UniformScore) -> float:
     lo = max(a, c)
     hi = min(b, d)
     if hi > lo:
-        # integral of (t - c) / (d - c) dt over [lo, hi]
-        total += ((hi - c) ** 2 - (lo - c) ** 2) / (2.0 * (d - c)) * density
+        # integral of (t - c) / (d - c) dt over [lo, hi], with the
+        # difference of squares kept factored: the expanded form
+        # (hi-c)^2 - (lo-c)^2 cancels catastrophically when [c, d] is
+        # much narrower than its magnitude, breaking the complement
+        # identity Pr(X>Y) + Pr(Y>X) = 1 by ~1e-8.
+        total += (
+            (hi - lo) * ((hi - c) + (lo - c)) / (2.0 * (d - c)) * density
+        )
     # Segment of [a, b] above d, where F_Y == 1.
     if b > d:
         total += (b - max(a, d)) * density
@@ -163,6 +169,28 @@ class PairwiseCache:
         """
         for key, value in items:
             self._store.setdefault(tuple(key), value)  # reprolint: disable=CON001 -- merge() runs on the query thread between MCMC epochs, after the process pool has returned; no worker touches this store
+
+    def carry_forward(
+        self, dirty: AbstractSet[str]
+    ) -> Tuple["PairwiseCache", int, int]:
+        """A new memo holding every entry untouched by ``dirty`` ids.
+
+        The Eq. 1 integrals are pure functions of the two records, so
+        after a mutation batch every cached entry whose *both* endpoint
+        records are outside the delta's touched-key set is still exact
+        for the new database state. Returns ``(fresh_cache, carried,
+        dropped)`` counting *ordered* entries; the delta-aware cache
+        migration (:meth:`repro.core.cache.ComputationCache.migrate`)
+        registers the fresh memo under the post-mutation fingerprint.
+        """
+        fresh = PairwiseCache()
+        dropped = 0
+        for key, value in self._store.items():
+            if key[0] in dirty or key[1] in dirty:
+                dropped += 1
+            else:
+                fresh._store[key] = value
+        return fresh, len(fresh._store), dropped
 
     @property
     def nbytes(self) -> int:

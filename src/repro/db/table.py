@@ -1,16 +1,42 @@
-"""In-memory uncertain relations.
+"""In-memory uncertain relations with delta-tracked mutation.
 
 :class:`UncertainTable` is a minimal relational substrate: named columns,
 rows whose cells may be uncertain (see :mod:`repro.db.attributes`),
 selection/projection, and — the step every query in the paper starts
 from — conversion to ranked :class:`~repro.core.records.UncertainRecord`
 lists via a :class:`~repro.db.scoring.ScoringFunction`.
+
+Mutation is batch-oriented: :meth:`UncertainTable.mutate` opens a
+:class:`MutationBatch` whose edits commit atomically as one
+:class:`TableDelta` — one fingerprint transition per batch, not per
+cell. Deltas record the *net* inserted/updated/deleted keys at record
+granularity (an edit that leaves a row byte-identical is dropped), are
+kept in a bounded log consumed by
+:meth:`UncertainTable.changes_since`, and can be replayed onto another
+table with :meth:`UncertainTable.apply`. The engine's ``from_table``
+subscription reads the deltas to migrate cached artifacts instead of
+discarding them (see :meth:`repro.core.cache.ComputationCache.migrate`).
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+import warnings
+from dataclasses import dataclass
+from types import TracebackType
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 from ..core.errors import ModelError
 from ..core.queries import QueryResult
@@ -25,9 +51,205 @@ from .attributes import (
 
 from .scoring import ScoringFunction
 
-__all__ = ["UncertainTable"]
+__all__ = ["MutationBatch", "TableChanges", "TableDelta", "UncertainTable"]
 
 _UNCERTAIN_TYPES = (ExactValue, IntervalValue, MissingValue, WeightedValue)
+
+#: How many committed deltas the per-table log retains. A subscriber
+#: further behind than this gets ``deltas=None`` from
+#: :meth:`UncertainTable.changes_since` and must fall back to a full
+#: re-extract (correct, just without cache carry-forward).
+_DELTA_LOG_LIMIT = 64
+
+
+@dataclass(frozen=True)
+class TableDelta:
+    """Net effect of one committed mutation batch.
+
+    ``inserted``/``updated``/``deleted`` are the keys whose rows
+    differ between the pre- and post-batch table states; intermediate
+    churn inside the batch (append then update, update then delete)
+    is collapsed to its net effect, and edits that leave a row
+    byte-identical are dropped entirely. ``inserted_rows`` and
+    ``updated_rows`` carry the final (coerced) rows so the delta can be
+    replayed onto another table with :meth:`UncertainTable.apply`.
+    ``version`` is the table's version counter *after* the batch.
+    """
+
+    inserted: Tuple[str, ...]
+    updated: Tuple[str, ...]
+    deleted: Tuple[str, ...]
+    version: int
+    inserted_rows: Tuple[Mapping[str, object], ...] = ()
+    updated_rows: Tuple[Mapping[str, object], ...] = ()
+
+    @property
+    def touched(self) -> FrozenSet[str]:
+        """Every key whose record content this delta changed."""
+        return frozenset(self.inserted) | frozenset(self.updated) | frozenset(
+            self.deleted
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the batch had no net effect on table content."""
+        return not (self.inserted or self.updated or self.deleted)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly summary (keys only, no row payloads)."""
+        return {
+            "inserted": list(self.inserted),
+            "updated": list(self.updated),
+            "deleted": list(self.deleted),
+            "version": self.version,
+        }
+
+
+@dataclass(frozen=True)
+class TableChanges:
+    """Answer to :meth:`UncertainTable.changes_since`.
+
+    ``deltas`` is the ordered tuple of :class:`TableDelta` committed
+    after the subscriber's version, or ``None`` when the bounded log no
+    longer covers the gap (the subscriber must then treat the whole
+    table as changed).
+    """
+
+    version: int
+    deltas: Optional[Tuple[TableDelta, ...]]
+
+
+class MutationBatch:
+    """Staged edits against one table, committed atomically on exit.
+
+    Obtained from :meth:`UncertainTable.mutate`; edits validate
+    sequentially against the staged state (append-after-delete of the
+    same key is legal, appending a live duplicate is not) and nothing
+    touches the table until the ``with`` block exits cleanly — an
+    exception aborts the whole batch.
+    """
+
+    def __init__(self, table: "UncertainTable") -> None:
+        self._table = table
+        self._working: Dict[str, Dict] = {
+            row[table.key]: row for row in table.rows
+        }
+        self._touched: set = set()
+        self._committed = False
+
+    # -- edits ---------------------------------------------------------
+
+    def append(self, raw_row: Mapping[str, object]) -> None:
+        """Stage one new row (coerced exactly like construction)."""
+        row = self._table._coerce_row(dict(raw_row))
+        key_value = row[self._table.key]
+        if key_value in self._working:
+            raise ModelError(f"duplicate key {key_value!r}")
+        self._working[key_value] = row
+        self._touched.add(key_value)
+
+    def delete(self, key_value: str) -> None:
+        """Stage deletion of the row keyed ``key_value``."""
+        key_value = str(key_value)
+        if key_value not in self._working:
+            raise ModelError(f"no row with key {key_value!r}")
+        del self._working[key_value]
+        self._touched.add(key_value)
+
+    def update(self, key_value: str, column: str, value: object) -> None:
+        """Stage replacement of one cell (coerced like construction)."""
+        table = self._table
+        if column not in table.columns:
+            raise ModelError(f"unknown column {column!r}")
+        if column == table.key:
+            raise ModelError("use delete/append to change keys")
+        key_value = str(key_value)
+        row = self._working.get(key_value)
+        if row is None:
+            raise ModelError(f"no row with key {key_value!r}")
+        # Copy-on-write: live readers may share the original row dict.
+        fresh = dict(row)
+        fresh[column] = table._coerce_cell(column, value)
+        self._working[key_value] = fresh
+        self._touched.add(key_value)
+
+    def replace(self, raw_row: Mapping[str, object]) -> None:
+        """Stage replacement of one whole existing row."""
+        row = self._table._coerce_row(dict(raw_row))
+        key_value = row[self._table.key]
+        if key_value not in self._working:
+            raise ModelError(f"no row with key {key_value!r}")
+        self._working[key_value] = row
+        self._touched.add(key_value)
+
+    # -- context manager protocol --------------------------------------
+
+    def __enter__(self) -> "MutationBatch":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        if exc_type is None:
+            self._commit()
+
+    def _commit(self) -> None:
+        if self._committed:
+            raise ModelError("mutation batch already committed")
+        self._committed = True
+        table = self._table
+        before = {row[table.key]: row for row in table.rows}
+        inserted: List[str] = []
+        updated: List[str] = []
+        deleted: List[str] = []
+        inserted_rows: List[Dict] = []
+        updated_rows: List[Dict] = []
+        for key_value in self._touched:
+            old = before.get(key_value)
+            new = self._working.get(key_value)
+            if old is None and new is not None:
+                inserted.append(key_value)
+                inserted_rows.append(new)
+            elif old is not None and new is None:
+                deleted.append(key_value)
+            elif (
+                old is not None
+                and new is not None
+                and (
+                    old is not new
+                    and table._row_digest(old) != table._row_digest(new)
+                )
+            ):
+                updated.append(key_value)
+                updated_rows.append(new)
+        if not (inserted or updated or deleted):
+            # Net no-op (e.g. an update that left the cell
+            # byte-identical): the table content did not change, so
+            # neither the version counter nor any fingerprint moves and
+            # nothing downstream is invalidated.
+            return
+        delta = TableDelta(
+            inserted=tuple(inserted),
+            updated=tuple(updated),
+            deleted=tuple(deleted),
+            version=table.version + 1,
+            inserted_rows=tuple(inserted_rows),
+            updated_rows=tuple(updated_rows),
+        )
+        # Publication order matters for lock-free readers: rows first,
+        # then the delta, then the version counter last — a subscriber
+        # that observes the new version is guaranteed to see the new
+        # rows and the delta that produced them.
+        table.rows = list(self._working.values())
+        table._delta_log.append(delta)
+        overflow = len(table._delta_log) - _DELTA_LOG_LIMIT
+        if overflow > 0:
+            del table._delta_log[:overflow]
+            table._log_base += overflow
+        table.version = delta.version
 
 
 class UncertainTable:
@@ -36,7 +258,8 @@ class UncertainTable:
     Parameters
     ----------
     name:
-        Relation name (informational).
+        Relation name (informational; not part of the content
+        fingerprint).
     columns:
         Ordered column names; must include ``key``.
     rows:
@@ -74,7 +297,7 @@ class UncertainTable:
             None if uncertain_columns is None else set(uncertain_columns)
         )
         self.rows: List[Dict] = []
-        self.version = 0
+        self._init_mutation_state()
         seen = set()
         for raw_row in rows:
             row = self._coerce_row(raw_row)
@@ -83,6 +306,12 @@ class UncertainTable:
                 raise ModelError(f"duplicate key {key_value!r}")
             seen.add(key_value)
             self.rows.append(row)
+
+    def _init_mutation_state(self) -> None:
+        """Fresh version counter and delta log (construction/derivation)."""
+        self.version = 0
+        self._delta_log: List[TableDelta] = []
+        self._log_base = 0
 
     def _coerce_row(self, raw_row: Dict) -> Dict:
         """One row coerced exactly like construction-time rows."""
@@ -119,63 +348,133 @@ class UncertainTable:
         return iter(self.rows)
 
     # ------------------------------------------------------------------
-    # mutation (every mutation bumps ``version``)
+    # mutation (batched; one delta + one version bump per batch)
     # ------------------------------------------------------------------
 
+    def mutate(self) -> MutationBatch:
+        """Open a mutation batch committed atomically on ``with`` exit.
+
+        All edits staged inside the ``with`` block land as one
+        :class:`TableDelta` — one version bump and one fingerprint
+        transition per batch, however many cells it touches::
+
+            with table.mutate() as batch:
+                batch.update("a2", "rent", (600.0, 1100.0))
+                batch.delete("a7")
+                batch.append({"id": "a9", "rent": 850.0})
+
+        A batch whose net effect is empty (every edit left its row
+        byte-identical) commits nothing at all.
+        """
+        return MutationBatch(self)
+
+    def apply(self, delta: TableDelta) -> None:
+        """Replay a :class:`TableDelta` from another table onto this one.
+
+        Deletions are applied first, then whole-row replacements for
+        updated keys, then insertions — the same net effect the delta
+        recorded. Raises :class:`~repro.core.errors.ModelError` (and
+        applies nothing) when the delta does not fit this table's state,
+        e.g. a deleted key that does not exist here.
+        """
+        with self.mutate() as batch:
+            for key_value in delta.deleted:
+                batch.delete(key_value)
+            for row in delta.updated_rows:
+                batch.replace(row)
+            for row in delta.inserted_rows:
+                batch.append(row)
+
+    def changes_since(self, version: Optional[int]) -> TableChanges:
+        """The deltas committed after ``version`` (a subscriber's view).
+
+        ``version=None`` subscribes fresh: the current version with no
+        deltas. When the bounded log no longer reaches back to
+        ``version``, ``deltas`` is ``None`` and the caller must treat
+        the whole table as changed.
+        """
+        current = self.version
+        if version is None or version == current:
+            return TableChanges(version=current, deltas=())
+        if version < self._log_base or version > current:
+            return TableChanges(version=current, deltas=None)
+        return TableChanges(
+            version=current,
+            deltas=tuple(self._delta_log[version - self._log_base:]),
+        )
+
+    # -- deprecated single-edit shims ----------------------------------
+
     def add_row(self, raw_row: Dict) -> None:
-        """Append one row (coerced like construction) and bump ``version``."""
-        row = self._coerce_row(raw_row)
-        key_value = row[self.key]
-        if any(r[self.key] == key_value for r in self.rows):
-            raise ModelError(f"duplicate key {key_value!r}")
-        self.rows.append(row)
-        self.version += 1
+        """Deprecated: use ``with table.mutate() as batch: batch.append(...)``."""
+        warnings.warn(
+            "UncertainTable.add_row is deprecated; use table.mutate()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        with self.mutate() as batch:
+            batch.append(raw_row)
 
     def remove_row(self, key_value: str) -> None:
-        """Delete the row keyed ``key_value`` and bump ``version``."""
-        key_value = str(key_value)
-        for i, row in enumerate(self.rows):
-            if row[self.key] == key_value:
-                del self.rows[i]
-                self.version += 1
-                return
-        raise ModelError(f"no row with key {key_value!r}")
+        """Deprecated: use ``with table.mutate() as batch: batch.delete(...)``."""
+        warnings.warn(
+            "UncertainTable.remove_row is deprecated; use table.mutate()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        with self.mutate() as batch:
+            batch.delete(key_value)
 
     def update_cell(self, key_value: str, column: str, value: object) -> None:
-        """Replace one cell (coerced like construction) and bump ``version``."""
-        if column not in self.columns:
-            raise ModelError(f"unknown column {column!r}")
-        if column == self.key:
-            raise ModelError("use remove_row/add_row to change keys")
+        """Deprecated: use ``with table.mutate() as batch: batch.update(...)``."""
+        warnings.warn(
+            "UncertainTable.update_cell is deprecated; use table.mutate()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        with self.mutate() as batch:
+            batch.update(key_value, column, value)
+
+    # ------------------------------------------------------------------
+    # content fingerprinting (record-granular)
+    # ------------------------------------------------------------------
+
+    def _row_digest(self, row: Mapping[str, object]) -> str:
+        """Per-record blake2b leaf over the row's cells (via ``repr``)."""
+        h = hashlib.blake2b(digest_size=16)
+        for col in self.columns:
+            h.update(repr(row[col]).encode("utf-8"))
+            h.update(b"\x1f")
+        return h.hexdigest()
+
+    def row_digest(self, key_value: str) -> str:
+        """The content leaf of one row (record-granular fingerprint)."""
         key_value = str(key_value)
         for row in self.rows:
             if row[self.key] == key_value:
-                row[column] = self._coerce_cell(column, value)
-                self.version += 1
-                return
+                return self._row_digest(row)
         raise ModelError(f"no row with key {key_value!r}")
 
     def fingerprint(self) -> str:
-        """Content digest of the table, distinct after every mutation.
+        """Content digest of the table: schema + per-record leaves.
 
-        Hashes the schema, the version counter, and every cell (via
-        ``repr``, which the uncertain value types define structurally).
-        The version term makes invalidation unconditional: even a
-        mutation that round-trips back to equal-looking cells yields a
-        fresh fingerprint, so a computation cache can never serve
-        results derived from a superseded table state.
+        Keyed on content only — not the table name and not the mutation
+        history — so two byte-identical tables share one fingerprint
+        regardless of how they were loaded or edited, and a mutation
+        that round-trips back to identical cells restores the original
+        fingerprint (cached artifacts for that content become
+        addressable again, which is sound because they are pure
+        functions of the content). Each row contributes one blake2b
+        leaf (:meth:`row_digest`), which is what lets mutation batches
+        detect byte-identical edits and drop them from their deltas.
         """
         h = hashlib.blake2b(digest_size=16)
-        h.update(
-            f"table-v1:{self.name}:{self.key}:{self.version}".encode("utf-8")
-        )
+        h.update(f"table-v2:{self.key}".encode("utf-8"))
         for col in self.columns:
             h.update(col.encode("utf-8"))
             h.update(b"\x00")
         for row in self.rows:
-            for col in self.columns:
-                h.update(repr(row[col]).encode("utf-8"))
-                h.update(b"\x1f")
+            h.update(self._row_digest(row).encode("utf-8"))
             h.update(b"\x1e")
         return h.hexdigest()
 
@@ -183,16 +482,24 @@ class UncertainTable:
     # relational operations
     # ------------------------------------------------------------------
 
-    def select(self, predicate: Callable[[Dict], bool]) -> "UncertainTable":
-        """Rows satisfying ``predicate`` as a new table."""
+    def _derived(
+        self, columns: Sequence[str], rows: List[Dict]
+    ) -> "UncertainTable":
+        """A new table sharing schema config, with fresh mutation state."""
         table = UncertainTable.__new__(UncertainTable)
         table.name = self.name
-        table.columns = list(self.columns)
+        table.columns = list(columns)
         table.key = self.key
         table.uncertain_columns = self.uncertain_columns
-        table.rows = [row for row in self.rows if predicate(row)]
-        table.version = 0
+        table.rows = rows
+        table._init_mutation_state()
         return table
+
+    def select(self, predicate: Callable[[Dict], bool]) -> "UncertainTable":
+        """Rows satisfying ``predicate`` as a new table."""
+        return self._derived(
+            self.columns, [row for row in self.rows if predicate(row)]
+        )
 
     def project(self, columns: Sequence[str]) -> "UncertainTable":
         """Keep only ``columns`` (the key is always retained)."""
@@ -202,25 +509,13 @@ class UncertainTable:
         missing = [c for c in cols if c not in self.columns]
         if missing:
             raise ModelError(f"unknown columns {missing!r}")
-        table = UncertainTable.__new__(UncertainTable)
-        table.name = self.name
-        table.columns = cols
-        table.key = self.key
-        table.uncertain_columns = self.uncertain_columns
-        table.rows = [{c: row[c] for c in cols} for row in self.rows]
-        table.version = 0
-        return table
+        return self._derived(
+            cols, [{c: row[c] for c in cols} for row in self.rows]
+        )
 
     def head(self, n: int) -> "UncertainTable":
         """The first ``n`` rows as a new table."""
-        table = UncertainTable.__new__(UncertainTable)
-        table.name = self.name
-        table.columns = list(self.columns)
-        table.key = self.key
-        table.uncertain_columns = self.uncertain_columns
-        table.rows = self.rows[:n]
-        table.version = 0
-        return table
+        return self._derived(self.columns, self.rows[:n])
 
     def column(self, name: str) -> List:
         """All values of one column."""
@@ -291,8 +586,8 @@ class UncertainTable:
         arguments configure the underlying
         :class:`~repro.core.engine.RankingEngine`, which is built with
         :meth:`~repro.core.engine.RankingEngine.from_table` — scored
-        records are validated, and the engine tracks this table's
-        version counter.
+        records are validated, and the engine subscribes to this
+        table's mutation deltas.
         """
         from ..core.engine import RankingEngine
 

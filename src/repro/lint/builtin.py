@@ -919,3 +919,78 @@ class UnboundedAwaitRule(Rule):
                 "asyncio.wait_for(...) or an asyncio.timeout() block "
                 "so a slow peer cannot hang the handler",
             )
+
+
+# ----------------------------------------------------------------------
+# CACHE003 — the table version counter is private to the delta API
+# ----------------------------------------------------------------------
+
+
+@register
+class TableVersionAccessRule(Rule):
+    """No direct ``table.version`` reads or writes outside ``db/table.py``.
+
+    Applies to files whose path contains a ``CACHE003`` scope fragment
+    (default: the core engine, db, serve, and experiments trees),
+    excluding ``db/table.py`` itself — the counter's one legitimate
+    owner. Fires on any ``.version`` attribute access (load or store)
+    whose base expression names a table (terminal identifier containing
+    ``table``): polling the bare counter can only say *that* the table
+    changed, so code built on it invalidates wholesale and silently
+    forfeits delta-aware cache migration — and writing it from outside
+    desynchronizes every subscriber. Subscribe through
+    ``table.changes_since(version)`` (whose reply carries the counter
+    *and* the deltas) and mutate through ``table.mutate()`` instead.
+    """
+
+    code = "CACHE003"
+    name = "direct-table-version-access"
+    description = (
+        "direct table.version read/write outside db/table.py; the "
+        "changes_since/mutate delta API is the sanctioned path"
+    )
+    rationale = (
+        "the version counter alone cannot name which records changed, "
+        "so consumers polling it must discard every cached artifact on "
+        "any edit; the delta API delivers the same freshness signal "
+        "plus the touched keys that make pairwise/PPO carry-forward "
+        "possible, and out-of-band counter writes break every "
+        "subscriber's invalidation contract"
+    )
+
+    _DEFAULT_PATHS = (
+        "repro/core",
+        "repro/db",
+        "repro/serve",
+        "repro/experiments",
+    )
+    _OWNER_FILE = "repro/db/table.py"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        norm = ctx.norm_path()
+        if self._OWNER_FILE in norm:
+            return
+        fragments = ctx.config.paths_for(self.code, self._DEFAULT_PATHS)
+        if not any(fragment in norm for fragment in fragments):
+            return
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Attribute) and node.attr == "version"
+            ):
+                continue
+            base = _terminal_name(node.value)
+            if base is None or "table" not in base.lower():
+                continue
+            verb = (
+                "written"
+                if isinstance(node.ctx, (ast.Store, ast.Del))
+                else "read"
+            )
+            yield self.finding(
+                ctx,
+                node,
+                f"table version counter {verb} directly; subscribe via "
+                "table.changes_since(version) and mutate via "
+                "table.mutate() so deltas (and cache carry-forward) "
+                "survive the edit",
+            )

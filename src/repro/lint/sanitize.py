@@ -6,6 +6,7 @@ Usage::
     python -m repro.lint.sanitize --workers 1,2,4 --jitter 500 --json
     python -m repro.lint.sanitize --backend thread,process
     python -m repro.lint.sanitize --planner on,off
+    python -m repro.lint.sanitize --mutate off,on
 
 Exit code 0 when every perturbed run is byte-identical to the
 unperturbed serial baseline, 1 on any divergence. See
@@ -48,6 +49,20 @@ def _parse_planner(raw: str) -> List[str]:
         if name not in ("on", "off"):
             raise argparse.ArgumentTypeError(
                 f"unknown planner setting {name!r} (expected on/off)"
+            )
+    return grid
+
+
+def _parse_mutate(raw: str) -> List[str]:
+    grid = [part.strip() for part in raw.split(",") if part.strip()]
+    if not grid:
+        raise argparse.ArgumentTypeError(
+            "mutate must contain at least one of off/on"
+        )
+    for name in grid:
+        if name not in ("on", "off"):
+            raise argparse.ArgumentTypeError(
+                f"unknown mutate setting {name!r} (expected on/off)"
             )
     return grid
 
@@ -115,6 +130,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(default: on,off)",
     )
     parser.add_argument(
+        "--mutate",
+        type=_parse_mutate,
+        default=["off", "on"],
+        help="comma-separated mutation grid; 'on' cells build the "
+        "engine over a stale UncertainTable and restore canonical "
+        "content through one table.mutate() batch, asserting delta-"
+        "aware cache migration is byte-identical to the direct-"
+        "records baseline (default: off,on)",
+    )
+    parser.add_argument(
         "--jitter",
         type=int,
         default=200,
@@ -153,6 +178,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         worker_grid=args.workers,
         backend_grid=args.backend,
         planner_grid=args.planner,
+        mutate_grid=args.mutate,
         jitter_us=args.jitter,
         seed=args.seed,
         mcmc_steps=args.mcmc_steps,

@@ -25,6 +25,15 @@ and cache temperature. It replays a seeded mixed-query workload
   reactive static ladder (the planner's per-result ``plan`` diagnostic
   block is stripped before comparison — it is the one field that only
   exists on the planning side);
+- across a mutation grid (the CLI's ``--mutate`` flag defaults to
+  ``off,on``) asserting delta-aware incremental maintenance is
+  answer-invisible: the ``on`` cells build the engine over an
+  :class:`~repro.db.table.UncertainTable` whose initial content is
+  *stale* (two perturbed rows plus two extras), then commit one
+  ``table.mutate()`` batch restoring the canonical content, so every
+  query runs through ``changes_since`` delta consumption and
+  :meth:`~repro.core.cache.ComputationCache.migrate` — and must still
+  be byte-identical to the direct-records baseline;
 
 and diffs every :meth:`~repro.core.queries.QueryResult.to_dict` against
 the unperturbed serial baseline **byte-for-byte** (canonicalized: the
@@ -57,11 +66,13 @@ from repro.core.trace import set_span_start_hook
 
 __all__ = [
     "DEFAULT_BACKEND_GRID",
+    "DEFAULT_MUTATE_GRID",
     "DEFAULT_PLANNER_GRID",
     "DEFAULT_WORKER_GRID",
     "Divergence",
     "SanitizerReport",
     "SpanJitter",
+    "build_mutation_scenario",
     "build_records",
     "build_workload",
     "canonical_result",
@@ -85,6 +96,12 @@ DEFAULT_BACKEND_GRID: Tuple[str, ...] = ("thread",)
 #: CLI widens this to ``on,off`` so release checks assert planning
 #: changes nothing about unbudgeted answers.
 DEFAULT_PLANNER_GRID: Tuple[str, ...] = ("on",)
+
+#: Mutation settings exercised per repeat. The library default keeps
+#: tier-1 runs fast (direct records only); the sanitizer CLI widens
+#: this to ``off,on`` so release checks assert delta-aware incremental
+#: maintenance never changes an answer.
+DEFAULT_MUTATE_GRID: Tuple[str, ...] = ("off",)
 
 #: Result keys that legitimately vary run-to-run.
 _VOLATILE_KEYS = ("elapsed", "cache", "trace")
@@ -143,6 +160,65 @@ def build_records(count: int = 12) -> List[UncertainRecord]:
             width = 0.5 + float((i * 13) % 7) / 2.0
             records.append(uniform(rid, lo, lo + width))
     return records
+
+
+#: Attribute domain used by the mutation-axis scoring function. The
+#: power-of-two span makes ``AttributeScore.score_value`` the exact
+#: identity on the workload's values (``16 * v / 16 == v`` bit-for-bit
+#: in IEEE doubles), so the table path produces distributions that are
+#: byte-identical to :func:`build_records`' direct constructors.
+_MUTATE_DOMAIN: Tuple[float, float] = (0.0, 16.0)
+
+
+def _canonical_cell(index: int) -> object:
+    """The table cell whose scored distribution matches record ``index``."""
+    lo = float((index * 37) % 50) / 10.0
+    if index % 3 == 2:
+        return lo
+    width = 0.5 + float((index * 13) % 7) / 2.0
+    return (lo, lo + width)
+
+
+def build_mutation_scenario(count: int = 12) -> Tuple[Any, Any, Any]:
+    """A stale table, its scoring rule, and the restoring mutation.
+
+    Returns ``(table, scoring, restore)``. The table's *initial* rows
+    deliberately disagree with :func:`build_records`: rows 1 and 2 (one
+    interval, one certain) are perturbed and two extra rows are
+    appended. Calling ``restore()`` commits a single ``table.mutate()``
+    batch — two deletes plus two replaces — after which the scored
+    records equal ``build_records(count)`` exactly, so an engine built
+    over the stale table and mutated back must answer byte-identically
+    to the direct-records baseline while exercising the delta
+    consumption and cache-migration paths.
+    """
+    from repro.db.scoring import AttributeScore
+    from repro.db.table import UncertainTable
+
+    if count < 4:
+        raise ValueError("the mutation scenario needs at least 4 records")
+    rows: List[Dict[str, object]] = []
+    for i in range(count):
+        rows.append({"id": f"t{i:02d}", "score": _canonical_cell(i)})
+    # Perturb one interval row and one certain row, and append extras
+    # the restoring batch will delete.
+    rows[1] = {"id": "t01", "score": (0.25, 6.25)}
+    rows[2] = {"id": "t02", "score": 1.25}
+    rows.append({"id": "zx98", "score": (0.5, 2.5)})
+    rows.append({"id": "zx99", "score": 3.25})
+    table = UncertainTable("sanitizer", ["id", "score"], rows)
+    scoring = AttributeScore(
+        "score", _MUTATE_DOMAIN, scale=_MUTATE_DOMAIN[1]
+    )
+
+    def restore() -> None:
+        with table.mutate() as batch:
+            batch.delete("zx98")
+            batch.delete("zx99")
+            batch.replace({"id": "t01", "score": _canonical_cell(1)})
+            batch.replace({"id": "t02", "score": _canonical_cell(2)})
+
+    return table, scoring, restore
 
 
 def build_workload(k: int = 3) -> List[Query]:
@@ -307,6 +383,7 @@ class SanitizerReport:
     queries: int
     backend_grid: Tuple[str, ...] = DEFAULT_BACKEND_GRID
     planner_grid: Tuple[str, ...] = DEFAULT_PLANNER_GRID
+    mutate_grid: Tuple[str, ...] = DEFAULT_MUTATE_GRID
     runs: int = 0
     comparisons: int = 0
     jitter_calls: int = 0
@@ -327,6 +404,7 @@ class SanitizerReport:
             "worker_grid": list(self.worker_grid),
             "backend_grid": list(self.backend_grid),
             "planner_grid": list(self.planner_grid),
+            "mutate_grid": list(self.mutate_grid),
             "queries": self.queries,
             "runs": self.runs,
             "comparisons": self.comparisons,
@@ -350,6 +428,7 @@ class SanitizerReport:
             f"queries, workers={'/'.join(map(str, self.worker_grid))}, "
             f"backends={'/'.join(self.backend_grid)}, "
             f"planner={'/'.join(self.planner_grid)}, "
+            f"mutate={'/'.join(self.mutate_grid)}, "
             f"repeats={self.repeats}, "
             f"{self.jitter_calls} jitter sleep(s) injected"
         ]
@@ -383,19 +462,43 @@ def _execute(
     mcmc_chains: int,
     engine_seed: int,
     planner: bool = True,
+    mutate: bool = False,
 ) -> Tuple[_Execution, _Execution]:
-    """Run the workload cold then warm on one freshly built engine."""
-    engine = RankingEngine(
-        records,
-        seed=engine_seed,
-        workers=workers,
-        backend=backend,
-        samples=samples,
-        mcmc_chains=mcmc_chains,
-        mcmc_steps=mcmc_steps,
-        trace=True,
-        planner=planner,
-    )
+    """Run the workload cold then warm on one freshly built engine.
+
+    With ``mutate=True`` the engine is built over the stale table from
+    :func:`build_mutation_scenario` and the restoring mutation batch is
+    committed *before* the first query, so the cold pass consumes the
+    table delta (and migrates surviving cache artifacts) on its way to
+    what must be the byte-identical canonical answer.
+    """
+    if mutate:
+        table, scoring, restore = build_mutation_scenario(len(records))
+        engine = RankingEngine.from_table(
+            table,
+            scoring,
+            seed=engine_seed,
+            workers=workers,
+            backend=backend,
+            samples=samples,
+            mcmc_chains=mcmc_chains,
+            mcmc_steps=mcmc_steps,
+            trace=True,
+            planner=planner,
+        )
+        restore()
+    else:
+        engine = RankingEngine(
+            records,
+            seed=engine_seed,
+            workers=workers,
+            backend=backend,
+            samples=samples,
+            mcmc_chains=mcmc_chains,
+            mcmc_steps=mcmc_steps,
+            trace=True,
+            planner=planner,
+        )
     try:
         passes: List[_Execution] = []
         for temperature in ("cold", "warm"):
@@ -432,6 +535,7 @@ def run_sanitizer(
     worker_grid: Sequence[int] = DEFAULT_WORKER_GRID,
     backend_grid: Sequence[str] = DEFAULT_BACKEND_GRID,
     planner_grid: Sequence[str] = DEFAULT_PLANNER_GRID,
+    mutate_grid: Sequence[str] = DEFAULT_MUTATE_GRID,
     jitter_us: int = 200,
     seed: int = 0,
     mcmc_steps: int = 150,
@@ -457,6 +561,10 @@ def run_sanitizer(
     for name in planners:
         if name not in ("on", "off"):
             raise ValueError(f"unknown planner setting {name!r}")
+    mutates = tuple(mutate_grid) or DEFAULT_MUTATE_GRID
+    for name in mutates:
+        if name not in ("on", "off"):
+            raise ValueError(f"unknown mutate setting {name!r}")
     database = build_records(records)
     queries = build_workload(k=k)
     report = SanitizerReport(
@@ -465,6 +573,7 @@ def run_sanitizer(
         queries=len(queries),
         backend_grid=backends,
         planner_grid=planners,
+        mutate_grid=mutates,
     )
 
     baseline: Optional[_Execution] = None
@@ -479,31 +588,35 @@ def run_sanitizer(
             for workers in grid:
                 for backend in backends:
                     for planner_mode in planners:
-                        label = (
-                            f"repeat={repeat} workers={workers} "
-                            f"backend={backend} planner={planner_mode}"
-                        )
-                        cold, warm = _execute(
-                            label,
-                            database,
-                            queries,
-                            workers=workers,
-                            backend=backend,
-                            samples=samples,
-                            mcmc_steps=mcmc_steps,
-                            mcmc_chains=mcmc_chains,
-                            engine_seed=7,
-                            planner=planner_mode == "on",
-                        )
-                        report.runs += 1
-                        if baseline is None:
-                            baseline = cold
-                        for execution in (cold, warm):
-                            if execution is baseline:
-                                continue
-                            _compare(
-                                report, baseline, execution, queries
+                        for mutate_mode in mutates:
+                            label = (
+                                f"repeat={repeat} workers={workers} "
+                                f"backend={backend} "
+                                f"planner={planner_mode} "
+                                f"mutate={mutate_mode}"
                             )
+                            cold, warm = _execute(
+                                label,
+                                database,
+                                queries,
+                                workers=workers,
+                                backend=backend,
+                                samples=samples,
+                                mcmc_steps=mcmc_steps,
+                                mcmc_chains=mcmc_chains,
+                                engine_seed=7,
+                                planner=planner_mode == "on",
+                                mutate=mutate_mode == "on",
+                            )
+                            report.runs += 1
+                            if baseline is None:
+                                baseline = cold
+                            for execution in (cold, warm):
+                                if execution is baseline:
+                                    continue
+                                _compare(
+                                    report, baseline, execution, queries
+                                )
         finally:
             set_span_start_hook(previous)
         if jitter is not None:

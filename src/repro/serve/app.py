@@ -28,8 +28,16 @@ Request path, in order:
    outlive the deadline are admitted with an expired budget instead of
    being dropped.
 
-Endpoints: ``POST /query``, ``GET /explain``, ``GET /metrics``
-(Prometheus text), ``GET /healthz``, ``GET /readyz``, ``GET /``.
+Endpoints: ``POST /query``, ``POST /mutate``, ``GET /explain``,
+``GET /metrics`` (Prometheus text), ``GET /healthz``, ``GET /readyz``,
+``GET /``.
+
+``POST /mutate`` applies one batched edit set (append/update/delete)
+through the subscribed table's :meth:`~repro.db.table.UncertainTable.
+mutate` API, so the service stays warm across edits: the engine's
+delta-aware refresh migrates surviving cache artifacts to the new
+fingerprint instead of starting cold (see
+:meth:`~repro.core.cache.ComputationCache.migrate`).
 """
 
 from __future__ import annotations
@@ -37,14 +45,15 @@ from __future__ import annotations
 import asyncio
 import functools
 import logging
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from ..core.budget import Budget
 from ..core.engine import RankingEngine
-from ..core.errors import EvaluationError, QueryError
+from ..core.errors import EvaluationError, ModelError, QueryError
 from ..core.metrics import use_registry
 from ..core.queries import Query, QueryResult
 from .admission import AdmissionController, AdmissionDenied, CircuitBreaker
@@ -130,8 +139,13 @@ class RankingService:
         self._inflight = 0
         self._idle = asyncio.Event()
         self._idle.set()
+        # Mutation batches are serialized: the lock is taken inside the
+        # executor (blocking a worker thread briefly), never awaited on
+        # the event loop, so serve-path awaits stay deadline-bounded.
+        self._mutate_lock = threading.Lock()
         self._router = Router()
         self._router.route("POST", "/query", self._handle_query)
+        self._router.route("POST", "/mutate", self._handle_mutate)
         self._router.route("GET", "/explain", self._handle_explain)
         self._router.route("GET", "/metrics", self._handle_metrics)
         self._router.route("GET", "/healthz", self._handle_healthz)
@@ -314,6 +328,9 @@ class RankingService:
                     "POST /query": "run a ranking query "
                     "(kind, i, j, k, l, threshold, method, samples, seed, "
                     "backend, trace, deadline_ms, max_samples)",
+                    "POST /mutate": "apply one batched table edit set "
+                    "(append: [row...], update: [{key, column, value}...], "
+                    "delete: [key...]) with delta-aware cache migration",
                     "GET /explain?query=<kind>&k=<k>": "evaluation plan",
                     "GET /metrics": "Prometheus text exposition",
                     "GET /healthz": "liveness",
@@ -490,6 +507,97 @@ class RankingService:
             },
         }
         self.metrics.inc("serve_queries_total", kind=kind, role=role)
+        return Response.json(payload)
+
+    async def _handle_mutate(self, request: Request) -> Response:
+        """Apply one batched edit set to the subscribed table.
+
+        Body shape::
+
+            {"append": [{...row...}, ...],
+             "update": [{"key": ..., "column": ..., "value": ...}, ...],
+             "delete": [key, ...]}
+
+        Deletes apply first, then updates, then appends — all inside a
+        single ``table.mutate()`` batch, so the whole request is one
+        fingerprint transition (or none, when every edit is
+        byte-identical). The response reports the committed delta and
+        the cache migration outcome, so callers can see how much warm
+        state survived their edit.
+        """
+        body = request.json()
+        if not isinstance(body, dict):
+            raise HttpError(400, "mutate body must be a JSON object")
+        table = self.engine.table
+        if table is None or not hasattr(table, "mutate"):
+            raise HttpError(
+                400,
+                "engine is not table-backed; /mutate requires "
+                "RankingEngine.from_table over an UncertainTable",
+            )
+        appends = body.get("append") or []
+        updates = body.get("update") or []
+        deletes = body.get("delete") or []
+        if not isinstance(appends, list) or not all(
+            isinstance(row, dict) for row in appends
+        ):
+            raise HttpError(400, "append must be a list of row objects")
+        if not isinstance(updates, list) or not all(
+            isinstance(spec, dict) and {"key", "column", "value"} <= set(spec)
+            for spec in updates
+        ):
+            raise HttpError(
+                400, "update must be a list of {key, column, value} objects"
+            )
+        if not isinstance(deletes, list):
+            raise HttpError(400, "delete must be a list of keys")
+        if not (appends or updates or deletes):
+            raise HttpError(400, "mutate body carries no edits")
+
+        def apply_batch() -> Dict[str, Any]:
+            with self._mutate_lock:
+                before_fp = self.engine.database_fingerprint
+                before_version = table.changes_since(None).version
+                before_report = self.engine.last_migration
+                with table.mutate() as batch:
+                    for key_value in deletes:
+                        batch.delete(key_value)
+                    for spec in updates:
+                        value = spec["value"]
+                        if isinstance(value, list):
+                            value = tuple(value)
+                        batch.update(spec["key"], spec["column"], value)
+                    for row in appends:
+                        batch.append(row)
+                after_fp = self.engine.database_fingerprint
+                changes = table.changes_since(before_version)
+                deltas: List[Dict[str, Any]] = [
+                    delta.to_dict() for delta in (changes.deltas or ())
+                ]
+                report = self.engine.last_migration
+                migrated = (
+                    report.to_dict()
+                    if report is not None and report is not before_report
+                    else None
+                )
+                return {
+                    "fingerprint": after_fp,
+                    "changed": after_fp != before_fp,
+                    "records": len(self.engine.records),
+                    "deltas": deltas,
+                    "migration": migrated,
+                }
+
+        loop = asyncio.get_running_loop()
+        try:
+            payload = await asyncio.wait_for(
+                loop.run_in_executor(self._executor, apply_batch),
+                self.config.overshoot_grace_ms / 1000.0
+                + self.config.deadline_ms / 1000.0,
+            )
+        except ModelError as exc:
+            raise HttpError(400, f"mutation rejected: {exc}") from exc
+        self.metrics.inc("serve_mutations_total")
         return Response.json(payload)
 
     # -- internals -----------------------------------------------------

@@ -14,16 +14,18 @@ import argparse
 import asyncio
 import logging
 import signal
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.distributions import UniformScore
 from ..core.engine import RankingEngine
 from ..core.records import UncertainRecord
+from ..db.scoring import AttributeScore
+from ..db.table import UncertainTable
 from .app import RankingService, ServiceConfig
 
-__all__ = ["main", "run_service", "synthetic_records"]
+__all__ = ["main", "run_service", "synthetic_records", "synthetic_table"]
 
 logger = logging.getLogger(__name__)
 
@@ -40,6 +42,32 @@ def synthetic_records(n: int, seed: int = 20090329) -> List[UncertainRecord]:
         )
         for index, (low, width) in enumerate(zip(lows, widths))
     ]
+
+
+def synthetic_table(
+    n: int, seed: int = 20090329
+) -> Tuple[UncertainTable, AttributeScore]:
+    """The same synthetic population as a mutable ``UncertainTable``.
+
+    The demo server builds its engine from this table (via
+    ``RankingEngine.from_table``) so ``POST /mutate`` works out of the
+    box. The scoring domain spans ``(0, 128)`` with ``scale=128`` —
+    a power-of-two scale keeps ``score_value`` bit-exact, so answers
+    match an engine built over the raw interval bounds.
+    """
+    rng = np.random.default_rng(seed)
+    lows = rng.uniform(0.0, 100.0, size=n)
+    widths = rng.uniform(0.5, 25.0, size=n)
+    rows = [
+        {
+            "id": f"r{index}",
+            "score": (float(low), float(low + width)),
+        }
+        for index, (low, width) in enumerate(zip(lows, widths))
+    ]
+    table = UncertainTable("serve-demo", ["id", "score"], rows, key="id")
+    scoring = AttributeScore("score", domain=(0.0, 128.0), scale=128.0)
+    return table, scoring
 
 
 async def run_service(
@@ -90,8 +118,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
     logging.basicConfig(level=logging.INFO, format="%(message)s")
-    engine = RankingEngine(
-        synthetic_records(args.records),
+    table, scoring = synthetic_table(args.records)
+    engine = RankingEngine.from_table(
+        table,
+        scoring,
         seed=20090329,
         workers=args.workers,
         cache="shared",

@@ -16,15 +16,17 @@ from repro.experiments.planner_bench import run_benchmark
 
 @pytest.mark.bench
 def test_planner_bench_smoke():
-    # 0.3s doomed deadline (not smaller): the confidence audit compares
+    # 0.6s doomed deadline (not smaller): the confidence audit compares
     # wall-clock-bounded answers, and a tight deadline lets scheduler
     # noise under a loaded tier-1 run flip a planner answer to partial
-    # where the reactive pass completed. The doomed exact DP needs
-    # seconds, so 0.3s still exercises stage skipping.
+    # where the reactive pass completed — observed intermittently at
+    # 0.3s on a single-core host once the suite grew past ~8 minutes.
+    # The doomed exact DP needs seconds, so 0.6s still exercises stage
+    # skipping.
     payload = run_benchmark(
         samples=2_000,
         doomed_dbs=2,
-        doomed_deadline_s=0.3,
+        doomed_deadline_s=0.6,
         covered_n=150,
         covered_queries=3,
         covered_seed_samples=10_000,

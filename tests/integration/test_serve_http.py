@@ -441,3 +441,135 @@ def sampling_runs(registry):
     return registry.counter_value(
         "cache_misses_total", kind="rank-counts"
     ) + registry.counter_value("cache_topups_total", kind="rank-counts")
+
+
+def make_table_service_parts(**kwargs):
+    """A table-backed engine (private metrics) plus its table."""
+    from repro.db.scoring import AttributeScore
+    from repro.db.table import UncertainTable
+
+    rows = [
+        {"id": "a", "score": (8.0, 10.0)},
+        {"id": "b", "score": (5.0, 7.0)},
+        {"id": "c", "score": (1.0, 3.0)},
+        {"id": "d", "score": 4.0},
+    ]
+    table = UncertainTable("served", ["id", "score"], rows)
+    kwargs.setdefault("metrics", MetricsRegistry())
+    engine = RankingEngine.from_table(
+        table, AttributeScore("score", domain=(0.0, 16.0), scale=16.0),
+        seed=7, **kwargs
+    )
+    return table, engine
+
+
+@pytest.mark.serve
+class TestMutateEndpoint:
+    """POST /mutate: batched edits land as one delta, warm state reported."""
+
+    def test_mutation_roundtrip(self):
+        async def scenario():
+            table, engine = make_table_service_parts(samples=300)
+            service = RankingService(engine)
+            port = await service.start(port=0)
+            try:
+                status, _, before = await http_request(
+                    port, "POST", "/query",
+                    body={"kind": "utop_rank", "i": 1, "j": 1, "method": "exact"},
+                )
+                assert status == 200
+                assert before["result"]["answers"][0]["record_id"] == "a"
+                before_fp = engine.database_fingerprint
+
+                status, _, payload = await http_request(
+                    port, "POST", "/mutate",
+                    body={
+                        "update": [
+                            {"key": "c", "column": "score", "value": [12.0, 14.0]}
+                        ],
+                        "delete": ["d"],
+                    },
+                )
+                assert status == 200
+                assert payload["changed"]
+                assert payload["fingerprint"] != before_fp
+                assert payload["records"] == 3
+                (delta,) = payload["deltas"]
+                assert delta["updated"] == ["c"]
+                assert delta["deleted"] == ["d"]
+                # The engine consumed the delta: it migrated instead of
+                # invalidating wholesale.
+                assert payload["migration"] is not None
+                assert payload["migration"]["noop"] is False
+
+                status, _, after = await http_request(
+                    port, "POST", "/query",
+                    body={"kind": "utop_rank", "i": 1, "j": 1, "method": "exact"},
+                )
+                assert status == 200
+                assert after["result"]["answers"][0]["record_id"] == "c"
+                metrics = engine.metrics.counter_value("serve_mutations_total")
+                assert metrics == 1.0
+            finally:
+                await service.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_byte_identical_edit_changes_nothing(self):
+        async def scenario():
+            table, engine = make_table_service_parts(samples=300)
+            service = RankingService(engine)
+            port = await service.start(port=0)
+            try:
+                status, _, payload = await http_request(
+                    port, "POST", "/mutate",
+                    body={
+                        "update": [
+                            {"key": "d", "column": "score", "value": 4.0}
+                        ]
+                    },
+                )
+                assert status == 200
+                assert payload["changed"] is False
+                assert payload["deltas"] == []
+                assert payload["migration"] is None
+            finally:
+                await service.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_rejections(self):
+        async def scenario():
+            table, engine = make_table_service_parts(samples=300)
+            service = RankingService(engine)
+            port = await service.start(port=0)
+            try:
+                status, _, payload = await http_request(
+                    port, "POST", "/mutate", body={}
+                )
+                assert status == 400
+                assert "no edits" in payload["error"]
+
+                status, _, payload = await http_request(
+                    port, "POST", "/mutate", body={"delete": ["zz"]}
+                )
+                assert status == 400
+                assert "mutation rejected" in payload["error"]
+                # The rejected batch was atomic: nothing changed.
+                assert len(table.rows) == 4
+            finally:
+                await service.shutdown()
+
+            plain = make_engine(samples=300)
+            service = RankingService(plain)
+            port = await service.start(port=0)
+            try:
+                status, _, payload = await http_request(
+                    port, "POST", "/mutate", body={"delete": ["a"]}
+                )
+                assert status == 400
+                assert "table-backed" in payload["error"]
+            finally:
+                await service.shutdown()
+
+        asyncio.run(scenario())

@@ -1,0 +1,36 @@
+"""Tier-1 smoke run of the streaming-update benchmark harness.
+
+Runs the same single-record-edit harness as
+``benchmarks/bench_streaming.py`` at a tiny scale. Asserts only the
+invariants that must hold at any size — byte-identical warm answers
+after every edit, and a migration that actually carried pairwise
+entries forward — not the sublinearity or speedup floors, which are
+timing claims measured on the full size grid by the real benchmark.
+"""
+
+import pytest
+
+from repro.experiments.streaming_bench import run_benchmark
+
+
+@pytest.mark.bench
+def test_streaming_bench_smoke():
+    payload = run_benchmark(sizes=(40, 80), edits=2, samples=600)
+
+    assert payload["identity_all"], (
+        "warm post-edit answers diverged from cold recompute: "
+        f"{payload['results']}"
+    )
+    for row in payload["results"]:
+        # Every edit triggered a migration; the memo the warm MCMC
+        # query populated must survive it (a single-record edit dirties
+        # at most the entries naming that record).
+        assert row["pairwise_carried"] > 0, (
+            f"n={row['n']}: migration carried no pairwise entries"
+        )
+        assert row["reuse_fraction"] >= 0.5, (
+            f"n={row['n']}: reuse fraction {row['reuse_fraction']:.3f}"
+        )
+    scaling = payload["scaling"]
+    assert scaling["n_ratio"] == 2.0
+    assert scaling["latency_ratio"] > 0.0

@@ -103,14 +103,26 @@ class TestTableFingerprint:
         table.update_cell("a", "rent", 601.0)
         assert table.fingerprint() != fp
 
-    def test_roundtrip_mutation_still_bumps(self, table):
-        # Editing a cell and editing it back leaves equal-looking rows,
-        # but the version counter still advances: a cache keyed on the
-        # fingerprint can never serve results from the superseded state.
+    def test_roundtrip_mutation_restores_fingerprint(self, table):
+        # The fingerprint is content-addressed at record granularity:
+        # editing a cell and editing it back restores the exact
+        # fingerprint, so caches keyed on it may serve warm artifacts
+        # again — the content IS the identity, not the edit history.
         fp = table.fingerprint()
         table.update_cell("a", "rent", 999.0)
-        table.update_cell("a", "rent", 600.0)
         assert table.fingerprint() != fp
+        table.update_cell("a", "rent", 600.0)
+        assert table.fingerprint() == fp
+
+    def test_name_not_part_of_fingerprint(self, table):
+        # Regression: the fingerprint once hashed ``self.name``, so two
+        # tables with identical content but different names produced
+        # different cache identities and defeated artifact sharing.
+        same_rows = [dict(row) for row in table.rows]
+        renamed = UncertainTable(
+            "apts-renamed", ["id", "rent"], same_rows, key="id"
+        )
+        assert renamed.fingerprint() == table.fingerprint()
 
     def test_to_records_validate_roundtrip_consistent(self, table):
         scoring = AttributeScore("rent", domain=(0.0, 2000.0))
@@ -145,7 +157,8 @@ class TestCacheStats:
     def test_to_dict_keys(self):
         keys = set(CacheStats().to_dict())
         assert keys == {
-            "hits", "misses", "evictions", "bytes", "topups", "entries"
+            "hits", "misses", "evictions", "bytes", "topups", "entries",
+            "migrations", "carried",
         }
 
 

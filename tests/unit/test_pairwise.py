@@ -120,3 +120,42 @@ class TestPairwiseCache:
         cache.clear()
         assert len(cache) == 0
         assert cache.hits == cache.misses == 0
+
+
+class TestCarryForward:
+    @staticmethod
+    def _warm_cache():
+        cache = PairwiseCache()
+        records = [uniform(f"r{i}", float(i), float(i) + 2.0) for i in range(4)]
+        for i, a in enumerate(records):
+            for b in records[i + 1:]:
+                cache.probability(a, b)
+        return cache, records
+
+    def test_carries_untouched_pairs_only(self):
+        cache, records = self._warm_cache()
+        fresh, carried, dropped = cache.carry_forward({"r1"})
+        # 4 records -> 12 ordered entries; r1 participates in 6.
+        assert (carried, dropped) == (6, 6)
+        assert len(fresh) == 6
+        for (left, right), _value in fresh.snapshot():
+            assert "r1" not in (left, right)
+
+    def test_carried_values_are_identical(self):
+        cache, records = self._warm_cache()
+        fresh, _carried, _dropped = cache.carry_forward({"r0"})
+        before = dict(cache.snapshot())
+        for key, value in fresh.snapshot():
+            assert before[key] == value
+
+    def test_empty_dirty_set_copies_everything(self):
+        cache, _records = self._warm_cache()
+        fresh, carried, dropped = cache.carry_forward(frozenset())
+        assert dropped == 0
+        assert carried == len(cache) == len(fresh)
+
+    def test_original_cache_is_untouched(self):
+        cache, _records = self._warm_cache()
+        size = len(cache)
+        cache.carry_forward({"r0", "r2"})
+        assert len(cache) == size

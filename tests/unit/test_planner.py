@@ -555,8 +555,12 @@ class TestCoverageProbes:
             engine.sampling_coverage(SAMPLE_BLOCK, max_rank=2)
             == SAMPLE_BLOCK
         )
-        table.update_cell("c", "score", IntervalValue(15.0, 19.0))
-        # The probe re-extracts: new fingerprint, cold store.
+        with table.mutate() as batch:
+            batch.update("c", "score", IntervalValue(15.0, 19.0))
+        # The probe re-extracts: new fingerprint, cold store — rank
+        # counts are deliberately not migrated (the sampling plan
+        # couples the RNG layout to the full record subset), so
+        # coverage features must see the cold store, not a stale block.
         assert engine.database_fingerprint != old_fp
         assert engine.sampling_coverage(SAMPLE_BLOCK, max_rank=2) == 0
         # Re-drawing under the new fingerprint warms it back up.

@@ -304,17 +304,23 @@ class TestFromTable:
         ]
         return UncertainTable("t", ["id", "score"], rows)
 
-    def test_engine_follows_table_version(self):
+    def test_engine_follows_table_deltas(self):
         table = self._table()
         engine = RankingEngine.from_table(
             table, AttributeScore("score", domain=(0.0, 30.0)), seed=0
         )
         before = engine.utop_rank(1, 1, method="exact")
         assert before.top.record_id == "a"
-        # Mutate the table: c jumps to the top; the next query re-scores.
-        table.update_cell("c", "score", IntervalValue(20.0, 22.0))
+        # Mutate the table: c jumps to the top; the next query consumes
+        # the committed delta and re-scores.
+        with table.mutate() as batch:
+            batch.update("c", "score", IntervalValue(20.0, 22.0))
         after = engine.utop_rank(1, 1, method="exact")
         assert after.top.record_id == "c"
+        # The engine saw a delta naming exactly the touched key, so the
+        # refresh migrated instead of invalidating wholesale.
+        migration = engine.last_migration
+        assert migration is not None and not migration.noop
 
     def test_unchanged_table_is_not_reextracted(self):
         table = self._table()

@@ -580,6 +580,98 @@ class TestCACHE001:
         assert result.suppressed == 1
 
 
+class TestCACHE003:
+    SCOPED_PATH = "src/repro/core/engine.py"
+
+    def test_fires_on_version_read(self):
+        result = run(
+            """
+            def refresh(table, seen):
+                return table.version != seen
+            """,
+            path=self.SCOPED_PATH,
+        )
+        assert "CACHE003" in codes(result)
+
+    def test_fires_on_version_write(self):
+        result = run(
+            """
+            def force(table):
+                table.version += 1
+            """,
+            path=self.SCOPED_PATH,
+        )
+        assert "CACHE003" in codes(result)
+
+    def test_fires_on_attribute_chain_base(self):
+        result = run(
+            """
+            class Engine:
+                def stale(self):
+                    return self._table.version
+            """,
+            path=self.SCOPED_PATH,
+        )
+        assert "CACHE003" in codes(result)
+
+    def test_changes_since_reply_passes(self):
+        result = run(
+            """
+            def refresh(table, seen):
+                changes = table.changes_since(seen)
+                return changes.version, changes.deltas
+            """,
+            path=self.SCOPED_PATH,
+        )
+        assert "CACHE003" not in codes(result)
+
+    def test_owner_file_exempt(self):
+        result = run(
+            """
+            class UncertainTable:
+                def _commit(self, table):
+                    table.version += 1
+            """,
+            path="src/repro/db/table.py",
+        )
+        assert "CACHE003" not in codes(result)
+
+    def test_silent_outside_scope(self):
+        result = run(
+            """
+            def refresh(table, seen):
+                return table.version != seen
+            """,
+            path="src/repro/lint/fake.py",
+        )
+        assert "CACHE003" not in codes(result)
+
+    def test_unrelated_version_attributes_pass(self):
+        result = run(
+            """
+            import sys
+
+            def runtime():
+                return sys.version
+            """,
+            path=self.SCOPED_PATH,
+        )
+        assert "CACHE003" not in codes(result)
+
+    def test_suppressed_by_justified_pragma(self):
+        config = replace(DEFAULT_CONFIG, justify=frozenset({"CACHE003"}))
+        result = run(
+            """
+            def legacy(table):
+                return table.version  # reprolint: disable=CACHE003 -- duck-typed table without the delta API
+            """,
+            path=self.SCOPED_PATH,
+            config=config,
+        )
+        assert "CACHE003" not in codes(result)
+        assert result.suppressed == 1
+
+
 class TestROB001:
     def test_fires_on_bare_while_true(self):
         result = run(
@@ -834,6 +926,7 @@ class TestFramework:
             "ROB001",
             "ROB003",
             "CACHE001",
+            "CACHE003",
         } <= registered
         for rule in all_rules():
             assert rule.description

@@ -20,6 +20,7 @@ from repro.lint.sanitizer import (
     _deepest_span_divergence,
     _diff_path,
     _Execution,
+    build_mutation_scenario,
     build_records,
     build_workload,
     canonical_result,
@@ -234,3 +235,36 @@ class TestSanitizerSmoke:
     def test_cli_rejects_bad_worker_grid(self, capsys):
         with pytest.raises(SystemExit):
             sanitize_main(["--workers", "zero"])
+
+    def test_cli_rejects_bad_mutate_grid(self, capsys):
+        with pytest.raises(SystemExit):
+            sanitize_main(["--mutate", "sometimes"])
+
+
+class TestMutateAxis:
+    def test_scenario_restores_canonical_content(self):
+        from repro.core.cache import fingerprint_records
+
+        table, scoring, restore = build_mutation_scenario(8)
+        stale = fingerprint_records(table.to_records(scoring))
+        canonical = fingerprint_records(build_records(8))
+        assert stale != canonical
+        restore()
+        assert fingerprint_records(table.to_records(scoring)) == canonical
+
+    def test_mutated_engine_is_byte_identical_to_baseline(self):
+        report = run_sanitizer(
+            repeats=1,
+            records=8,
+            samples=400,
+            worker_grid=(1,),
+            mutate_grid=("off", "on"),
+            jitter_us=50,
+            mcmc_steps=60,
+            mcmc_chains=3,
+        )
+        assert report.ok, report.render()
+        assert report.mutate_grid == ("off", "on")
+        # baseline + 1 perturbed repeat, each over both mutate settings
+        assert report.runs == 4
+        assert report.to_dict()["mutate_grid"] == ["off", "on"]
